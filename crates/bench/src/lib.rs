@@ -1,0 +1,139 @@
+//! Shared harness utilities for the experiment binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md §4 for the experiment index).
+
+use paris_elsa::prelude::*;
+
+/// Runtime options shared by every experiment binary.
+///
+/// Every binary accepts `--quick` (shorter simulated windows for smoke
+/// runs) and `--seed <n>`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentOpts {
+    /// Simulated seconds of arrivals per operating point.
+    pub duration_s: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentOpts {
+    /// Parses options from the process arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        ExperimentOpts {
+            duration_s: if quick { 0.5 } else { 2.0 },
+            seed,
+        }
+    }
+
+    /// The sweep configuration for a testbed.
+    #[must_use]
+    pub fn sweep(&self, bed: &Testbed) -> SweepConfig {
+        SweepConfig::new(self.duration_s, self.seed, bed.sla_ns())
+    }
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            duration_s: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Prints a fixed-width table with a header rule.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// The full Figure 12 design list: four homogeneous baselines, the two
+/// random-partitioned baselines, and the two PARIS designs.
+#[must_use]
+pub fn figure12_designs(seed: u64) -> Vec<(&'static str, DesignPoint)> {
+    vec![
+        ("GPU(7)+FIFS", DesignPoint::HomogeneousFifs(ProfileSize::G7)),
+        ("GPU(3)+FIFS", DesignPoint::HomogeneousFifs(ProfileSize::G3)),
+        ("GPU(2)+FIFS", DesignPoint::HomogeneousFifs(ProfileSize::G2)),
+        ("GPU(1)+FIFS", DesignPoint::HomogeneousFifs(ProfileSize::G1)),
+        ("Random+FIFS", DesignPoint::RandomFifs { seed }),
+        ("Random+ELSA", DesignPoint::RandomElsa { seed }),
+        ("PARIS+FIFS", DesignPoint::ParisFifs),
+        ("PARIS+ELSA", DesignPoint::ParisElsa),
+    ]
+}
+
+/// Measures latency-bounded throughput for several designs on one testbed,
+/// in parallel.
+///
+/// # Panics
+///
+/// Panics if a design's plan cannot be built.
+#[must_use]
+pub fn measure_designs(
+    bed: &Testbed,
+    designs: &[(&'static str, DesignPoint)],
+    sweep: &SweepConfig,
+) -> Vec<(&'static str, f64)> {
+    let mut results: Vec<Option<(&'static str, f64)>> = vec![None; designs.len()];
+    std::thread::scope(|scope| {
+        for (slot, &(name, design)) in results.iter_mut().zip(designs.iter()) {
+            scope.spawn(move || {
+                let qps = bed
+                    .latency_bounded_qps(design, sweep)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                *slot = Some((name, qps));
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("measured")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_are_sane() {
+        let o = ExperimentOpts::default();
+        assert!(o.duration_s > 0.0);
+    }
+
+    #[test]
+    fn figure12_lists_eight_designs() {
+        let designs = figure12_designs(1);
+        assert_eq!(designs.len(), 8);
+        assert_eq!(designs[0].0, "GPU(7)+FIFS");
+        assert_eq!(designs[7].0, "PARIS+ELSA");
+    }
+}

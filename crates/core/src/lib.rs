@@ -1,0 +1,47 @@
+//! # paris-core — PARIS and ELSA
+//!
+//! The paper's two contributions, implemented as pure algorithms over
+//! profiling tables and queue snapshots (no simulator dependency — the same
+//! code would drive a real MIG server fed by NVML measurements):
+//!
+//! * [`ProfileTable`] — the one-time `(partition size, batch) →
+//!   latency/utilization` lookup table both algorithms consume (§IV-C),
+//! * [`find_knee`] / [`find_knees`] — `MaxBatch_knee` derivation (§III-B,
+//!   Algorithm 1 Step A),
+//! * [`Paris`] — the partitioning algorithm (Algorithm 1) plus instance
+//!   packing onto physical GPUs under real MIG placement rules, with
+//!   [`homogeneous_plan`] and [`random_plan`] baselines,
+//! * [`Elsa`] — the elastic scheduling algorithm (Equations 1–2 and
+//!   Algorithm 2), with scan-order and fallback ablations.
+//!
+//! ```
+//! use dnn_zoo::ModelKind;
+//! use inference_workload::BatchDistribution;
+//! use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+//! use paris_core::{GpcBudget, Paris, ProfileTable};
+//!
+//! // One-time profiling pass (the analytical stand-in for real hardware).
+//! let model = ModelKind::ResNet50.build();
+//! let perf = PerfModel::new(DeviceSpec::a100());
+//! let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+//!
+//! // PARIS: partition 48 GPCs across 8 A100s for a log-normal batch mix.
+//! let dist = BatchDistribution::paper_default();
+//! let plan = Paris::new(&table, &dist).plan(GpcBudget::new(48, 8))?;
+//! println!("PARIS chose: {plan}");
+//! # Ok::<(), paris_core::PlanError>(())
+//! ```
+
+mod elsa;
+mod knee;
+mod paris;
+mod profile;
+
+pub use elsa::{Decision, Elsa, ElsaConfig, FallbackPolicy, PartitionSnapshot, ScanOrder};
+pub use knee::{
+    find_knee, find_knees, KneeRule, MaxBatchKnee, DEFAULT_KNEE_THRESHOLD, DEFAULT_TAKEOFF_FACTOR,
+};
+pub use paris::{
+    homogeneous_plan, random_plan, BatchSegment, GpcBudget, Paris, PartitionPlan, PlanError,
+};
+pub use profile::ProfileTable;

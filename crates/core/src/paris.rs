@@ -1,0 +1,747 @@
+//! **PARIS** — the Partitioning Algorithm for Reconfigurable multi-GPU
+//! Inference Servers (paper §IV-B, Algorithm 1).
+//!
+//! Given the profiled utilization/latency tables and the batch-size
+//! distribution, PARIS:
+//!
+//! * **Step A** derives each partition size's `MaxBatch_knee`,
+//! * **Step B** splits the batch distribution into per-size segments and
+//!   computes the relative instance ratio
+//!   `R_k = Σ_b Dist(b)/Throughput_{k,b}` over each segment,
+//! * **Step C** scales the ratios into absolute instance counts under the
+//!   server's GPC budget,
+//!
+//! and finally (an implementation necessity the paper leaves implicit)
+//! **packs** the chosen instances onto physical GPUs honouring the real MIG
+//! placement rules. Rounding is largest-remainder under the GPC budget and
+//! leftover GPCs are backfilled with `GPU(1)` instances (design decision D5
+//! in DESIGN.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use inference_workload::BatchDistribution;
+use mig_gpu::{GpuLayout, ProfileSize, COMPUTE_SLICES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::knee::{find_knees, KneeRule, MaxBatchKnee};
+use crate::profile::ProfileTable;
+
+/// The resource pool a plan may use: a total GPC budget spread over a number
+/// of physical GPUs (paper Table I caps both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GpcBudget {
+    /// Total GPCs the plan may consume across all GPUs.
+    pub total_gpcs: usize,
+    /// Physical GPUs available for packing.
+    pub num_gpus: usize,
+}
+
+impl GpcBudget {
+    /// Creates a budget of `total_gpcs` across `num_gpus` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget exceeds `num_gpus × 7` GPCs or either value is
+    /// zero.
+    #[must_use]
+    pub fn new(total_gpcs: usize, num_gpus: usize) -> Self {
+        assert!(total_gpcs >= 1 && num_gpus >= 1, "budget must be non-empty");
+        assert!(
+            total_gpcs <= num_gpus * COMPUTE_SLICES,
+            "budget of {total_gpcs} GPCs exceeds {num_gpus} GPUs × {COMPUTE_SLICES}"
+        );
+        GpcBudget {
+            total_gpcs,
+            num_gpus,
+        }
+    }
+}
+
+impl fmt::Display for GpcBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} GPCs over {} GPUs", self.total_gpcs, self.num_gpus)
+    }
+}
+
+/// The batch range `lo..=hi` a partition size is dedicated to (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BatchSegment {
+    /// The partition size covering this range.
+    pub size: ProfileSize,
+    /// Smallest batch size in the segment (inclusive).
+    pub lo: usize,
+    /// Largest batch size in the segment (inclusive).
+    pub hi: usize,
+}
+
+impl BatchSegment {
+    /// Whether `batch` falls in this segment.
+    #[must_use]
+    pub fn contains(&self, batch: usize) -> bool {
+        (self.lo..=self.hi).contains(&batch)
+    }
+}
+
+impl fmt::Display for BatchSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: batches {}..={}", self.size, self.lo, self.hi)
+    }
+}
+
+/// Error returned when a plan cannot be produced.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The batch distribution carries no mass inside the profiled range.
+    EmptyDistribution,
+    /// The budget cannot host a single instance of any profiled size.
+    BudgetTooSmall {
+        /// The offending budget.
+        budget: GpcBudget,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptyDistribution => {
+                f.write_str("batch distribution has no mass over the profiled batch range")
+            }
+            PlanError::BudgetTooSmall { budget } => {
+                write!(f, "budget ({budget}) cannot host any partition instance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The output of PARIS (or of a baseline partitioner): which instances to
+/// create, where they sit on the physical GPUs, and which batch segment each
+/// size is responsible for.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_zoo::ModelKind;
+/// use inference_workload::BatchDistribution;
+/// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+/// use paris_core::{GpcBudget, Paris, ProfileTable};
+///
+/// let model = ModelKind::MobileNet.build();
+/// let perf = PerfModel::new(DeviceSpec::a100());
+/// let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+/// let dist = BatchDistribution::paper_default();
+///
+/// let plan = Paris::new(&table, &dist).plan(GpcBudget::new(24, 4))?;
+/// assert!(plan.total_gpcs_used() <= 24);
+/// // MobileNet is light → PARIS favours a heterogeneous mix with small
+/// // partitions present.
+/// assert!(plan.count(ProfileSize::G1) + plan.count(ProfileSize::G2) > 0);
+/// # Ok::<(), paris_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    counts: BTreeMap<ProfileSize, usize>,
+    layouts: Vec<GpuLayout>,
+    segments: Vec<BatchSegment>,
+    ratios: Vec<(ProfileSize, f64)>,
+    knees: Vec<MaxBatchKnee>,
+}
+
+impl PartitionPlan {
+    /// Instances per partition size.
+    #[must_use]
+    pub fn counts(&self) -> &BTreeMap<ProfileSize, usize> {
+        &self.counts
+    }
+
+    /// Number of instances of one size.
+    #[must_use]
+    pub fn count(&self, size: ProfileSize) -> usize {
+        self.counts.get(&size).copied().unwrap_or(0)
+    }
+
+    /// Every instance in the plan, smallest size first — the order ELSA
+    /// iterates partitions in.
+    #[must_use]
+    pub fn partitions(&self) -> Vec<ProfileSize> {
+        let mut out = Vec::new();
+        for (&size, &n) in &self.counts {
+            out.extend(std::iter::repeat_n(size, n));
+        }
+        out
+    }
+
+    /// Total number of instances.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// GPCs consumed by all instances.
+    #[must_use]
+    pub fn total_gpcs_used(&self) -> usize {
+        self.counts.iter().map(|(s, n)| s.gpcs() * n).sum()
+    }
+
+    /// Per-GPU placements.
+    #[must_use]
+    pub fn layouts(&self) -> &[GpuLayout] {
+        &self.layouts
+    }
+
+    /// The batch segment each size is dedicated to (empty for baselines
+    /// that do not segment the distribution).
+    #[must_use]
+    pub fn segments(&self) -> &[BatchSegment] {
+        &self.segments
+    }
+
+    /// The relative instance ratios `R_k` PARIS derived (empty for
+    /// baselines).
+    #[must_use]
+    pub fn ratios(&self) -> &[(ProfileSize, f64)] {
+        &self.ratios
+    }
+
+    /// The knees PARIS derived (empty for baselines).
+    #[must_use]
+    pub fn knees(&self) -> &[MaxBatchKnee] {
+        &self.knees
+    }
+
+    /// Whether the plan mixes more than one partition size.
+    #[must_use]
+    pub fn is_heterogeneous(&self) -> bool {
+        self.counts.values().filter(|&&n| n > 0).count() > 1
+    }
+
+    fn from_counts(
+        counts: BTreeMap<ProfileSize, usize>,
+        num_gpus: usize,
+        segments: Vec<BatchSegment>,
+        ratios: Vec<(ProfileSize, f64)>,
+        knees: Vec<MaxBatchKnee>,
+    ) -> Self {
+        let (layouts, packed) = pack_instances(&counts, num_gpus);
+        PartitionPlan {
+            counts: packed,
+            layouts,
+            segments,
+            ratios,
+            knees,
+        }
+    }
+}
+
+impl fmt::Display for PartitionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&size, &n) in &self.counts {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{n}\u{d7}{size}")?;
+            first = false;
+        }
+        write!(f, " ({} GPCs)", self.total_gpcs_used())
+    }
+}
+
+/// Packs the requested instances onto physical GPUs with first-fit
+/// decreasing under MIG placement rules. Instances that cannot be placed
+/// are split into `GPU(1)`s where possible, or dropped. Returns the layouts
+/// and the counts that were actually placed.
+fn pack_instances(
+    counts: &BTreeMap<ProfileSize, usize>,
+    num_gpus: usize,
+) -> (Vec<GpuLayout>, BTreeMap<ProfileSize, usize>) {
+    let mut instances: Vec<ProfileSize> = Vec::new();
+    for (&size, &n) in counts {
+        instances.extend(std::iter::repeat_n(size, n));
+    }
+    instances.sort_by(|a, b| b.cmp(a)); // biggest first
+
+    let mut gpu_profiles: Vec<Vec<ProfileSize>> = vec![Vec::new(); num_gpus];
+    let mut overflow: Vec<ProfileSize> = Vec::new();
+    for &inst in &instances {
+        let mut placed = false;
+        for gpu in &mut gpu_profiles {
+            gpu.push(inst);
+            if GpuLayout::fits(gpu) {
+                placed = true;
+                break;
+            }
+            gpu.pop();
+        }
+        if !placed {
+            overflow.push(inst);
+        }
+    }
+    // Second chance: split unplaceable instances into 1-GPC pieces.
+    for inst in overflow {
+        for _ in 0..inst.gpcs() {
+            for gpu in &mut gpu_profiles {
+                gpu.push(ProfileSize::G1);
+                if GpuLayout::fits(gpu) {
+                    break;
+                }
+                gpu.pop();
+            }
+        }
+    }
+
+    let mut packed: BTreeMap<ProfileSize, usize> = BTreeMap::new();
+    let layouts: Vec<GpuLayout> = gpu_profiles
+        .iter()
+        .map(|profiles| {
+            for &p in profiles {
+                *packed.entry(p).or_insert(0) += 1;
+            }
+            GpuLayout::place(profiles).expect("pack_instances only builds feasible layouts")
+        })
+        .collect();
+    (layouts, packed)
+}
+
+/// The PARIS planner.
+///
+/// See [`PartitionPlan`] for a usage example; ablation knobs are the knee
+/// threshold (D1 in DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct Paris<'a> {
+    table: &'a ProfileTable,
+    dist: &'a BatchDistribution,
+    knee_rule: KneeRule,
+}
+
+impl<'a> Paris<'a> {
+    /// Creates a planner over a profile table and batch distribution with
+    /// the default latency-takeoff knee rule.
+    #[must_use]
+    pub fn new(table: &'a ProfileTable, dist: &'a BatchDistribution) -> Self {
+        Paris {
+            table,
+            dist,
+            knee_rule: KneeRule::default(),
+        }
+    }
+
+    /// Overrides the knee-detection rule (ablation D1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rule's parameter is out of range.
+    #[must_use]
+    pub fn with_knee_rule(mut self, rule: KneeRule) -> Self {
+        match rule {
+            KneeRule::UtilizationThreshold(t) => {
+                assert!(t > 0.0 && t <= 1.0, "knee threshold must be within (0, 1]");
+            }
+            KneeRule::LatencyTakeoff(f) => {
+                assert!(f.is_finite() && f > 1.0, "takeoff factor must exceed 1");
+            }
+        }
+        self.knee_rule = rule;
+        self
+    }
+
+    /// Runs Algorithm 1 and packs the result onto the budgeted GPUs.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::EmptyDistribution`] if the batch distribution has no
+    ///   mass in the profiled range,
+    /// * [`PlanError::BudgetTooSmall`] if not even one `GPU(1)` instance
+    ///   fits the budget.
+    pub fn plan(&self, budget: GpcBudget) -> Result<PartitionPlan, PlanError> {
+        if budget.total_gpcs < 1 {
+            return Err(PlanError::BudgetTooSmall { budget });
+        }
+
+        // Step A: knees per partition size (profiled once, reused).
+        let knees = find_knees(self.table, self.knee_rule);
+
+        // Split the distribution into per-size batch segments. The largest
+        // size absorbs everything beyond its knee.
+        let max_batch = self.dist.max_batch().max(self.table.max_batch());
+        let mut segments = Vec::new();
+        let mut prev_hi = 0usize;
+        for (i, knee) in knees.iter().enumerate() {
+            let hi = if i + 1 == knees.len() {
+                max_batch
+            } else {
+                knee.batch
+            };
+            if hi > prev_hi {
+                segments.push(BatchSegment {
+                    size: knee.size,
+                    lo: prev_hi + 1,
+                    hi,
+                });
+                prev_hi = hi;
+            }
+        }
+
+        // Step B: relative ratios R_k = Σ Dist(b) / Throughput_{k,b}.
+        let mut ratios: Vec<(ProfileSize, f64)> = Vec::new();
+        for seg in &segments {
+            let mut r = 0.0;
+            for b in seg.lo..=seg.hi {
+                let p = self.dist.pmf(b);
+                if p > 0.0 {
+                    r += p / self.table.throughput_qps(seg.size, b);
+                }
+            }
+            ratios.push((seg.size, r));
+        }
+        let weighted: f64 = ratios.iter().map(|&(s, r)| s.gpcs() as f64 * r).sum();
+        if weighted <= 0.0 {
+            return Err(PlanError::EmptyDistribution);
+        }
+
+        // Step C: absolute instance counts under the GPC budget.
+        let scale = budget.total_gpcs as f64 / weighted;
+        let mut counts: BTreeMap<ProfileSize, usize> = BTreeMap::new();
+        let mut remainders: Vec<(ProfileSize, f64)> = Vec::new();
+        let mut used = 0usize;
+        for &(size, r) in &ratios {
+            let raw = scale * r;
+            let whole = raw.floor() as usize;
+            counts.insert(size, whole);
+            used += whole * size.gpcs();
+            remainders.push((size, raw - whole as f64));
+        }
+        // Guarantee representation: any size with demand but zero instances
+        // gets one if the budget allows (smallest first — cheapest).
+        for &(size, r) in &ratios {
+            if r > 0.0 && counts[&size] == 0 && used + size.gpcs() <= budget.total_gpcs {
+                *counts.get_mut(&size).expect("size inserted above") += 1;
+                used += size.gpcs();
+            }
+        }
+        // Largest-remainder rounding over the residual budget.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
+        loop {
+            let mut progressed = false;
+            for &(size, _) in &remainders {
+                if used + size.gpcs() <= budget.total_gpcs {
+                    *counts.get_mut(&size).expect("size inserted above") += 1;
+                    used += size.gpcs();
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if used == 0 {
+            return Err(PlanError::BudgetTooSmall { budget });
+        }
+
+        Ok(PartitionPlan::from_counts(
+            counts,
+            budget.num_gpus,
+            segments,
+            ratios,
+            knees,
+        ))
+    }
+}
+
+/// Builds a homogeneous plan: as many instances of `size` as the budget and
+/// MIG geometry allow (the paper's GPU(N) baselines, Table I).
+///
+/// # Errors
+///
+/// Returns [`PlanError::BudgetTooSmall`] if not even one instance fits.
+///
+/// # Examples
+///
+/// ```
+/// use mig_gpu::ProfileSize;
+/// use paris_core::{homogeneous_plan, GpcBudget};
+///
+/// // Table I, ResNet row: GPU(3) with 48 GPCs on 8 A100s → 16 instances.
+/// let plan = homogeneous_plan(ProfileSize::G3, GpcBudget::new(48, 8))?;
+/// assert_eq!(plan.count(ProfileSize::G3), 16);
+/// # Ok::<(), paris_core::PlanError>(())
+/// ```
+pub fn homogeneous_plan(size: ProfileSize, budget: GpcBudget) -> Result<PartitionPlan, PlanError> {
+    // Max instances of `size` on one GPU under placement rules.
+    let mut per_gpu = 0usize;
+    let mut probe = Vec::new();
+    loop {
+        probe.push(size);
+        if GpuLayout::fits(&probe) {
+            per_gpu += 1;
+        } else {
+            break;
+        }
+    }
+    let by_budget = budget.total_gpcs / size.gpcs();
+    let n = by_budget.min(per_gpu * budget.num_gpus);
+    if n == 0 {
+        return Err(PlanError::BudgetTooSmall { budget });
+    }
+    let mut counts = BTreeMap::new();
+    counts.insert(size, n);
+    Ok(PartitionPlan::from_counts(
+        counts,
+        budget.num_gpus,
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+    ))
+}
+
+/// Builds a random heterogeneous plan: repeatedly picks a uniformly random
+/// profile that still fits the budget and the GPUs (the paper's "Random"
+/// baseline, §VI).
+///
+/// # Errors
+///
+/// Returns [`PlanError::BudgetTooSmall`] if not even one instance fits.
+pub fn random_plan(budget: GpcBudget, seed: u64) -> Result<PartitionPlan, PlanError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gpu_profiles: Vec<Vec<ProfileSize>> = vec![Vec::new(); budget.num_gpus];
+    let mut used = 0usize;
+    loop {
+        // Candidate sizes that fit the remaining budget on some GPU.
+        let mut feasible: Vec<(usize, ProfileSize)> = Vec::new();
+        for &size in &ProfileSize::ALL {
+            if used + size.gpcs() > budget.total_gpcs {
+                continue;
+            }
+            for (gpu_idx, gpu) in gpu_profiles.iter_mut().enumerate() {
+                gpu.push(size);
+                let fits = GpuLayout::fits(gpu);
+                gpu.pop();
+                if fits {
+                    feasible.push((gpu_idx, size));
+                    break;
+                }
+            }
+        }
+        if feasible.is_empty() {
+            break;
+        }
+        let &(gpu_idx, size) = &feasible[rng.gen_range(0..feasible.len())];
+        gpu_profiles[gpu_idx].push(size);
+        used += size.gpcs();
+    }
+    if used == 0 {
+        return Err(PlanError::BudgetTooSmall { budget });
+    }
+    let mut counts: BTreeMap<ProfileSize, usize> = BTreeMap::new();
+    for gpu in &gpu_profiles {
+        for &p in gpu {
+            *counts.entry(p).or_insert(0) += 1;
+        }
+    }
+    Ok(PartitionPlan::from_counts(
+        counts,
+        budget.num_gpus,
+        Vec::new(),
+        Vec::new(),
+        Vec::new(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_zoo::ModelKind;
+    use mig_gpu::{DeviceSpec, PerfModel};
+
+    fn table(kind: ModelKind) -> ProfileTable {
+        let model = kind.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32)
+    }
+
+    #[test]
+    fn figure8_worked_example() {
+        // The paper's Figure 8: two sizes with knees B1=2, B2=4; batch
+        // frequencies 20/20/40/20 %; small-GPU throughput 40 and 20 q/s,
+        // large-GPU throughput 30 and 20 q/s. Expected need: 1.5 small vs
+        // 2.3 large GPUs → ratio ≈ 0.652.
+        let dist = [0.2, 0.2, 0.4, 0.2];
+        let small_tp = [40.0, 20.0];
+        let large_tp = [30.0, 20.0];
+        let r_small: f64 = dist[0] / small_tp[0] + dist[1] / small_tp[1];
+        let r_large: f64 = dist[2] / large_tp[0] + dist[3] / large_tp[1];
+        assert!((r_small * 100.0 - 1.5).abs() < 1e-9, "0.5 + 1.0 small GPUs");
+        assert!(
+            (r_large * 100.0 - 2.333).abs() < 0.01,
+            "40/30 + 20/20 ≈ 2.33 large GPUs"
+        );
+    }
+
+    #[test]
+    fn plan_respects_budget_for_all_models() {
+        let dist = BatchDistribution::paper_default();
+        for (kind, gpcs, gpus) in [
+            (ModelKind::ShuffleNet, 24, 4),
+            (ModelKind::MobileNet, 24, 4),
+            (ModelKind::ResNet50, 48, 8),
+            (ModelKind::BertBase, 42, 6),
+            (ModelKind::Conformer, 48, 8),
+        ] {
+            let t = table(kind);
+            let plan = Paris::new(&t, &dist).plan(GpcBudget::new(gpcs, gpus)).unwrap();
+            assert!(
+                plan.total_gpcs_used() <= gpcs,
+                "{kind}: used {} > budget {gpcs}",
+                plan.total_gpcs_used()
+            );
+            assert!(plan.instance_count() > 0);
+            // Packing uses exactly num_gpus layouts and they agree with counts.
+            assert_eq!(plan.layouts().len(), gpus);
+            let from_layouts: usize = plan.layouts().iter().map(|l| l.used_gpcs()).sum();
+            assert_eq!(from_layouts, plan.total_gpcs_used());
+        }
+    }
+
+    #[test]
+    fn light_models_get_small_partitions_heavy_models_large() {
+        let dist = BatchDistribution::paper_default();
+        let mobilenet = Paris::new(&table(ModelKind::MobileNet), &dist)
+            .plan(GpcBudget::new(24, 4))
+            .unwrap();
+        let bert = Paris::new(&table(ModelKind::BertBase), &dist)
+            .plan(GpcBudget::new(42, 6))
+            .unwrap();
+        // MobileNet plans must carry small partitions; BERT plans must carry
+        // large ones (paper §VI-A/B: MobileNet → 1g/2g-heavy mix, BERT →
+        // 3g/4g/7g-heavy mix).
+        let small = |p: &PartitionPlan| p.count(ProfileSize::G1) + p.count(ProfileSize::G2);
+        let large = |p: &PartitionPlan| p.count(ProfileSize::G4) + p.count(ProfileSize::G7);
+        assert!(small(&mobilenet) > 0, "mobilenet: {mobilenet}");
+        assert!(large(&bert) > 0, "bert: {bert}");
+        // And MobileNet leans smaller than BERT in average GPCs/instance.
+        let avg = |p: &PartitionPlan| p.total_gpcs_used() as f64 / p.instance_count() as f64;
+        assert!(avg(&mobilenet) < avg(&bert));
+    }
+
+    #[test]
+    fn segments_partition_the_batch_range() {
+        let dist = BatchDistribution::paper_default();
+        let t = table(ModelKind::ResNet50);
+        let plan = Paris::new(&t, &dist).plan(GpcBudget::new(48, 8)).unwrap();
+        let segs = plan.segments();
+        assert!(!segs.is_empty());
+        assert_eq!(segs[0].lo, 1);
+        assert_eq!(segs.last().unwrap().hi, 32);
+        for pair in segs.windows(2) {
+            assert_eq!(pair[1].lo, pair[0].hi + 1, "segments must be contiguous");
+        }
+        for b in 1..=32 {
+            assert_eq!(segs.iter().filter(|s| s.contains(b)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let dist = BatchDistribution::paper_default();
+        let t = table(ModelKind::Conformer);
+        let a = Paris::new(&t, &dist).plan(GpcBudget::new(48, 8)).unwrap();
+        let b = Paris::new(&t, &dist).plan(GpcBudget::new(48, 8)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_distribution_concentrates_instances() {
+        // With all queries at batch 1, every GPC should go to the smallest
+        // useful partitions — the plan must not buy 7g instances.
+        let dist = BatchDistribution::constant(1);
+        let t = table(ModelKind::MobileNet);
+        let plan = Paris::new(&t, &dist).plan(GpcBudget::new(24, 4)).unwrap();
+        assert_eq!(plan.count(ProfileSize::G7), 0, "{plan}");
+    }
+
+    #[test]
+    fn homogeneous_plans_match_table1() {
+        // Table I: instances for ShuffleNet/MobileNet (24 GPCs, 4 GPUs) and
+        // ResNet/Conformer (48 GPCs, 8 GPUs), BERT (42 GPCs, 6 GPUs).
+        let cases = [
+            (ProfileSize::G1, 24, 4, 24),
+            (ProfileSize::G2, 24, 4, 12),
+            (ProfileSize::G3, 24, 4, 8),
+            (ProfileSize::G1, 48, 8, 48),
+            (ProfileSize::G2, 48, 8, 24),
+            (ProfileSize::G3, 48, 8, 16),
+            (ProfileSize::G7, 56, 8, 8),
+            (ProfileSize::G1, 42, 6, 42),
+            (ProfileSize::G2, 42, 6, 18), // 3 per GPU × 6 (placement cap; paper lists 21)
+            (ProfileSize::G3, 42, 6, 12), // 2 per GPU × 6 GPUs (geometry cap)
+            (ProfileSize::G7, 42, 6, 6),
+            (ProfileSize::G7, 28, 4, 4),
+        ];
+        for (size, gpcs, gpus, expected) in cases {
+            let plan = homogeneous_plan(size, GpcBudget::new(gpcs, gpus)).unwrap();
+            assert_eq!(
+                plan.count(size),
+                expected,
+                "{size} with {gpcs} GPCs on {gpus} GPUs"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_bert_geometry_notes() {
+        // Paper lists 14×GPU(3) and 21×GPU(2) for BERT (42 GPCs, 6 A100s).
+        // Real MIG placement caps 3g at 2/GPU and 2g at 3/GPU, so 6 GPUs
+        // host at most 12 and 18 respectively. Our geometry-faithful build
+        // reflects that; recorded in EXPERIMENTS.md as deliberate
+        // deviations.
+        let g3 = homogeneous_plan(ProfileSize::G3, GpcBudget::new(42, 6)).unwrap();
+        assert_eq!(g3.count(ProfileSize::G3), 12);
+        let g2 = homogeneous_plan(ProfileSize::G2, GpcBudget::new(42, 6)).unwrap();
+        assert_eq!(g2.count(ProfileSize::G2), 18);
+    }
+
+    #[test]
+    fn homogeneous_plan_is_not_heterogeneous() {
+        let plan = homogeneous_plan(ProfileSize::G2, GpcBudget::new(24, 4)).unwrap();
+        assert!(!plan.is_heterogeneous());
+        assert_eq!(plan.partitions(), vec![ProfileSize::G2; 12]);
+    }
+
+    #[test]
+    fn random_plan_is_seeded_and_within_budget() {
+        let a = random_plan(GpcBudget::new(48, 8), 7).unwrap();
+        let b = random_plan(GpcBudget::new(48, 8), 7).unwrap();
+        let c = random_plan(GpcBudget::new(48, 8), 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.total_gpcs_used() <= 48);
+        // Random packing exhausts the budget (1g always fits while budget
+        // remains and a GPU has a free slot).
+        assert_eq!(a.total_gpcs_used(), 48);
+    }
+
+    #[test]
+    fn plan_display_lists_instances() {
+        let dist = BatchDistribution::paper_default();
+        let t = table(ModelKind::ResNet50);
+        let plan = Paris::new(&t, &dist).plan(GpcBudget::new(48, 8)).unwrap();
+        let s = plan.to_string();
+        assert!(s.contains("GPU(") && s.contains("GPCs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_budget_panics() {
+        let _ = GpcBudget::new(57, 8);
+    }
+}

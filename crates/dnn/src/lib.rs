@@ -1,0 +1,33 @@
+//! # dnn-zoo — layer-level DNN workload descriptions
+//!
+//! The PARIS+ELSA reproduction needs to know, for every benchmark network,
+//! how much compute, memory traffic and parallelism each kernel of one
+//! inference contributes — that is what the GPU performance model consumes
+//! to produce the profiling tables the algorithms run on.
+//!
+//! This crate provides:
+//!
+//! * [`Layer`] — a single operator with per-sample FLOPs, parameter bytes,
+//!   activation bytes and a [`WorkShape`] describing its tile parallelism,
+//! * [`ModelGraph`] — a network as an ordered list of layers,
+//! * [`zoo`] — faithful layer-by-layer reconstructions of the paper's five
+//!   benchmarks: ShuffleNetV2, MobileNetV1, ResNet-50, BERT-base and
+//!   Conformer-M, selectable through [`ModelKind`].
+//!
+//! ```
+//! use dnn_zoo::ModelKind;
+//!
+//! let bert = ModelKind::BertBase.build();
+//! println!("{bert}");
+//! // Weight traffic is amortized over the batch, so arithmetic intensity
+//! // grows with batch size:
+//! assert!(bert.arithmetic_intensity(16) > bert.arithmetic_intensity(1));
+//! ```
+
+mod graph;
+mod layer;
+pub mod zoo;
+
+pub use graph::ModelGraph;
+pub use layer::{ComputeClass, Layer, LayerKind, Precision, WorkShape};
+pub use zoo::{ComputeIntensity, ModelKind, ParseModelKindError};

@@ -1,0 +1,140 @@
+//! BERT-base encoder at sequence length 128 (Devlin et al., 2018 — the
+//! paper's reference [43]). The heavyweight, compute-intensive member of the
+//! benchmark suite.
+
+use crate::graph::ModelGraph;
+use crate::layer::Layer;
+
+/// Hidden width of BERT-base.
+const HIDDEN: usize = 768;
+/// Feed-forward inner width.
+const FFN: usize = 3072;
+/// Number of attention heads.
+const HEADS: usize = 12;
+/// Width of one head.
+const HEAD_DIM: usize = HIDDEN / HEADS;
+/// Encoder depth.
+const LAYERS: usize = 12;
+/// Default sequence length used throughout the evaluation.
+const SEQ: usize = 128;
+/// WordPiece vocabulary size.
+const VOCAB: usize = 30_522;
+
+/// Appends one transformer encoder layer.
+fn push_encoder_layer(g: &mut ModelGraph, name: &str, seq: usize) {
+    let tok_elems = seq * HIDDEN;
+    // Self-attention.
+    g.push(Layer::linear(format!("{name}.attn.q"), seq, HIDDEN, HIDDEN));
+    g.push(Layer::linear(format!("{name}.attn.k"), seq, HIDDEN, HIDDEN));
+    g.push(Layer::linear(format!("{name}.attn.v"), seq, HIDDEN, HIDDEN));
+    g.push(Layer::attention_matmul(
+        format!("{name}.attn.scores"),
+        HEADS,
+        seq,
+        HEAD_DIM,
+    ));
+    g.push(Layer::softmax(format!("{name}.attn.softmax"), HEADS * seq * seq));
+    g.push(Layer::attention_matmul(
+        format!("{name}.attn.context"),
+        HEADS,
+        seq,
+        HEAD_DIM,
+    ));
+    g.push(Layer::linear(format!("{name}.attn.out"), seq, HIDDEN, HIDDEN));
+    g.push(Layer::residual(format!("{name}.attn.add"), tok_elems));
+    g.push(Layer::norm(format!("{name}.attn.norm"), tok_elems));
+    // Feed-forward network.
+    g.push(Layer::linear(format!("{name}.ffn.fc1"), seq, HIDDEN, FFN));
+    g.push(Layer::activation(format!("{name}.ffn.gelu"), seq * FFN));
+    g.push(Layer::linear(format!("{name}.ffn.fc2"), seq, FFN, HIDDEN));
+    g.push(Layer::residual(format!("{name}.ffn.add"), tok_elems));
+    g.push(Layer::norm(format!("{name}.ffn.norm"), tok_elems));
+}
+
+/// Builds BERT-base (12 layers, hidden 768, sequence length 128),
+/// ≈11 GMACs ≈ 22 GFLOPs per sample.
+///
+/// # Examples
+///
+/// ```
+/// let g = dnn_zoo::zoo::bert_base();
+/// assert!(g.flops_per_sample() > 2.0e10);
+/// ```
+#[must_use]
+pub fn bert_base() -> ModelGraph {
+    bert_base_with_seq(SEQ)
+}
+
+/// Builds BERT-base with an explicit sequence length, for sensitivity
+/// studies.
+#[must_use]
+pub fn bert_base_with_seq(seq: usize) -> ModelGraph {
+    let mut g = ModelGraph::new("bert_base");
+
+    g.push(Layer::embedding("embeddings", seq, HIDDEN, VOCAB));
+    g.push(Layer::norm("embeddings.norm", seq * HIDDEN));
+
+    for i in 0..LAYERS {
+        push_encoder_layer(&mut g, &format!("encoder.{i}"), seq);
+    }
+
+    g.push(Layer::linear("pooler", 1, HIDDEN, HIDDEN));
+    g.push(Layer::activation("pooler.tanh", HIDDEN));
+    g.push(Layer::linear("classifier", 1, HIDDEN, 2));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn total_flops_close_to_published() {
+        // 12 layers × (4·s·h² projections + 2·s²·h attention + 2·s·h·ffn)
+        // ≈ 22.5 GFLOPs at s=128.
+        let g = bert_base();
+        let gflops = g.flops_per_sample() / 1e9;
+        assert!(
+            (20.0..25.0).contains(&gflops),
+            "BERT GFLOPs {gflops:.1} out of expected range"
+        );
+    }
+
+    #[test]
+    fn parameter_count_close_to_published() {
+        // Encoder weights ~85 M (embedding table excluded from traffic).
+        let g = bert_base();
+        let params = g.weight_bytes() / 2.0;
+        assert!(
+            (80e6..95e6).contains(&params),
+            "BERT params {params:.0} out of range"
+        );
+    }
+
+    #[test]
+    fn heaviest_model_in_suite() {
+        let b = bert_base().flops_per_sample();
+        let r = super::super::resnet50().flops_per_sample();
+        assert!(b > 2.0 * r);
+    }
+
+    #[test]
+    fn attention_matmul_count() {
+        let g = bert_base();
+        let attn = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::AttentionMatmul)
+            .count();
+        assert_eq!(attn, 2 * LAYERS);
+    }
+
+    #[test]
+    fn flops_grow_quadratically_with_seq_in_attention() {
+        let short = bert_base_with_seq(64).flops_per_sample();
+        let long = bert_base_with_seq(256).flops_per_sample();
+        // Projections scale 4×, attention 16×; total must grow >4×.
+        assert!(long / short > 4.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Conformer-M speech encoder (Gulati et al., 2020 — the paper's reference
+//! [44]): macaron feed-forward pairs around self-attention and a
+//! depthwise-convolution module. Medium compute intensity, like ResNet.
+
+use crate::graph::ModelGraph;
+use crate::layer::Layer;
+
+/// Encoder width of Conformer-M.
+const DIM: usize = 256;
+/// Attention heads.
+const HEADS: usize = 4;
+/// Width of one head.
+const HEAD_DIM: usize = DIM / HEADS;
+/// Feed-forward inner width (4× expansion).
+const FFN: usize = 4 * DIM;
+/// Encoder depth of Conformer-M.
+const LAYERS: usize = 16;
+/// Depthwise convolution kernel of the convolution module.
+const CONV_KERNEL: usize = 31;
+/// Input utterance length in 10 ms frames (~4.8 s of speech).
+const INPUT_FRAMES: usize = 480;
+/// Mel filterbank features per frame.
+const MEL_BINS: usize = 80;
+/// Frames after the 4× convolutional subsampling frontend.
+const SEQ: usize = INPUT_FRAMES / 4;
+/// Output vocabulary of the CTC head (word pieces).
+const VOCAB: usize = 128;
+
+/// Appends one half-step (macaron) feed-forward module.
+fn push_feed_forward(g: &mut ModelGraph, name: &str, seq: usize) {
+    g.push(Layer::norm(format!("{name}.norm"), seq * DIM));
+    g.push(Layer::linear(format!("{name}.fc1"), seq, DIM, FFN));
+    g.push(Layer::activation(format!("{name}.swish"), seq * FFN));
+    g.push(Layer::linear(format!("{name}.fc2"), seq, FFN, DIM));
+    g.push(Layer::residual(format!("{name}.add"), seq * DIM));
+}
+
+/// Appends the multi-head self-attention module.
+fn push_attention(g: &mut ModelGraph, name: &str, seq: usize) {
+    g.push(Layer::norm(format!("{name}.norm"), seq * DIM));
+    g.push(Layer::linear(format!("{name}.q"), seq, DIM, DIM));
+    g.push(Layer::linear(format!("{name}.k"), seq, DIM, DIM));
+    g.push(Layer::linear(format!("{name}.v"), seq, DIM, DIM));
+    g.push(Layer::attention_matmul(
+        format!("{name}.scores"),
+        HEADS,
+        seq,
+        HEAD_DIM,
+    ));
+    g.push(Layer::softmax(format!("{name}.softmax"), HEADS * seq * seq));
+    g.push(Layer::attention_matmul(
+        format!("{name}.context"),
+        HEADS,
+        seq,
+        HEAD_DIM,
+    ));
+    g.push(Layer::linear(format!("{name}.out"), seq, DIM, DIM));
+    g.push(Layer::residual(format!("{name}.add"), seq * DIM));
+}
+
+/// Appends the convolution module: pointwise (GLU) → depthwise → pointwise.
+fn push_conv_module(g: &mut ModelGraph, name: &str, seq: usize) {
+    g.push(Layer::norm(format!("{name}.norm"), seq * DIM));
+    g.push(Layer::linear(format!("{name}.pw1"), seq, DIM, 2 * DIM));
+    g.push(Layer::activation(format!("{name}.glu"), seq * 2 * DIM));
+    g.push(Layer::depthwise_conv1d(
+        format!("{name}.dw"),
+        DIM,
+        CONV_KERNEL,
+        seq,
+    ));
+    g.push(Layer::norm(format!("{name}.bn"), seq * DIM));
+    g.push(Layer::activation(format!("{name}.swish"), seq * DIM));
+    g.push(Layer::linear(format!("{name}.pw2"), seq, DIM, DIM));
+    g.push(Layer::residual(format!("{name}.add"), seq * DIM));
+}
+
+/// Appends one full Conformer block:
+/// `FF/2 → MHSA → Conv → FF/2 → LayerNorm`.
+fn push_conformer_block(g: &mut ModelGraph, name: &str, seq: usize) {
+    push_feed_forward(g, &format!("{name}.ff1"), seq);
+    push_attention(g, &format!("{name}.mhsa"), seq);
+    push_conv_module(g, &format!("{name}.conv"), seq);
+    push_feed_forward(g, &format!("{name}.ff2"), seq);
+    g.push(Layer::norm(format!("{name}.final_norm"), seq * DIM));
+}
+
+/// Builds the Conformer-M encoder (16 blocks, width 256, ~4.8 s utterance),
+/// ≈4–5 GMACs per sample — medium intensity, comparable to ResNet-50.
+///
+/// # Examples
+///
+/// ```
+/// let g = dnn_zoo::zoo::conformer();
+/// let gflops = g.flops_per_sample() / 1e9;
+/// assert!((6.0..13.0).contains(&gflops));
+/// ```
+#[must_use]
+pub fn conformer() -> ModelGraph {
+    let mut g = ModelGraph::new("conformer");
+
+    // Convolutional subsampling frontend (two 3×3/2 convs over time×mel).
+    g.push(Layer::conv2d(
+        "subsample.conv1",
+        1,
+        DIM,
+        3,
+        2,
+        INPUT_FRAMES / 2,
+        MEL_BINS / 2,
+    ));
+    g.push(Layer::activation(
+        "subsample.relu1",
+        DIM * (INPUT_FRAMES / 2) * (MEL_BINS / 2),
+    ));
+    g.push(Layer::conv2d(
+        "subsample.conv2",
+        DIM,
+        DIM,
+        3,
+        2,
+        SEQ,
+        MEL_BINS / 4,
+    ));
+    g.push(Layer::activation("subsample.relu2", DIM * SEQ * (MEL_BINS / 4)));
+    // Flatten (time, channel×freq) and project into the encoder width.
+    g.push(Layer::linear("subsample.proj", SEQ, DIM * MEL_BINS / 4, DIM));
+
+    for i in 0..LAYERS {
+        push_conformer_block(&mut g, &format!("block{i}"), SEQ);
+    }
+
+    g.push(Layer::linear("ctc_head", SEQ, DIM, VOCAB));
+    g.push(Layer::softmax("ctc_softmax", SEQ * VOCAB));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn medium_intensity_between_resnet_and_bert() {
+        let c = conformer().flops_per_sample();
+        let b = super::super::bert_base().flops_per_sample();
+        let m = super::super::mobilenet_v1().flops_per_sample();
+        assert!(c < b, "conformer lighter than BERT");
+        assert!(c > 3.0 * m, "conformer much heavier than MobileNet");
+    }
+
+    #[test]
+    fn has_sixteen_blocks() {
+        let g = conformer();
+        let dws = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::DepthwiseConv)
+            .count();
+        assert_eq!(dws, LAYERS, "one conv module per block");
+    }
+
+    #[test]
+    fn macaron_structure_means_two_ffns_per_block() {
+        let g = conformer();
+        let fc1 = g
+            .layers()
+            .iter()
+            .filter(|l| l.name().ends_with(".fc1"))
+            .count();
+        assert_eq!(fc1, 2 * LAYERS);
+    }
+
+    #[test]
+    fn many_kernel_launches_per_inference() {
+        // Conformer's fine-grained modules mean lots of small kernels —
+        // relevant to launch-overhead behaviour on small partitions.
+        assert!(conformer().layer_count() > 300);
+    }
+}

@@ -1,0 +1,120 @@
+//! MobileNetV1 1.0× at 224×224 input.
+//!
+//! The canonical 13 depthwise-separable blocks (Howard et al., 2017).
+//! BatchNorm is folded into the convolutions (standard for inference); each
+//! convolution is followed by a separate ReLU kernel, matching the eager
+//! PyTorch execution the paper measured.
+
+use crate::graph::ModelGraph;
+use crate::layer::Layer;
+
+/// One depthwise-separable block: `(stride of the depthwise conv, output
+/// channels of the pointwise conv, output spatial size)`.
+const BLOCKS: [(usize, usize, usize); 13] = [
+    (1, 64, 112),
+    (2, 128, 56),
+    (1, 128, 56),
+    (2, 256, 28),
+    (1, 256, 28),
+    (2, 512, 14),
+    (1, 512, 14),
+    (1, 512, 14),
+    (1, 512, 14),
+    (1, 512, 14),
+    (1, 512, 14),
+    (2, 1024, 7),
+    (1, 1024, 7),
+];
+
+/// Builds MobileNetV1 (1.0×, 224×224), ≈0.57 GMACs per sample.
+///
+/// # Examples
+///
+/// ```
+/// let g = dnn_zoo::zoo::mobilenet_v1();
+/// let gmacs = g.flops_per_sample() / 2.0 / 1e9;
+/// assert!((0.5..0.7).contains(&gmacs));
+/// ```
+#[must_use]
+pub fn mobilenet_v1() -> ModelGraph {
+    let mut g = ModelGraph::new("mobilenet_v1");
+
+    // Stem: 3×3/2 full convolution, 3→32 channels, 224→112.
+    g.push(Layer::conv2d("conv1", 3, 32, 3, 2, 112, 112));
+    g.push(Layer::activation("conv1.relu", 32 * 112 * 112));
+
+    let mut in_c = 32;
+    for (i, &(stride, out_c, spatial)) in BLOCKS.iter().enumerate() {
+        let dw = format!("block{}.dw", i + 1);
+        let pw = format!("block{}.pw", i + 1);
+        g.push(Layer::depthwise_conv(&dw, in_c, 3, stride, spatial, spatial));
+        g.push(Layer::activation(
+            format!("{dw}.relu"),
+            in_c * spatial * spatial,
+        ));
+        g.push(Layer::pointwise_conv(&pw, in_c, out_c, spatial, spatial));
+        g.push(Layer::activation(
+            format!("{pw}.relu"),
+            out_c * spatial * spatial,
+        ));
+        in_c = out_c;
+    }
+
+    g.push(Layer::pool("avgpool", 1024 * 7 * 7, 1024));
+    g.push(Layer::linear("classifier", 1, 1024, 1000));
+    g.push(Layer::softmax("softmax", 1000));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn total_macs_close_to_published() {
+        // Published MobileNetV1 1.0×: ~569 M multiply-accumulates.
+        let g = mobilenet_v1();
+        let gmacs = g.flops_per_sample() / 2.0 / 1e9;
+        assert!(
+            (0.52..0.65).contains(&gmacs),
+            "MobileNet GMACs {gmacs:.3} out of expected range"
+        );
+    }
+
+    #[test]
+    fn has_thirteen_depthwise_layers() {
+        let g = mobilenet_v1();
+        let dw = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::DepthwiseConv)
+            .count();
+        assert_eq!(dw, 13);
+    }
+
+    #[test]
+    fn parameter_count_close_to_published() {
+        // ~4.2 M parameters → ~8.4 MB at fp16.
+        let g = mobilenet_v1();
+        let params = g.weight_bytes() / 2.0;
+        assert!(
+            (3.5e6..5.0e6).contains(&params),
+            "MobileNet params {params:.0} out of range"
+        );
+    }
+
+    #[test]
+    fn depthwise_flops_are_a_small_fraction() {
+        // Pointwise convs dominate MobileNet compute (the paper's premise
+        // that MobileNet is lightweight but conv-efficient).
+        let g = mobilenet_v1();
+        let dw: f64 = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::DepthwiseConv)
+            .map(Layer::flops_per_sample)
+            .sum();
+        assert!(dw / g.flops_per_sample() < 0.1);
+    }
+}

@@ -1,0 +1,152 @@
+//! ResNet-50 at 224×224 input (He et al., 2015; torchvision weights
+//! `Training and Investigating Residual Nets` — the paper's reference [42]).
+
+use crate::graph::ModelGraph;
+use crate::layer::Layer;
+
+/// Stage description: `(bottleneck mid channels, output channels, number of
+/// blocks, output spatial size)`. The first block of stages 2–4 strides by 2.
+const STAGES: [(usize, usize, usize, usize); 4] = [
+    (64, 256, 3, 56),
+    (128, 512, 4, 28),
+    (256, 1024, 6, 14),
+    (512, 2048, 3, 7),
+];
+
+/// Appends one bottleneck block (`1×1 reduce → 3×3 → 1×1 expand` plus the
+/// residual connection, with a projection shortcut when shape changes).
+fn push_bottleneck(
+    g: &mut ModelGraph,
+    name: &str,
+    in_c: usize,
+    mid_c: usize,
+    out_c: usize,
+    stride: usize,
+    out_spatial: usize,
+) {
+    let s = out_spatial;
+    g.push(Layer::pointwise_conv(
+        format!("{name}.conv1"),
+        in_c,
+        mid_c,
+        s * stride,
+        s * stride,
+    ));
+    g.push(Layer::activation(
+        format!("{name}.relu1"),
+        mid_c * s * stride * s * stride,
+    ));
+    g.push(Layer::conv2d(format!("{name}.conv2"), mid_c, mid_c, 3, stride, s, s));
+    g.push(Layer::activation(format!("{name}.relu2"), mid_c * s * s));
+    g.push(Layer::pointwise_conv(format!("{name}.conv3"), mid_c, out_c, s, s));
+    if in_c != out_c || stride != 1 {
+        g.push(Layer::conv2d(
+            format!("{name}.downsample"),
+            in_c,
+            out_c,
+            1,
+            stride,
+            s,
+            s,
+        ));
+    }
+    g.push(Layer::residual(format!("{name}.add"), out_c * s * s));
+    g.push(Layer::activation(format!("{name}.relu3"), out_c * s * s));
+}
+
+/// Builds ResNet-50, ≈3.8–4.1 GMACs per sample.
+///
+/// # Examples
+///
+/// ```
+/// let g = dnn_zoo::zoo::resnet50();
+/// let gmacs = g.flops_per_sample() / 2.0 / 1e9;
+/// assert!((3.5..4.5).contains(&gmacs));
+/// ```
+#[must_use]
+pub fn resnet50() -> ModelGraph {
+    let mut g = ModelGraph::new("resnet50");
+
+    g.push(Layer::conv2d("conv1", 3, 64, 7, 2, 112, 112));
+    g.push(Layer::activation("conv1.relu", 64 * 112 * 112));
+    g.push(Layer::pool("maxpool", 64 * 112 * 112, 64 * 56 * 56));
+
+    let mut in_c = 64;
+    for (stage_idx, &(mid_c, out_c, blocks, spatial)) in STAGES.iter().enumerate() {
+        for block in 0..blocks {
+            let name = format!("layer{}.{}", stage_idx + 1, block);
+            // Stage 1 keeps 56×56 (stride 1); later stages stride on block 0.
+            let stride = if block == 0 && stage_idx > 0 { 2 } else { 1 };
+            push_bottleneck(&mut g, &name, in_c, mid_c, out_c, stride, spatial);
+            in_c = out_c;
+        }
+    }
+
+    g.push(Layer::pool("avgpool", 2048 * 7 * 7, 2048));
+    g.push(Layer::linear("fc", 1, 2048, 1000));
+    g.push(Layer::softmax("softmax", 1000));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn total_macs_close_to_published() {
+        let g = resnet50();
+        let gmacs = g.flops_per_sample() / 2.0 / 1e9;
+        assert!(
+            (3.5..4.5).contains(&gmacs),
+            "ResNet-50 GMACs {gmacs:.2} out of expected range"
+        );
+    }
+
+    #[test]
+    fn parameter_count_close_to_published() {
+        // ~25.5 M parameters.
+        let g = resnet50();
+        let params = g.weight_bytes() / 2.0;
+        assert!(
+            (23e6..28e6).contains(&params),
+            "ResNet-50 params {params:.0} out of range"
+        );
+    }
+
+    #[test]
+    fn has_sixteen_bottlenecks_and_four_downsamples() {
+        let g = resnet50();
+        let residuals = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::Residual)
+            .count();
+        assert_eq!(residuals, 16);
+        let downsamples = g
+            .layers()
+            .iter()
+            .filter(|l| l.name().contains("downsample"))
+            .count();
+        assert_eq!(downsamples, 4);
+    }
+
+    #[test]
+    fn conv_count_matches_architecture() {
+        // 1 stem + 16 blocks × 3 convs + 4 downsample projections = 53.
+        let g = resnet50();
+        let convs = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::Conv2d)
+            .count();
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn heavier_than_mobilenet() {
+        let r = resnet50().flops_per_sample();
+        let m = super::super::mobilenet_v1().flops_per_sample();
+        assert!(r > 5.0 * m, "ResNet should be much heavier than MobileNet");
+    }
+}

@@ -1,0 +1,140 @@
+//! ShuffleNetV2 1.0× at 224×224 input (Ma et al., 2018 — the paper's
+//! reference [40]).
+
+use crate::graph::ModelGraph;
+use crate::layer::Layer;
+
+/// Stage description: `(output channels, number of units, output spatial)`.
+/// The first unit of each stage is the spatial-downsampling variant.
+const STAGES: [(usize, usize, usize); 3] = [(116, 4, 28), (232, 8, 14), (464, 4, 7)];
+
+/// Basic (stride-1) unit on `c` total channels at `s`×`s` resolution: the
+/// right branch processes half the channels through pw → dw → pw, then the
+/// halves are concatenated and channel-shuffled.
+fn push_basic_unit(g: &mut ModelGraph, name: &str, c: usize, s: usize) {
+    let half = c / 2;
+    g.push(Layer::pointwise_conv(format!("{name}.pw1"), half, half, s, s));
+    g.push(Layer::activation(format!("{name}.relu1"), half * s * s));
+    g.push(Layer::depthwise_conv(format!("{name}.dw"), half, 3, 1, s, s));
+    g.push(Layer::pointwise_conv(format!("{name}.pw2"), half, half, s, s));
+    g.push(Layer::activation(format!("{name}.relu2"), half * s * s));
+    g.push(Layer::channel_shuffle(format!("{name}.shuffle"), c * s * s));
+}
+
+/// Downsampling (stride-2) unit from `in_c` channels to `out_c` channels,
+/// producing `s`×`s` output. Both branches are active.
+fn push_down_unit(g: &mut ModelGraph, name: &str, in_c: usize, out_c: usize, s: usize) {
+    let half = out_c / 2;
+    // Left branch: dw(s2) → pw.
+    g.push(Layer::depthwise_conv(format!("{name}.l.dw"), in_c, 3, 2, s, s));
+    g.push(Layer::pointwise_conv(format!("{name}.l.pw"), in_c, half, s, s));
+    g.push(Layer::activation(format!("{name}.l.relu"), half * s * s));
+    // Right branch: pw → dw(s2) → pw.
+    g.push(Layer::pointwise_conv(
+        format!("{name}.r.pw1"),
+        in_c,
+        half,
+        s * 2,
+        s * 2,
+    ));
+    g.push(Layer::activation(format!("{name}.r.relu1"), half * s * 2 * s * 2));
+    g.push(Layer::depthwise_conv(format!("{name}.r.dw"), half, 3, 2, s, s));
+    g.push(Layer::pointwise_conv(format!("{name}.r.pw2"), half, half, s, s));
+    g.push(Layer::activation(format!("{name}.r.relu2"), half * s * s));
+    g.push(Layer::channel_shuffle(format!("{name}.shuffle"), out_c * s * s));
+}
+
+/// Builds ShuffleNetV2 1.0×, ≈0.15 GMACs per sample — the lightest model in
+/// the suite.
+///
+/// # Examples
+///
+/// ```
+/// let g = dnn_zoo::zoo::shufflenet_v2();
+/// let gmacs = g.flops_per_sample() / 2.0 / 1e9;
+/// assert!(gmacs < 0.25);
+/// ```
+#[must_use]
+pub fn shufflenet_v2() -> ModelGraph {
+    let mut g = ModelGraph::new("shufflenet_v2");
+
+    g.push(Layer::conv2d("conv1", 3, 24, 3, 2, 112, 112));
+    g.push(Layer::activation("conv1.relu", 24 * 112 * 112));
+    g.push(Layer::pool("maxpool", 24 * 112 * 112, 24 * 56 * 56));
+
+    let mut in_c = 24;
+    for (stage_idx, &(out_c, units, spatial)) in STAGES.iter().enumerate() {
+        let stage = stage_idx + 2; // ShuffleNet numbering starts at stage2
+        push_down_unit(
+            &mut g,
+            &format!("stage{stage}.0"),
+            in_c,
+            out_c,
+            spatial,
+        );
+        for unit in 1..units {
+            push_basic_unit(&mut g, &format!("stage{stage}.{unit}"), out_c, spatial);
+        }
+        in_c = out_c;
+    }
+
+    g.push(Layer::pointwise_conv("conv5", 464, 1024, 7, 7));
+    g.push(Layer::activation("conv5.relu", 1024 * 7 * 7));
+    g.push(Layer::pool("globalpool", 1024 * 7 * 7, 1024));
+    g.push(Layer::linear("fc", 1, 1024, 1000));
+    g.push(Layer::softmax("softmax", 1000));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn total_macs_close_to_published() {
+        // Published ShuffleNetV2 1.0×: ~146 M multiply-accumulates.
+        let g = shufflenet_v2();
+        let gmacs = g.flops_per_sample() / 2.0 / 1e9;
+        assert!(
+            (0.10..0.22).contains(&gmacs),
+            "ShuffleNetV2 GMACs {gmacs:.3} out of expected range"
+        );
+    }
+
+    #[test]
+    fn lightest_model_in_suite() {
+        let s = shufflenet_v2().flops_per_sample();
+        let m = super::super::mobilenet_v1().flops_per_sample();
+        assert!(s < m);
+    }
+
+    #[test]
+    fn unit_counts_match_architecture() {
+        let g = shufflenet_v2();
+        let shuffles = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::ChannelShuffle)
+            .count();
+        assert_eq!(shuffles, 4 + 8 + 4, "one shuffle per unit");
+        // 3 downsampling units have 2 depthwise convs; 13 basic units have 1.
+        let dws = g
+            .layers()
+            .iter()
+            .filter(|l| l.kind() == LayerKind::DepthwiseConv)
+            .count();
+        assert_eq!(dws, 3 * 2 + 13);
+    }
+
+    #[test]
+    fn parameter_count_close_to_published() {
+        // ~2.3 M parameters.
+        let g = shufflenet_v2();
+        let params = g.weight_bytes() / 2.0;
+        assert!(
+            (1.5e6..3.0e6).contains(&params),
+            "ShuffleNetV2 params {params:.0} out of range"
+        );
+    }
+}

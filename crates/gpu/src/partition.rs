@@ -1,0 +1,117 @@
+//! Compute/memory resources owned by one MIG partition.
+
+use std::fmt;
+
+use crate::device::DeviceSpec;
+use crate::profile_size::ProfileSize;
+
+/// The hardware resources a MIG partition of a given profile owns.
+///
+/// # Examples
+///
+/// ```
+/// use mig_gpu::{DeviceSpec, PartitionResources, ProfileSize};
+///
+/// let spec = DeviceSpec::a100();
+/// let small = PartitionResources::new(&spec, ProfileSize::G1);
+/// let large = PartitionResources::new(&spec, ProfileSize::G7);
+/// assert_eq!(small.sms() * 7, large.sms());
+/// assert!(large.mem_bandwidth() > small.mem_bandwidth());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionResources {
+    size: ProfileSize,
+    sms: usize,
+    tensor_peak_flops: f64,
+    cuda_peak_flops: f64,
+    mem_bandwidth: f64,
+}
+
+impl PartitionResources {
+    /// Derives the resources of a `size` partition on a `spec` device.
+    #[must_use]
+    pub fn new(spec: &DeviceSpec, size: ProfileSize) -> Self {
+        let sms = size.gpcs() * spec.sms_per_gpc;
+        PartitionResources {
+            size,
+            sms,
+            tensor_peak_flops: spec.tensor_peak_flops(sms),
+            cuda_peak_flops: spec.cuda_peak_flops(sms),
+            mem_bandwidth: spec.bw_per_slice() * size.mem_slices() as f64,
+        }
+    }
+
+    /// The MIG profile of this partition.
+    #[must_use]
+    pub fn size(&self) -> ProfileSize {
+        self.size
+    }
+
+    /// Streaming multiprocessors owned.
+    #[must_use]
+    pub fn sms(&self) -> usize {
+        self.sms
+    }
+
+    /// Peak dense fp16 tensor-core FLOP/s.
+    #[must_use]
+    pub fn tensor_peak_flops(&self) -> f64 {
+        self.tensor_peak_flops
+    }
+
+    /// Peak CUDA-core FLOP/s.
+    #[must_use]
+    pub fn cuda_peak_flops(&self) -> f64 {
+        self.cuda_peak_flops
+    }
+
+    /// DRAM bandwidth share, bytes/s.
+    #[must_use]
+    pub fn mem_bandwidth(&self) -> f64 {
+        self.mem_bandwidth
+    }
+}
+
+impl fmt::Display for PartitionResources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} SMs, {:.0} TFLOP/s tensor, {:.0} GB/s)",
+            self.size,
+            self.sms,
+            self.tensor_peak_flops / 1e12,
+            self.mem_bandwidth / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resources_scale_with_gpcs() {
+        let spec = DeviceSpec::a100();
+        let g2 = PartitionResources::new(&spec, ProfileSize::G2);
+        let g4 = PartitionResources::new(&spec, ProfileSize::G4);
+        assert_eq!(g2.sms() * 2, g4.sms());
+        assert!((g4.tensor_peak_flops() / g2.tensor_peak_flops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bandwidth_follows_slices_not_gpcs() {
+        let spec = DeviceSpec::a100();
+        let g3 = PartitionResources::new(&spec, ProfileSize::G3);
+        let g4 = PartitionResources::new(&spec, ProfileSize::G4);
+        // 3g and 4g both own 4 memory slices → identical bandwidth.
+        assert_eq!(g3.mem_bandwidth(), g4.mem_bandwidth());
+        assert!(g4.tensor_peak_flops() > g3.tensor_peak_flops());
+    }
+
+    #[test]
+    fn display_mentions_profile() {
+        let spec = DeviceSpec::a100();
+        let r = PartitionResources::new(&spec, ProfileSize::G7);
+        assert!(r.to_string().contains("GPU(7)"));
+    }
+}

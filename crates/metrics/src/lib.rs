@@ -1,0 +1,24 @@
+//! # server-metrics — measurement plumbing for inference-server experiments
+//!
+//! The statistics layer of the PARIS+ELSA reproduction:
+//!
+//! * [`LatencyRecorder`] — per-query latency samples with percentile and
+//!   SLA-violation queries (the paper's p95 tail-latency metric),
+//! * [`BusyTracker`] — time-weighted busy/idle accounting for partitions,
+//! * [`ThroughputPoint`] / [`latency_bounded_throughput`] — the
+//!   latency-bounded throughput metric of §VI-B.
+//!
+//! ```
+//! use server_metrics::LatencyRecorder;
+//!
+//! let rec: LatencyRecorder = (1..=20u64).map(|ms| ms * 1_000_000).collect();
+//! assert_eq!(rec.p95_ms(), 19.0);
+//! ```
+
+mod busy;
+mod latency;
+mod throughput;
+
+pub use busy::BusyTracker;
+pub use latency::LatencyRecorder;
+pub use throughput::{latency_bounded_throughput, ThroughputPoint};

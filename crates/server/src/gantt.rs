@@ -1,0 +1,168 @@
+//! Execution-trace recording and ASCII rendering (the Figure 5 / Figure 10
+//! style timelines).
+
+use std::fmt;
+
+use des_engine::SimTime;
+use mig_gpu::ProfileSize;
+
+use crate::query::QueryId;
+
+/// One execution interval of one query on one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Partition index.
+    pub partition: usize,
+    /// The executed query.
+    pub query: QueryId,
+    /// The query's batch size.
+    pub batch: usize,
+    /// Execution start.
+    pub start: SimTime,
+    /// Execution end.
+    pub end: SimTime,
+}
+
+/// A complete execution trace of a run, renderable as an ASCII timeline.
+///
+/// # Examples
+///
+/// ```
+/// use des_engine::SimTime;
+/// use inference_server::{Gantt, Span};
+/// use inference_server::QueryId;
+/// use mig_gpu::ProfileSize;
+///
+/// let mut gantt = Gantt::new(vec![ProfileSize::G1, ProfileSize::G7]);
+/// gantt.push(Span {
+///     partition: 0,
+///     query: QueryId(0),
+///     batch: 4,
+///     start: SimTime::from_nanos(0),
+///     end: SimTime::from_nanos(500),
+/// });
+/// let art = gantt.render_ascii(40);
+/// assert!(art.contains("GPU(1)"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gantt {
+    partition_sizes: Vec<ProfileSize>,
+    spans: Vec<Span>,
+}
+
+impl Gantt {
+    /// Creates an empty trace for the given partitions.
+    #[must_use]
+    pub fn new(partition_sizes: Vec<ProfileSize>) -> Self {
+        Gantt {
+            partition_sizes,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records one execution span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The partition profile behind each timeline row.
+    #[must_use]
+    pub fn partition_sizes(&self) -> &[ProfileSize] {
+        &self.partition_sizes
+    }
+
+    /// Renders the trace as one text row per partition, `width` characters
+    /// of timeline. Busy cells show the last digit of the query id; idle
+    /// cells show `·`.
+    #[must_use]
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let horizon = self
+            .spans
+            .iter()
+            .map(|s| s.end.as_nanos())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        for (p, size) in self.partition_sizes.iter().enumerate() {
+            let mut row = vec![b'\xb7'; 0];
+            row.clear();
+            let mut cells = vec!['\u{b7}'; width];
+            for span in self.spans.iter().filter(|s| s.partition == p) {
+                let lo = (span.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let hi =
+                    (span.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let hi = hi.clamp(lo + 1, width);
+                let digit = char::from_digit((span.query.0 % 10) as u32, 10).unwrap_or('#');
+                for cell in cells.iter_mut().take(hi).skip(lo.min(width - 1)) {
+                    *cell = digit;
+                }
+            }
+            out.push_str(&format!("{size:>7} \u{2502}"));
+            out.extend(cells);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Gantt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_ascii(72))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(partition: usize, id: u64, start: u64, end: u64) -> Span {
+        Span {
+            partition,
+            query: QueryId(id),
+            batch: 1,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_partition() {
+        let mut g = Gantt::new(vec![ProfileSize::G1, ProfileSize::G2, ProfileSize::G7]);
+        g.push(span(0, 1, 0, 100));
+        let art = g.render_ascii(40);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("GPU(2)"));
+    }
+
+    #[test]
+    fn busy_cells_show_query_digit() {
+        let mut g = Gantt::new(vec![ProfileSize::G1]);
+        g.push(span(0, 7, 0, 1_000));
+        let art = g.render_ascii(20);
+        assert!(art.contains('7'));
+    }
+
+    #[test]
+    fn empty_gantt_renders_idle_rows() {
+        let g = Gantt::new(vec![ProfileSize::G3]);
+        let art = g.render_ascii(10);
+        assert!(art.contains('\u{b7}'));
+    }
+
+    #[test]
+    fn spans_are_recorded_in_order() {
+        let mut g = Gantt::new(vec![ProfileSize::G1]);
+        g.push(span(0, 1, 0, 10));
+        g.push(span(0, 2, 10, 30));
+        assert_eq!(g.spans().len(), 2);
+        assert_eq!(g.spans()[1].query, QueryId(2));
+    }
+}

@@ -1,0 +1,44 @@
+//! # inference-server — the simulated reconfigurable multi-GPU server
+//!
+//! A deterministic discrete-event simulation of the paper's testbed: a
+//! serial frontend feeding MIG partitions through either the FIFS baseline
+//! or ELSA, with the profiled latency table as ground-truth service time.
+//!
+//! * [`InferenceServer`] / [`ServerConfig`] / [`RunReport`] — run query
+//!   traces through a partitioned server,
+//! * [`rate_sweep`] / [`search_latency_bounded_throughput`] — the
+//!   measurement procedures behind Figures 11–13,
+//! * [`Testbed`] / [`DesignPoint`] — the six evaluated designs with the
+//!   Table I budgets,
+//! * [`Gantt`] — Figure 5/10-style execution timelines.
+//!
+//! ```
+//! use dnn_zoo::ModelKind;
+//! use inference_server::{DesignPoint, Testbed};
+//! use inference_workload::TraceGenerator;
+//!
+//! let bed = Testbed::paper_default(ModelKind::ResNet50);
+//! let server = bed.server(DesignPoint::ParisElsa)?;
+//! let trace = TraceGenerator::new(100.0, bed.distribution().clone(), 42)
+//!     .generate_for(0.2);
+//! let report = server.run(&trace);
+//! assert!(report.p95_ms() > 0.0);
+//! # Ok::<(), paris_core::PlanError>(())
+//! ```
+
+mod designs;
+mod gantt;
+mod query;
+mod server;
+mod sweep;
+mod worker;
+
+pub use designs::{paper_budgets, DesignPoint, Testbed};
+pub use gantt::{Gantt, Span};
+pub use query::{Query, QueryId, QueryRecord};
+pub use server::{InferenceServer, RunReport, SchedulerKind, ServerConfig};
+pub use sweep::{
+    capacity_hint_qps, measure_point, rate_sweep, search_latency_bounded_throughput, SweepConfig,
+    ThroughputSearch,
+};
+pub use worker::PartitionWorker;

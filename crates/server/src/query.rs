@@ -1,0 +1,100 @@
+//! Query identity and lifecycle records.
+
+use std::fmt;
+
+use des_engine::{SimDuration, SimTime};
+
+/// Unique identifier of one inference query within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// An in-flight inference query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Query {
+    /// Unique id within the run.
+    pub id: QueryId,
+    /// Input batch size.
+    pub batch: usize,
+    /// When the query reached the server frontend.
+    pub arrival: SimTime,
+}
+
+/// The full lifecycle of one completed query — the raw data behind every
+/// latency/violation statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Unique id within the run.
+    pub id: QueryId,
+    /// Input batch size.
+    pub batch: usize,
+    /// Arrival at the frontend.
+    pub arrival: SimTime,
+    /// When the frontend handed the query to the scheduler.
+    pub dispatched: SimTime,
+    /// When execution began on a partition.
+    pub started: SimTime,
+    /// When execution finished.
+    pub completed: SimTime,
+    /// Index of the partition that served the query.
+    pub partition: usize,
+}
+
+impl QueryRecord {
+    /// End-to-end latency: completion minus arrival (what the SLA is
+    /// measured against).
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.completed - self.arrival
+    }
+
+    /// Time spent waiting (frontend + queue) before execution began.
+    #[must_use]
+    pub fn queueing_delay(&self) -> SimDuration {
+        self.started - self.arrival
+    }
+
+    /// Pure execution time on the partition.
+    #[must_use]
+    pub fn service_time(&self) -> SimDuration {
+        self.completed - self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> QueryRecord {
+        QueryRecord {
+            id: QueryId(1),
+            batch: 4,
+            arrival: SimTime::from_nanos(100),
+            dispatched: SimTime::from_nanos(150),
+            started: SimTime::from_nanos(400),
+            completed: SimTime::from_nanos(1_000),
+            partition: 2,
+        }
+    }
+
+    #[test]
+    fn latency_spans_arrival_to_completion() {
+        assert_eq!(record().latency(), SimDuration::from_nanos(900));
+    }
+
+    #[test]
+    fn delay_plus_service_equals_latency() {
+        let r = record();
+        assert_eq!(r.queueing_delay() + r.service_time(), r.latency());
+    }
+
+    #[test]
+    fn id_displays_compactly() {
+        assert_eq!(QueryId(42).to_string(), "q42");
+    }
+}

@@ -1,0 +1,590 @@
+//! The discrete-event multi-GPU inference-server simulator.
+//!
+//! Reproduces the runtime structure of the paper's testbed (a modified
+//! DeepRecInfra frontend feeding MIG partitions): queries arrive at a
+//! serial frontend, a scheduling policy (FIFS or ELSA) assigns them to
+//! partitions, each partition executes its queue in FIFO order with the
+//! profiled latency as service time, and every completion is recorded.
+
+use des_engine::{SimDuration, SimTime, Simulation};
+use inference_workload::QuerySpec;
+use mig_gpu::ProfileSize;
+use paris_core::{Elsa, ElsaConfig, PartitionPlan, ProfileTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use server_metrics::LatencyRecorder;
+
+use crate::gantt::{Gantt, Span};
+use crate::query::{Query, QueryId, QueryRecord};
+use crate::worker::PartitionWorker;
+
+/// Which scheduling policy drives the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// First-idle first-serve: the baseline of Triton-style servers
+    /// (§III-C). Queries wait in one central FIFO; any partition that goes
+    /// idle takes the head.
+    Fifs,
+    /// The paper's heterogeneity-aware scheduler (Algorithm 2).
+    Elsa(ElsaConfig),
+}
+
+/// Server-level configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// The scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Serial frontend service time per query (query decode + dispatch).
+    /// This is what bottlenecked the paper's 48×GPU(1) MobileNet config.
+    pub frontend_overhead: SimDuration,
+    /// Record an execution Gantt trace (costs memory; off for sweeps).
+    pub record_gantt: bool,
+    /// Relative standard deviation of multiplicative service-time noise
+    /// (0 = perfectly deterministic execution, the paper's observation).
+    pub service_noise: f64,
+    /// Seed for the service-noise RNG.
+    pub noise_seed: u64,
+}
+
+impl ServerConfig {
+    /// A deterministic server with the given policy and a 20 µs frontend.
+    #[must_use]
+    pub fn new(scheduler: SchedulerKind) -> Self {
+        ServerConfig {
+            scheduler,
+            frontend_overhead: SimDuration::from_micros(20),
+            record_gantt: false,
+            service_noise: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// Overrides the frontend service time.
+    #[must_use]
+    pub fn with_frontend_overhead(mut self, overhead: SimDuration) -> Self {
+        self.frontend_overhead = overhead;
+        self
+    }
+
+    /// Enables Gantt-trace recording.
+    #[must_use]
+    pub fn with_gantt(mut self) -> Self {
+        self.record_gantt = true;
+        self
+    }
+
+    /// Adds multiplicative service-time noise (robustness studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is negative or not finite.
+    #[must_use]
+    pub fn with_service_noise(mut self, noise: f64, seed: u64) -> Self {
+        assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+        self.service_noise = noise;
+        self.noise_seed = seed;
+        self
+    }
+}
+
+/// Everything measured during one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-query lifecycle records, completion order.
+    pub records: Vec<QueryRecord>,
+    /// End-to-end latency samples.
+    pub latency: LatencyRecorder,
+    /// Time from first arrival to last completion.
+    pub makespan: SimDuration,
+    /// Completed queries divided by the makespan.
+    pub achieved_qps: f64,
+    /// Busy fraction of every partition over the makespan.
+    pub partition_utilization: Vec<f64>,
+    /// Execution trace, when requested via [`ServerConfig::with_gantt`].
+    pub gantt: Option<Gantt>,
+}
+
+impl RunReport {
+    /// The paper's headline metric: p95 tail latency in milliseconds.
+    #[must_use]
+    pub fn p95_ms(&self) -> f64 {
+        self.latency.p95_ms()
+    }
+
+    /// Mean partition utilization.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.partition_utilization.is_empty() {
+            return 0.0;
+        }
+        self.partition_utilization.iter().sum::<f64>() / self.partition_utilization.len() as f64
+    }
+
+    /// Fraction of queries whose latency exceeded `sla_ns`.
+    #[must_use]
+    pub fn sla_violation_rate(&self, sla_ns: u64) -> f64 {
+        self.latency.violation_rate(sla_ns)
+    }
+}
+
+/// Events driving the server simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// The frontend finished preparing a query; the scheduler places it.
+    Dispatch(Query),
+    /// A partition finished its current query.
+    Complete { partition: usize },
+}
+
+/// A simulated multi-GPU inference server: a set of MIG partitions, a
+/// profiled latency table and a scheduling policy.
+///
+/// `run` is `&self` and rebuilds all mutable state, so one server value can
+/// evaluate many traces (and many threads can share it).
+///
+/// # Examples
+///
+/// ```
+/// use dnn_zoo::ModelKind;
+/// use inference_workload::{BatchDistribution, TraceGenerator};
+/// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+/// use paris_core::ProfileTable;
+/// use inference_server::{InferenceServer, SchedulerKind, ServerConfig};
+///
+/// let model = ModelKind::MobileNet.build();
+/// let perf = PerfModel::new(DeviceSpec::a100());
+/// let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+///
+/// let server = InferenceServer::new(
+///     vec![ProfileSize::G1, ProfileSize::G2, ProfileSize::G3],
+///     table,
+///     ServerConfig::new(SchedulerKind::Fifs),
+/// );
+/// let trace = TraceGenerator::new(300.0, BatchDistribution::paper_default(), 1)
+///     .generate_for(0.5);
+/// let report = server.run(&trace);
+/// assert_eq!(report.records.len(), trace.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferenceServer {
+    partitions: Vec<ProfileSize>,
+    table: ProfileTable,
+    config: ServerConfig,
+}
+
+impl InferenceServer {
+    /// Creates a server over an explicit partition list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty.
+    #[must_use]
+    pub fn new(partitions: Vec<ProfileSize>, table: ProfileTable, config: ServerConfig) -> Self {
+        assert!(!partitions.is_empty(), "server needs at least one partition");
+        InferenceServer {
+            partitions,
+            table,
+            config,
+        }
+    }
+
+    /// Creates a server hosting the instances of a [`PartitionPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains no instances.
+    #[must_use]
+    pub fn from_plan(plan: &PartitionPlan, table: ProfileTable, config: ServerConfig) -> Self {
+        Self::new(plan.partitions(), table, config)
+    }
+
+    /// The partition profiles, in scheduler iteration order.
+    #[must_use]
+    pub fn partitions(&self) -> &[ProfileSize] {
+        &self.partitions
+    }
+
+    /// The profiled latency table the server schedules with.
+    #[must_use]
+    pub fn table(&self) -> &ProfileTable {
+        &self.table
+    }
+
+    /// The server configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Simulates the server over a query trace until every query completes.
+    #[must_use]
+    pub fn run(&self, trace: &[QuerySpec]) -> RunReport {
+        let mut sim: Simulation<Event> = Simulation::new();
+        let mut workers: Vec<PartitionWorker> = self
+            .partitions
+            .iter()
+            .map(|&size| PartitionWorker::new(size))
+            .collect();
+        let mut central: std::collections::VecDeque<Query> = std::collections::VecDeque::new();
+        let elsa = match &self.config.scheduler {
+            SchedulerKind::Fifs => None,
+            SchedulerKind::Elsa(cfg) => Some(Elsa::new(*cfg)),
+        };
+        let mut noise_rng = StdRng::seed_from_u64(self.config.noise_seed);
+        let mut gantt = self
+            .config
+            .record_gantt
+            .then(|| Gantt::new(self.partitions.clone()));
+
+        // The frontend is a serial FIFO server: query i's dispatch time is
+        // max(arrival, previous dispatch) + overhead.
+        let mut dispatch_times: Vec<SimTime> = Vec::with_capacity(trace.len());
+        let mut frontend_free = SimTime::ZERO;
+        for (i, spec) in trace.iter().enumerate() {
+            let arrival = SimTime::from_nanos(spec.arrival_ns);
+            let begin = arrival.max(frontend_free);
+            let dispatched = begin + self.config.frontend_overhead;
+            frontend_free = dispatched;
+            dispatch_times.push(dispatched);
+            sim.schedule_at(
+                dispatched,
+                Event::Dispatch(Query {
+                    id: QueryId(i as u64),
+                    batch: spec.batch,
+                    arrival,
+                }),
+            );
+        }
+
+        let mut records: Vec<QueryRecord> = Vec::with_capacity(trace.len());
+        let mut latency = LatencyRecorder::new();
+
+        while let Some((now, event)) = sim.next_event() {
+            match event {
+                Event::Dispatch(query) => match &elsa {
+                    Some(elsa) => {
+                        let snapshots: Vec<_> =
+                            workers.iter().map(|w| w.snapshot(now)).collect();
+                        let p = elsa.place(query.batch, &self.table, &snapshots).partition();
+                        if workers[p].is_idle() {
+                            self.begin(&mut workers[p], p, query, now, &mut sim, &mut noise_rng);
+                        } else {
+                            let est = SimDuration::from_nanos(
+                                self.table.latency_ns(workers[p].size(), query.batch),
+                            );
+                            workers[p].enqueue(query, est);
+                        }
+                    }
+                    None => {
+                        // FIFS: the partition idle the longest takes the
+                        // query; otherwise it waits in the central queue.
+                        let idle = (0..workers.len())
+                            .filter(|&i| workers[i].is_idle())
+                            .min_by_key(|&i| (workers[i].idle_since(), i));
+                        match idle {
+                            Some(p) => {
+                                self.begin(
+                                    &mut workers[p],
+                                    p,
+                                    query,
+                                    now,
+                                    &mut sim,
+                                    &mut noise_rng,
+                                );
+                            }
+                            None => central.push_back(query),
+                        }
+                    }
+                },
+                Event::Complete { partition } => {
+                    let (query, started) = workers[partition].finish(now);
+                    let record = QueryRecord {
+                        id: query.id,
+                        batch: query.batch,
+                        arrival: query.arrival,
+                        dispatched: dispatch_times[query.id.0 as usize],
+                        started,
+                        completed: now,
+                        partition,
+                    };
+                    latency.record(record.latency().as_nanos());
+                    if let Some(g) = &mut gantt {
+                        g.push(Span {
+                            partition,
+                            query: query.id,
+                            batch: query.batch,
+                            start: started,
+                            end: now,
+                        });
+                    }
+                    records.push(record);
+
+                    let next = match &elsa {
+                        Some(_) => workers[partition].pop_next().map(|(q, _)| q),
+                        None => central.pop_front(),
+                    };
+                    if let Some(q) = next {
+                        self.begin(
+                            &mut workers[partition],
+                            partition,
+                            q,
+                            now,
+                            &mut sim,
+                            &mut noise_rng,
+                        );
+                    }
+                }
+            }
+        }
+
+        let makespan = sim.now().saturating_since(SimTime::ZERO);
+        let makespan_s = makespan.as_secs_f64();
+        let achieved_qps = if makespan_s > 0.0 {
+            records.len() as f64 / makespan_s
+        } else {
+            0.0
+        };
+        let partition_utilization = workers
+            .iter()
+            .map(|w| {
+                if makespan.as_nanos() == 0 {
+                    0.0
+                } else {
+                    (w.busy_ns() as f64 / makespan.as_nanos() as f64).min(1.0)
+                }
+            })
+            .collect();
+
+        RunReport {
+            records,
+            latency,
+            makespan,
+            achieved_qps,
+            partition_utilization,
+            gantt,
+        }
+    }
+
+    /// Starts `query` on worker `p` at `now` and schedules its completion.
+    fn begin(
+        &self,
+        worker: &mut PartitionWorker,
+        p: usize,
+        query: Query,
+        now: SimTime,
+        sim: &mut Simulation<Event>,
+        noise_rng: &mut StdRng,
+    ) {
+        let base = self.table.latency_ns(worker.size(), query.batch);
+        let duration_ns = if self.config.service_noise > 0.0 {
+            let z: f64 = noise_rng.sample(rand::distributions::Standard);
+            let factor = (1.0 + self.config.service_noise * (2.0 * z - 1.0)).max(0.1);
+            (base as f64 * factor).round() as u64
+        } else {
+            base
+        };
+        let end = worker.begin(query, now, SimDuration::from_nanos(duration_ns));
+        sim.schedule_at(end, Event::Complete { partition: p });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_zoo::ModelKind;
+    use inference_workload::{BatchDistribution, TraceGenerator};
+    use mig_gpu::{DeviceSpec, PerfModel};
+
+    fn table(kind: ModelKind) -> ProfileTable {
+        let model = kind.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32)
+    }
+
+    fn trace(rate: f64, seed: u64, secs: f64) -> Vec<QuerySpec> {
+        TraceGenerator::new(rate, BatchDistribution::paper_default(), seed).generate_for(secs)
+    }
+
+    fn fifs_server(kind: ModelKind, partitions: Vec<ProfileSize>) -> InferenceServer {
+        InferenceServer::new(
+            partitions,
+            table(kind),
+            ServerConfig::new(SchedulerKind::Fifs),
+        )
+    }
+
+    fn elsa_server(kind: ModelKind, partitions: Vec<ProfileSize>) -> InferenceServer {
+        let t = table(kind);
+        let sla = t.sla_target_ns(1.5);
+        InferenceServer::new(
+            partitions,
+            t,
+            ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla))),
+        )
+    }
+
+    #[test]
+    fn every_query_completes_exactly_once() {
+        let server = fifs_server(
+            ModelKind::MobileNet,
+            vec![ProfileSize::G1, ProfileSize::G2, ProfileSize::G3],
+        );
+        let tr = trace(400.0, 3, 1.0);
+        let report = server.run(&tr);
+        assert_eq!(report.records.len(), tr.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tr.len(), "no duplicate completions");
+    }
+
+    #[test]
+    fn lifecycle_timestamps_are_ordered() {
+        let server = elsa_server(
+            ModelKind::ResNet50,
+            vec![ProfileSize::G1, ProfileSize::G3, ProfileSize::G7],
+        );
+        let tr = trace(150.0, 5, 1.0);
+        let report = server.run(&tr);
+        for r in &report.records {
+            assert!(r.arrival <= r.dispatched, "{r:?}");
+            assert!(r.dispatched <= r.started, "{r:?}");
+            assert!(r.started < r.completed, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let server = elsa_server(
+            ModelKind::ResNet50,
+            vec![ProfileSize::G2, ProfileSize::G7],
+        );
+        let tr = trace(200.0, 7, 1.0);
+        let a = server.run(&tr);
+        let b = server.run(&tr);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.partition_utilization, b.partition_utilization);
+    }
+
+    #[test]
+    fn fifs_prefers_longest_idle_partition() {
+        // Two idle partitions: the one that has been idle longer (lower
+        // idle_since, i.e. never used → index order) gets the query.
+        let server = fifs_server(ModelKind::MobileNet, vec![ProfileSize::G1, ProfileSize::G1]);
+        let tr = vec![
+            QuerySpec { arrival_ns: 0, batch: 1 },
+            QuerySpec { arrival_ns: 1_000, batch: 1 },
+        ];
+        let report = server.run(&tr);
+        let partitions: Vec<usize> = report.records.iter().map(|r| r.partition).collect();
+        assert!(partitions.contains(&0) && partitions.contains(&1));
+    }
+
+    #[test]
+    fn elsa_routes_small_batches_to_small_partitions_under_light_load() {
+        let server = elsa_server(
+            ModelKind::MobileNet,
+            vec![ProfileSize::G1, ProfileSize::G7],
+        );
+        // A single tiny query: must land on the small partition.
+        let tr = vec![QuerySpec { arrival_ns: 0, batch: 1 }];
+        let report = server.run(&tr);
+        assert_eq!(report.records[0].partition, 0);
+    }
+
+    #[test]
+    fn service_time_matches_profiled_latency_without_noise() {
+        let server = fifs_server(ModelKind::BertBase, vec![ProfileSize::G7]);
+        let tr = vec![QuerySpec { arrival_ns: 0, batch: 8 }];
+        let report = server.run(&tr);
+        let expected = server.table().latency_ns(ProfileSize::G7, 8);
+        assert_eq!(report.records[0].service_time().as_nanos(), expected);
+    }
+
+    #[test]
+    fn frontend_serializes_dispatch() {
+        // Two simultaneous arrivals: the second is dispatched one frontend
+        // overhead after the first.
+        let server = fifs_server(ModelKind::MobileNet, vec![ProfileSize::G1, ProfileSize::G1]);
+        let tr = vec![
+            QuerySpec { arrival_ns: 0, batch: 1 },
+            QuerySpec { arrival_ns: 0, batch: 1 },
+        ];
+        let report = server.run(&tr);
+        let overhead = server.config().frontend_overhead.as_nanos();
+        let mut dispatched: Vec<u64> = report
+            .records
+            .iter()
+            .map(|r| r.dispatched.as_nanos())
+            .collect();
+        dispatched.sort_unstable();
+        assert_eq!(dispatched[0], overhead);
+        assert_eq!(dispatched[1], 2 * overhead);
+    }
+
+    #[test]
+    fn utilization_in_unit_range_and_nonzero_under_load() {
+        let server = fifs_server(ModelKind::ResNet50, vec![ProfileSize::G3, ProfileSize::G3]);
+        let report = server.run(&trace(100.0, 9, 1.0));
+        assert!(report.mean_utilization() > 0.0);
+        for &u in &report.partition_utilization {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn overload_grows_latency() {
+        let server = fifs_server(ModelKind::BertBase, vec![ProfileSize::G1]);
+        let light = server.run(&trace(5.0, 11, 1.0));
+        let heavy = server.run(&trace(500.0, 11, 1.0));
+        assert!(heavy.p95_ms() > 5.0 * light.p95_ms());
+    }
+
+    #[test]
+    fn gantt_recording_captures_all_queries() {
+        let t = table(ModelKind::MobileNet);
+        let server = InferenceServer::new(
+            vec![ProfileSize::G1, ProfileSize::G2],
+            t,
+            ServerConfig::new(SchedulerKind::Fifs).with_gantt(),
+        );
+        let tr = trace(200.0, 13, 0.2);
+        let report = server.run(&tr);
+        let g = report.gantt.expect("gantt requested");
+        assert_eq!(g.spans().len(), tr.len());
+    }
+
+    #[test]
+    fn service_noise_perturbs_but_preserves_count() {
+        let t = table(ModelKind::ResNet50);
+        let noisy = InferenceServer::new(
+            vec![ProfileSize::G3],
+            t.clone(),
+            ServerConfig::new(SchedulerKind::Fifs).with_service_noise(0.2, 99),
+        );
+        let clean = InferenceServer::new(
+            vec![ProfileSize::G3],
+            t,
+            ServerConfig::new(SchedulerKind::Fifs),
+        );
+        let tr = trace(50.0, 15, 0.5);
+        let a = noisy.run(&tr);
+        let b = clean.run(&tr);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_ne!(
+            a.records[0].service_time(),
+            b.records[0].service_time(),
+            "noise should change service times"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn empty_partition_list_panics() {
+        let _ = InferenceServer::new(
+            vec![],
+            table(ModelKind::MobileNet),
+            ServerConfig::new(SchedulerKind::Fifs),
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Offered-load sweeps and latency-bounded-throughput search (the
+//! measurement procedure behind Figures 11–13).
+
+use inference_workload::{BatchDistribution, TraceGenerator};
+use server_metrics::{latency_bounded_throughput, ThroughputPoint};
+
+use crate::server::InferenceServer;
+
+/// Parameters of one load sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    /// Simulated seconds of arrivals per operating point.
+    pub duration_s: f64,
+    /// Base RNG seed (each rate gets `seed + index`).
+    pub seed: u64,
+    /// The SLA target (and tail-latency bound), nanoseconds.
+    pub sla_ns: u64,
+}
+
+impl SweepConfig {
+    /// A sweep of `duration_s` simulated seconds per point against the
+    /// given SLA.
+    #[must_use]
+    pub fn new(duration_s: f64, seed: u64, sla_ns: u64) -> Self {
+        SweepConfig {
+            duration_s,
+            seed,
+            sla_ns,
+        }
+    }
+
+    /// SLA in milliseconds (the tail-latency bound for throughput).
+    #[must_use]
+    pub fn sla_ms(&self) -> f64 {
+        self.sla_ns as f64 / 1e6
+    }
+}
+
+/// Measures one operating point: generates a Poisson trace at `rate_qps`
+/// and runs the server over it.
+#[must_use]
+pub fn measure_point(
+    server: &InferenceServer,
+    dist: &BatchDistribution,
+    rate_qps: f64,
+    cfg: &SweepConfig,
+) -> ThroughputPoint {
+    let trace =
+        TraceGenerator::new(rate_qps, dist.clone(), cfg.seed).generate_for(cfg.duration_s);
+    let report = server.run(&trace);
+    ThroughputPoint {
+        offered_qps: rate_qps,
+        achieved_qps: report.achieved_qps,
+        p95_ms: report.p95_ms(),
+        sla_violation_rate: report.sla_violation_rate(cfg.sla_ns),
+        mean_utilization: report.mean_utilization(),
+    }
+}
+
+/// Measures every rate in `rates_qps`, in parallel across OS threads.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_zoo::ModelKind;
+/// use inference_workload::BatchDistribution;
+/// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+/// use paris_core::ProfileTable;
+/// use inference_server::{rate_sweep, InferenceServer, SchedulerKind, ServerConfig, SweepConfig};
+///
+/// let model = ModelKind::MobileNet.build();
+/// let perf = PerfModel::new(DeviceSpec::a100());
+/// let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+/// let sla = table.sla_target_ns(1.5);
+/// let server = InferenceServer::new(
+///     vec![ProfileSize::G2; 4],
+///     table,
+///     ServerConfig::new(SchedulerKind::Fifs),
+/// );
+/// let dist = BatchDistribution::paper_default();
+/// let cfg = SweepConfig::new(0.5, 1, sla);
+/// let points = rate_sweep(&server, &dist, &[50.0, 100.0], &cfg);
+/// assert_eq!(points.len(), 2);
+/// assert!(points[0].p95_ms <= points[1].p95_ms * 1.5 + 1.0);
+/// ```
+#[must_use]
+pub fn rate_sweep(
+    server: &InferenceServer,
+    dist: &BatchDistribution,
+    rates_qps: &[f64],
+    cfg: &SweepConfig,
+) -> Vec<ThroughputPoint> {
+    let mut points: Vec<Option<ThroughputPoint>> = vec![None; rates_qps.len()];
+    std::thread::scope(|scope| {
+        for (i, slot) in points.iter_mut().enumerate() {
+            let rate = rates_qps[i];
+            let mut point_cfg = *cfg;
+            point_cfg.seed = cfg.seed.wrapping_add(i as u64);
+            scope.spawn(move || {
+                *slot = Some(measure_point(server, dist, rate, &point_cfg));
+            });
+        }
+    });
+    points
+        .into_iter()
+        .map(|p| p.expect("every sweep point measured"))
+        .collect()
+}
+
+/// Result of a latency-bounded-throughput search.
+#[derive(Debug, Clone)]
+pub struct ThroughputSearch {
+    /// The highest SLA-meeting throughput found, queries/second.
+    pub latency_bounded_qps: f64,
+    /// Every operating point measured along the way.
+    pub points: Vec<ThroughputPoint>,
+}
+
+/// Finds the server's latency-bounded throughput: doubling to bracket the
+/// saturation rate, then bisecting. `start_qps` seeds the search (any value
+/// well below saturation works; capacity hints come from
+/// [`capacity_hint_qps`]).
+///
+/// # Panics
+///
+/// Panics if `start_qps` is not positive and finite.
+#[must_use]
+pub fn search_latency_bounded_throughput(
+    server: &InferenceServer,
+    dist: &BatchDistribution,
+    cfg: &SweepConfig,
+    start_qps: f64,
+) -> ThroughputSearch {
+    assert!(
+        start_qps.is_finite() && start_qps > 0.0,
+        "start rate must be positive"
+    );
+    let target_ms = cfg.sla_ms();
+    let mut points = Vec::new();
+
+    // Phase 1: double until the tail-latency target breaks (or 20 doublings).
+    let mut lo = 0.0f64;
+    let mut hi = start_qps;
+    for _ in 0..20 {
+        let p = measure_point(server, dist, hi, cfg);
+        let ok = p.meets_target(target_ms);
+        points.push(p);
+        if ok {
+            lo = hi;
+            hi *= 2.0;
+        } else {
+            break;
+        }
+    }
+
+    // Phase 2: bisect the bracket.
+    if lo > 0.0 {
+        for _ in 0..7 {
+            let mid = 0.5 * (lo + hi);
+            let p = measure_point(server, dist, mid, cfg);
+            let ok = p.meets_target(target_ms);
+            points.push(p);
+            if ok {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    ThroughputSearch {
+        latency_bounded_qps: latency_bounded_throughput(&points, target_ms),
+        points,
+    }
+}
+
+/// A back-of-envelope capacity estimate: the sum over partitions of the
+/// reciprocal profiled latency at the distribution's mean batch. Useful as
+/// the `start_qps` seed for the throughput search.
+#[must_use]
+pub fn capacity_hint_qps(server: &InferenceServer, dist: &BatchDistribution) -> f64 {
+    let mean_batch = dist.mean().round().max(1.0) as usize;
+    server
+        .partitions()
+        .iter()
+        .map(|&size| 1.0 / server.table().latency_s(size, mean_batch))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{SchedulerKind, ServerConfig};
+    use dnn_zoo::ModelKind;
+    use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+    use paris_core::ProfileTable;
+
+    fn server(partitions: Vec<ProfileSize>) -> InferenceServer {
+        let model = ModelKind::MobileNet.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+        InferenceServer::new(partitions, table, ServerConfig::new(SchedulerKind::Fifs))
+    }
+
+    fn cfg(server: &InferenceServer) -> SweepConfig {
+        SweepConfig::new(0.5, 3, server.table().sla_target_ns(1.5))
+    }
+
+    #[test]
+    fn sweep_measures_every_rate_in_order() {
+        let s = server(vec![ProfileSize::G2; 3]);
+        let dist = BatchDistribution::paper_default();
+        let points = rate_sweep(&s, &dist, &[20.0, 60.0, 120.0], &cfg(&s));
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].offered_qps, 20.0);
+        assert_eq!(points[2].offered_qps, 120.0);
+    }
+
+    #[test]
+    fn p95_grows_with_offered_load() {
+        let s = server(vec![ProfileSize::G1; 2]);
+        let dist = BatchDistribution::paper_default();
+        let c = cfg(&s);
+        let light = measure_point(&s, &dist, 10.0, &c);
+        let crushing = measure_point(&s, &dist, 5_000.0, &c);
+        assert!(crushing.p95_ms > light.p95_ms * 2.0);
+    }
+
+    #[test]
+    fn search_finds_positive_capacity() {
+        let s = server(vec![ProfileSize::G2; 4]);
+        let dist = BatchDistribution::paper_default();
+        let c = cfg(&s);
+        let hint = capacity_hint_qps(&s, &dist);
+        let result = search_latency_bounded_throughput(&s, &dist, &c, hint * 0.25);
+        assert!(result.latency_bounded_qps > 0.0);
+        assert!(!result.points.is_empty());
+        // The found throughput can't exceed the best achieved point.
+        let best = result
+            .points
+            .iter()
+            .map(|p| p.achieved_qps)
+            .fold(0.0, f64::max);
+        assert!(result.latency_bounded_qps <= best + 1e-9);
+    }
+
+    #[test]
+    fn more_partitions_more_throughput() {
+        let small = server(vec![ProfileSize::G2; 2]);
+        let big = server(vec![ProfileSize::G2; 8]);
+        let dist = BatchDistribution::paper_default();
+        let c = cfg(&small);
+        let hint = capacity_hint_qps(&small, &dist);
+        let a = search_latency_bounded_throughput(&small, &dist, &c, hint * 0.25);
+        let b = search_latency_bounded_throughput(&big, &dist, &c, hint * 0.25);
+        assert!(b.latency_bounded_qps > a.latency_bounded_qps);
+    }
+
+    #[test]
+    fn capacity_hint_is_finite_positive() {
+        let s = server(vec![ProfileSize::G1, ProfileSize::G7]);
+        let dist = BatchDistribution::paper_default();
+        let hint = capacity_hint_qps(&s, &dist);
+        assert!(hint.is_finite() && hint > 0.0);
+    }
+}

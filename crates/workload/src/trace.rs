@@ -1,0 +1,161 @@
+//! Deterministic query traces: the frontend input of the inference server.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::arrivals::PoissonProcess;
+use crate::dist::BatchDistribution;
+
+/// One inference request as it arrives at the server frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QuerySpec {
+    /// Arrival time in nanoseconds since trace start.
+    pub arrival_ns: u64,
+    /// Input batch size carried by the query.
+    pub batch: usize,
+}
+
+/// Generates reproducible query traces from a Poisson arrival process and a
+/// batch-size distribution.
+///
+/// # Examples
+///
+/// ```
+/// use inference_workload::{BatchDistribution, TraceGenerator};
+///
+/// let gen = TraceGenerator::new(
+///     200.0,                                // queries/sec
+///     BatchDistribution::paper_default(),   // log-normal batches 1..=32
+///     42,                                   // seed
+/// );
+/// let trace = gen.generate_for(2.0); // two simulated seconds
+/// assert!(!trace.is_empty());
+/// assert!(trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    arrivals: PoissonProcess,
+    batches: BatchDistribution,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator with the given arrival rate, batch distribution
+    /// and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_qps` is not positive and finite.
+    #[must_use]
+    pub fn new(rate_qps: f64, batches: BatchDistribution, seed: u64) -> Self {
+        TraceGenerator {
+            arrivals: PoissonProcess::new(rate_qps),
+            batches,
+            seed,
+        }
+    }
+
+    /// The mean arrival rate, queries/second.
+    #[must_use]
+    pub fn rate_qps(&self) -> f64 {
+        self.arrivals.rate_qps()
+    }
+
+    /// The batch-size distribution queries are drawn from.
+    #[must_use]
+    pub fn batch_distribution(&self) -> &BatchDistribution {
+        &self.batches
+    }
+
+    /// Generates all queries arriving within `duration_s` simulated seconds.
+    ///
+    /// The same generator always produces the same trace (the RNG is
+    /// re-seeded per call).
+    #[must_use]
+    pub fn generate_for(&self, duration_s: f64) -> Vec<QuerySpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            t += self.arrivals.sample_interarrival_s(&mut rng);
+            if t >= duration_s {
+                break;
+            }
+            trace.push(QuerySpec {
+                arrival_ns: (t * 1e9).round() as u64,
+                batch: self.batches.sample(&mut rng),
+            });
+        }
+        trace
+    }
+
+    /// Generates exactly `count` queries.
+    #[must_use]
+    pub fn generate_count(&self, count: usize) -> Vec<QuerySpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = Vec::with_capacity(count);
+        let mut t = 0.0f64;
+        for _ in 0..count {
+            t += self.arrivals.sample_interarrival_s(&mut rng);
+            trace.push(QuerySpec {
+                arrival_ns: (t * 1e9).round() as u64,
+                batch: self.batches.sample(&mut rng),
+            });
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> TraceGenerator {
+        TraceGenerator::new(500.0, BatchDistribution::paper_default(), seed)
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let a = generator(9).generate_for(1.0);
+        let b = generator(9).generate_for(1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generator(1).generate_for(1.0);
+        let b = generator(2).generate_for(1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_duration() {
+        let trace = generator(3).generate_for(2.0);
+        assert!(trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        assert!(trace.iter().all(|q| q.arrival_ns < 2_000_000_000));
+    }
+
+    #[test]
+    fn query_count_tracks_rate() {
+        let trace = generator(5).generate_for(10.0);
+        let expected = 500.0 * 10.0;
+        let got = trace.len() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "got {got} queries, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn batches_within_support() {
+        let trace = generator(7).generate_for(1.0);
+        assert!(trace.iter().all(|q| (1..=32).contains(&q.batch)));
+    }
+
+    #[test]
+    fn generate_count_produces_exact_count() {
+        let trace = generator(11).generate_count(1234);
+        assert_eq!(trace.len(), 1234);
+    }
+}

@@ -1,0 +1,50 @@
+//! Capacity planning: sweep offered load on a MobileNet testbed and find
+//! the latency-bounded throughput of the main designs — a fast, small-scale
+//! version of the Figure 11 methodology for sizing a deployment.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::prelude::*;
+use paris_elsa::server::capacity_hint_qps;
+
+fn main() {
+    let bed = Testbed::paper_default(ModelKind::MobileNet);
+    let sweep_cfg = SweepConfig::new(1.0, 7, bed.sla_ns());
+    println!(
+        "MobileNet, {} | SLA target {:.2} ms\n",
+        bed.distribution(),
+        sweep_cfg.sla_ms()
+    );
+
+    for design in [
+        DesignPoint::HomogeneousFifs(ProfileSize::G7),
+        DesignPoint::HomogeneousFifs(ProfileSize::G3),
+        DesignPoint::ParisElsa,
+    ] {
+        let server = bed.server(design).expect("plan builds");
+        let hint = capacity_hint_qps(&server, bed.distribution());
+
+        // A coarse manual sweep, like reading one Figure 11 curve.
+        let rates: Vec<f64> = (1..=6).map(|i| hint * 0.2 * i as f64).collect();
+        let points = rate_sweep(&server, bed.distribution(), &rates, &sweep_cfg);
+        println!("{design}: ({} instances)", server.partitions().len());
+        for p in &points {
+            let marker = if p.meets_target(sweep_cfg.sla_ms()) { " " } else { "×" };
+            println!(
+                "  {marker} offered {:>6.0} q/s → p95 {:>8.2} ms, util {:>3.0}%",
+                p.offered_qps,
+                p.p95_ms,
+                p.mean_utilization * 100.0
+            );
+        }
+        let search =
+            search_latency_bounded_throughput(&server, bed.distribution(), &sweep_cfg, hint * 0.2);
+        println!(
+            "  → latency-bounded throughput: {:.0} q/s\n",
+            search.latency_bounded_qps
+        );
+    }
+}

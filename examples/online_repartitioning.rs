@@ -1,0 +1,72 @@
+//! Online re-partitioning: the "elastic" loop the paper motivates — the
+//! server collects the batch-size histogram it actually serves (§IV-B), and
+//! when the workload drifts, PARIS re-derives the partition set from the
+//! observed distribution.
+//!
+//! ```text
+//! cargo run --release --example online_repartitioning
+//! ```
+
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::prelude::*;
+use paris_elsa::workload::EmpiricalBatchPmf;
+
+fn measure(plan: &PartitionPlan, table: &ProfileTable, dist: &BatchDistribution, sla: u64) -> f64 {
+    let server = InferenceServer::from_plan(
+        plan,
+        table.clone(),
+        ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla))),
+    );
+    let hint = paris_elsa::server::capacity_hint_qps(&server, dist);
+    let cfg = SweepConfig::new(1.0, 11, sla);
+    search_latency_bounded_throughput(&server, dist, &cfg, (hint * 0.2).max(1.0))
+        .latency_bounded_qps
+}
+
+fn main() {
+    let model = ModelKind::ResNet50.build();
+    let perf = PerfModel::new(DeviceSpec::a100());
+    let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+    let sla = table.sla_target_ns(1.5);
+    let budget = GpcBudget::new(48, 8);
+
+    // Phase 1: plan for the morning workload (small batches dominate).
+    let morning = BatchDistribution::log_normal_with_median(32, 0.9, 2.0);
+    let plan = Paris::new(&table, &morning).plan(budget).expect("plan builds");
+    println!("morning plan (median batch 2): {plan}");
+    println!(
+        "  throughput on morning traffic: {:.0} q/s",
+        measure(&plan, &table, &morning, sla)
+    );
+
+    // Phase 2: the workload drifts — evening bulk traffic with much larger
+    // batches. The server keeps serving with the stale plan while the
+    // frontend histogram records what actually arrives (§IV-B).
+    let evening = BatchDistribution::log_normal_with_median(32, 0.9, 10.0);
+    let stale_qps = measure(&plan, &table, &evening, sla);
+    println!("\nworkload drifts to median batch 10:");
+    println!("  stale morning plan on evening traffic: {stale_qps:.0} q/s");
+
+    let mut histogram = EmpiricalBatchPmf::new(32);
+    let probe = TraceGenerator::new(500.0, evening.clone(), 3).generate_for(20.0);
+    for q in &probe {
+        histogram.observe(q.batch);
+    }
+    println!("  frontend collected {}", histogram);
+
+    // Phase 3: PARIS re-partitions from the *observed* distribution — no
+    // oracle knowledge of the true workload needed.
+    let observed = histogram
+        .to_distribution()
+        .expect("histogram is non-empty");
+    let refreshed = Paris::new(&table, &observed)
+        .plan(budget)
+        .expect("plan builds");
+    let fresh_qps = measure(&refreshed, &table, &evening, sla);
+    println!("\nre-partitioned plan: {refreshed}");
+    println!("  throughput on evening traffic: {fresh_qps:.0} q/s");
+    println!(
+        "  recovered {:.0}% over the stale plan",
+        (fresh_qps / stale_qps.max(1.0) - 1.0) * 100.0
+    );
+}

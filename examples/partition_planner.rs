@@ -1,0 +1,63 @@
+//! Partition planner: run PARIS for every benchmark model and show the
+//! derivation end to end — knees, batch segments, instance ratios, final
+//! counts, and the physical MIG packing (paper Figures 7/8 and Table I).
+//!
+//! ```text
+//! cargo run --release --example partition_planner
+//! ```
+
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::prelude::*;
+use paris_elsa::server::paper_budgets;
+
+fn main() {
+    let perf = PerfModel::new(DeviceSpec::a100());
+    let dist = BatchDistribution::paper_default();
+
+    // The paper's Figure 8 worked example, reproduced numerically: two
+    // partition sizes with knees B1=2, B2=4, batch frequencies
+    // 20/20/40/20 %, small-GPU throughputs 40/20 q/s, large 30/20 q/s.
+    println!("— Figure 8 worked example —");
+    let r_small = 0.2 / 40.0 + 0.2 / 20.0;
+    let r_large = 0.4 / 30.0 + 0.2 / 20.0;
+    println!(
+        "  R_small = 0.2/40 + 0.2/20 = {:.4}  (the paper's 1.5 'virtual small GPUs' per 100 q/s)",
+        r_small
+    );
+    println!(
+        "  R_large = 0.4/30 + 0.2/20 = {:.4}  (the paper's ~2.33 'virtual large GPUs')",
+        r_large
+    );
+    println!("  ratio small:large = {:.3}\n", r_small / r_large);
+
+    for kind in ModelKind::ALL {
+        let model = kind.build();
+        let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+        let (budget, _) = paper_budgets(kind);
+        let plan = Paris::new(&table, &dist)
+            .plan(budget)
+            .expect("paper budgets host at least one instance");
+
+        println!("— {kind} ({budget}) —");
+        println!("  knees:");
+        for knee in plan.knees() {
+            println!(
+                "    {:>7}: MaxBatch_knee = {:>2} (utilization there {:.0}%)",
+                knee.size.to_string(),
+                knee.batch,
+                knee.utilization * 100.0
+            );
+        }
+        println!("  batch segments and instance ratios R_k:");
+        for (segment, (size, r)) in plan.segments().iter().zip(plan.ratios()) {
+            debug_assert_eq!(segment.size, *size);
+            println!("    {segment}  (R = {r:.4})");
+        }
+        println!("  plan: {plan}");
+        println!("  physical packing:");
+        for (i, layout) in plan.layouts().iter().enumerate() {
+            println!("    A100 #{i}: {layout}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: profile a model, let PARIS partition the GPUs, schedule with
+//! ELSA, and measure tail latency under a realistic query stream.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::prelude::*;
+
+fn main() {
+    // 1. One-time profiling: the (partition size, batch) → latency/util
+    //    lookup table PARIS and ELSA both run on. On real hardware this is
+    //    a ~5-minute NVML pass; here the analytical A100 model fills it in
+    //    milliseconds.
+    let model = ModelKind::ResNet50.build();
+    let perf = PerfModel::new(DeviceSpec::a100());
+    let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+    println!("profiled: {table}");
+
+    // 2. PARIS: partition 48 GPCs across 8 A100s for a log-normal batch mix.
+    let dist = BatchDistribution::paper_default();
+    let plan = Paris::new(&table, &dist)
+        .plan(GpcBudget::new(48, 8))
+        .expect("distribution has mass and the budget fits instances");
+    println!("PARIS plan: {plan}");
+    for segment in plan.segments() {
+        println!("  {segment}");
+    }
+
+    // 3. Build the server with ELSA scheduling against a 1.5× SLA.
+    let sla_ns = table.sla_target_ns(1.5);
+    let server = InferenceServer::from_plan(
+        &plan,
+        table,
+        ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla_ns))),
+    );
+
+    // 4. Drive it with Poisson arrivals for five simulated seconds.
+    let trace = TraceGenerator::new(1_500.0, dist, 42).generate_for(5.0);
+    let report = server.run(&trace);
+
+    println!(
+        "\nserved {} queries in {:.2} simulated seconds ({:.0} q/s)",
+        report.records.len(),
+        report.makespan.as_secs_f64(),
+        report.achieved_qps
+    );
+    println!(
+        "p95 latency {:.2} ms (SLA {:.2} ms), violations {:.2}%, mean partition utilization {:.0}%",
+        report.p95_ms(),
+        sla_ns as f64 / 1e6,
+        report.sla_violation_rate(sla_ns) * 100.0,
+        report.mean_utilization() * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! # paris-elsa — reproduction of "PARIS and ELSA" (DAC 2022)
+//!
+//! A full-system reproduction of *PARIS and ELSA: An Elastic Scheduling
+//! Algorithm for Reconfigurable Multi-GPU Inference Servers* (Kim, Choi,
+//! Rhu — DAC 2022): a partitioning algorithm (PARIS) that configures
+//! MIG-capable GPUs into a heterogeneous set of partitions matched to the
+//! batch-size distribution, and a heterogeneity-aware scheduler (ELSA) that
+//! places queries using profiled-latency SLA-slack prediction.
+//!
+//! The workspace layers, bottom to top:
+//!
+//! * [`des`] — deterministic discrete-event simulation kernel,
+//! * [`dnn`] — layer-level model zoo (ShuffleNet, MobileNet, ResNet-50,
+//!   BERT-base, Conformer),
+//! * [`gpu`] — A100/MIG geometry and the analytical performance model,
+//! * [`workload`] — Poisson arrivals and log-normal batch distributions,
+//! * [`metrics`] — latency/throughput/SLA statistics,
+//! * [`paris`] — the PARIS and ELSA algorithms themselves,
+//! * [`server`] — the simulated multi-GPU inference server and the
+//!   evaluation harness (design points, load sweeps).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paris_elsa::prelude::*;
+//!
+//! // Build the paper's default testbed for ResNet-50 and realize the
+//! // full proposal (PARIS partitioning + ELSA scheduling).
+//! let bed = Testbed::paper_default(ModelKind::ResNet50);
+//! let server = bed.server(DesignPoint::ParisElsa)?;
+//!
+//! // Drive it with a Poisson/log-normal query stream for half a second.
+//! let trace = TraceGenerator::new(200.0, bed.distribution().clone(), 7)
+//!     .generate_for(0.5);
+//! let report = server.run(&trace);
+//! println!(
+//!     "p95 {:.2} ms over {} queries",
+//!     report.p95_ms(),
+//!     report.records.len()
+//! );
+//! # Ok::<(), paris_elsa::paris::PlanError>(())
+//! ```
+
+pub use des_engine as des;
+pub use dnn_zoo as dnn;
+pub use inference_server as server;
+pub use inference_workload as workload;
+pub use mig_gpu as gpu;
+pub use paris_core as paris;
+pub use server_metrics as metrics;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::des::{SimDuration, SimTime};
+    pub use crate::dnn::{ModelGraph, ModelKind};
+    pub use crate::gpu::{DeviceSpec, GpuLayout, PerfModel, ProfileSize};
+    pub use crate::metrics::{latency_bounded_throughput, LatencyRecorder, ThroughputPoint};
+    pub use crate::paris::{
+        homogeneous_plan, random_plan, Elsa, ElsaConfig, GpcBudget, Paris, PartitionPlan,
+        ProfileTable,
+    };
+    pub use crate::server::{
+        rate_sweep, search_latency_bounded_throughput, DesignPoint, InferenceServer, RunReport,
+        SchedulerKind, ServerConfig, SweepConfig, Testbed,
+    };
+    pub use crate::workload::{BatchDistribution, QuerySpec, TraceGenerator};
+}

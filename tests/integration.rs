@@ -1,0 +1,249 @@
+//! End-to-end integration tests spanning every crate: profiling → PARIS →
+//! ELSA → simulated server → metrics, checking the paper's headline
+//! behaviours on the real pipeline.
+
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::prelude::*;
+use paris_elsa::server::{capacity_hint_qps, measure_point};
+
+fn quick_sweep(bed: &Testbed) -> SweepConfig {
+    SweepConfig::new(0.5, 1234, bed.sla_ns())
+}
+
+fn lbt(bed: &Testbed, design: DesignPoint) -> f64 {
+    bed.latency_bounded_qps(design, &quick_sweep(bed))
+        .expect("plan builds")
+}
+
+#[test]
+fn paris_elsa_beats_or_matches_every_baseline_on_every_model() {
+    // The Figure 12 headline: PARIS+ELSA leads all eight designs. On the
+    // kernel-floor-bound Conformer, the all-small homogeneous server is a
+    // statistical tie (PARIS trades a few instances for tail robustness) —
+    // see EXPERIMENTS.md — so that one row gets a looser tolerance.
+    for model in ModelKind::ALL {
+        let bed = Testbed::paper_default(model);
+        let champion = lbt(&bed, DesignPoint::ParisElsa);
+        let tolerance = if model == ModelKind::Conformer { 0.85 } else { 0.95 };
+        for design in [
+            DesignPoint::HomogeneousFifs(ProfileSize::G1),
+            DesignPoint::HomogeneousFifs(ProfileSize::G2),
+            DesignPoint::HomogeneousFifs(ProfileSize::G3),
+            DesignPoint::HomogeneousFifs(ProfileSize::G7),
+            DesignPoint::RandomFifs { seed: 9 },
+            DesignPoint::RandomElsa { seed: 9 },
+            DesignPoint::ParisFifs,
+        ] {
+            let qps = lbt(&bed, design);
+            assert!(
+                champion >= tolerance * qps,
+                "{model}: {design} ({qps:.0} q/s) beats PARIS+ELSA ({champion:.0} q/s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn elsa_never_hurts_a_paris_plan() {
+    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+        let bed = Testbed::paper_default(model);
+        let fifs = lbt(&bed, DesignPoint::ParisFifs);
+        let elsa = lbt(&bed, DesignPoint::ParisElsa);
+        assert!(
+            elsa >= fifs * 0.99,
+            "{model}: ELSA {elsa:.0} q/s under FIFS {fifs:.0} q/s"
+        );
+    }
+}
+
+#[test]
+fn elsa_rescues_heavy_models_from_heterogeneity_hazards() {
+    // §VI-B: heterogeneous partitions + FIFS mis-place large batches; ELSA
+    // is what makes heterogeneity safe (Random+ELSA ≥ Random+FIFS).
+    for model in [ModelKind::ResNet50, ModelKind::BertBase] {
+        let bed = Testbed::paper_default(model);
+        let fifs = lbt(&bed, DesignPoint::RandomFifs { seed: 3 });
+        let elsa = lbt(&bed, DesignPoint::RandomElsa { seed: 3 });
+        assert!(
+            elsa > fifs,
+            "{model}: Random+ELSA {elsa:.0} !> Random+FIFS {fifs:.0}"
+        );
+    }
+}
+
+#[test]
+fn small_homogeneous_partitions_collapse_for_compute_heavy_models() {
+    // §VI-B: GPU(1)/GPU(2) cannot satisfy BERT's SLA.
+    let bed = Testbed::paper_default(ModelKind::BertBase);
+    let g1 = lbt(&bed, DesignPoint::HomogeneousFifs(ProfileSize::G1));
+    let g7 = lbt(&bed, DesignPoint::HomogeneousFifs(ProfileSize::G7));
+    assert!(g7 > 0.0);
+    assert!(
+        g1 < 0.25 * g7,
+        "BERT on GPU(1) should collapse: {g1:.0} vs GPU(7) {g7:.0}"
+    );
+}
+
+#[test]
+fn small_homogeneous_partitions_shine_for_light_models() {
+    // §III: lightweight models love small partitions.
+    let bed = Testbed::paper_default(ModelKind::ShuffleNet);
+    let g1 = lbt(&bed, DesignPoint::HomogeneousFifs(ProfileSize::G1));
+    let g7 = lbt(&bed, DesignPoint::HomogeneousFifs(ProfileSize::G7));
+    assert!(
+        g1 > 3.0 * g7,
+        "ShuffleNet GPU(1) {g1:.0} should dwarf GPU(7) {g7:.0}"
+    );
+}
+
+#[test]
+fn paris_plans_match_model_compute_intensity() {
+    let light = Testbed::paper_default(ModelKind::MobileNet)
+        .plan(DesignPoint::ParisElsa)
+        .unwrap();
+    let heavy = Testbed::paper_default(ModelKind::BertBase)
+        .plan(DesignPoint::ParisElsa)
+        .unwrap();
+    let avg_gpcs = |p: &PartitionPlan| p.total_gpcs_used() as f64 / p.instance_count() as f64;
+    assert!(
+        avg_gpcs(&light) < avg_gpcs(&heavy),
+        "MobileNet plan must lean smaller than BERT's"
+    );
+    assert!(heavy.count(ProfileSize::G7) >= 1, "BERT needs big partitions");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let bed = Testbed::paper_default(ModelKind::Conformer);
+        let server = bed.server(DesignPoint::ParisElsa).unwrap();
+        let trace = TraceGenerator::new(300.0, bed.distribution().clone(), 77).generate_for(1.0);
+        let report = server.run(&trace);
+        (
+            report.records.len(),
+            report.latency.percentile_ns(0.95),
+            report.partition_utilization.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn conservation_no_query_lost_or_duplicated_under_overload() {
+    let bed = Testbed::paper_default(ModelKind::BertBase);
+    let server = bed.server(DesignPoint::ParisElsa).unwrap();
+    // 5× the capacity hint: deep overload.
+    let rate = capacity_hint_qps(&server, bed.distribution()) * 5.0;
+    let trace = TraceGenerator::new(rate, bed.distribution().clone(), 5).generate_for(0.5);
+    let report = server.run(&trace);
+    assert_eq!(report.records.len(), trace.len());
+    let mut ids: Vec<u64> = report.records.iter().map(|r| r.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), trace.len());
+}
+
+#[test]
+fn paris_extracts_more_throughput_per_gpc_than_gpu7() {
+    // The TCO argument: at the SLA, PARIS-configured silicon serves more
+    // queries per GPC than the monolithic GPU(7) server.
+    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+        let bed = Testbed::paper_default(model);
+        let paris_qps = lbt(&bed, DesignPoint::ParisElsa);
+        let gpu7_qps = lbt(&bed, DesignPoint::HomogeneousFifs(ProfileSize::G7));
+        let paris_gpcs = bed.budget_for(DesignPoint::ParisElsa).total_gpcs as f64;
+        let gpu7_gpcs = bed
+            .budget_for(DesignPoint::HomogeneousFifs(ProfileSize::G7))
+            .total_gpcs as f64;
+        assert!(
+            paris_qps / paris_gpcs > gpu7_qps / gpu7_gpcs,
+            "{model}: PARIS {:.1} q/s/GPC !> GPU(7) {:.1} q/s/GPC",
+            paris_qps / paris_gpcs,
+            gpu7_qps / gpu7_gpcs
+        );
+    }
+}
+
+#[test]
+fn sla_violations_vanish_below_capacity_with_elsa() {
+    let bed = Testbed::paper_default(ModelKind::ResNet50);
+    let sweep = quick_sweep(&bed);
+    let server = bed.server(DesignPoint::ParisElsa).unwrap();
+    let qps = lbt(&bed, DesignPoint::ParisElsa);
+    let p = measure_point(&server, bed.distribution(), qps * 0.5, &sweep);
+    assert!(
+        p.sla_violation_rate < 0.05,
+        "at half capacity violations should be rare: {:.1}%",
+        p.sla_violation_rate * 100.0
+    );
+}
+
+#[test]
+fn looser_sla_increases_every_designs_throughput() {
+    let tight = Testbed::paper_default(ModelKind::ResNet50);
+    let loose = Testbed::paper_default(ModelKind::ResNet50).with_sla_multiplier(2.5);
+    for design in [DesignPoint::HomogeneousFifs(ProfileSize::G7), DesignPoint::ParisElsa] {
+        let a = lbt(&tight, design);
+        let b = lbt(&loose, design);
+        assert!(
+            b >= a * 0.99,
+            "{design}: loosening SLA reduced throughput {a:.0} → {b:.0}"
+        );
+    }
+}
+
+#[test]
+fn service_noise_degrades_gracefully() {
+    // ELSA's estimates assume deterministic DNN latency (§IV-C); mild noise
+    // must not break conservation or blow p95 up catastrophically.
+    let bed = Testbed::paper_default(ModelKind::ResNet50);
+    let plan = bed.plan(DesignPoint::ParisElsa).unwrap();
+    let noisy = InferenceServer::from_plan(
+        &plan,
+        bed.table().clone(),
+        ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(bed.sla_ns())))
+            .with_service_noise(0.1, 42),
+    );
+    let trace = TraceGenerator::new(500.0, bed.distribution().clone(), 8).generate_for(1.0);
+    let report = noisy.run(&trace);
+    assert_eq!(report.records.len(), trace.len());
+    assert!(report.p95_ms() < 3.0 * bed.sla_ns() as f64 / 1e6);
+}
+
+#[test]
+fn table1_homogeneous_instance_counts() {
+    // The reproducible Table I rows (geometry-faithful; see EXPERIMENTS.md
+    // for the two deliberate deviations on BERT).
+    let cases = [
+        (ModelKind::ShuffleNet, ProfileSize::G1, 24),
+        (ModelKind::MobileNet, ProfileSize::G2, 12),
+        (ModelKind::MobileNet, ProfileSize::G3, 8),
+        (ModelKind::ResNet50, ProfileSize::G1, 48),
+        (ModelKind::ResNet50, ProfileSize::G3, 16),
+        (ModelKind::ResNet50, ProfileSize::G7, 8),
+        (ModelKind::BertBase, ProfileSize::G1, 42),
+        (ModelKind::BertBase, ProfileSize::G7, 6),
+        (ModelKind::Conformer, ProfileSize::G2, 24),
+        (ModelKind::Conformer, ProfileSize::G7, 8),
+    ];
+    for (model, size, expected) in cases {
+        let bed = Testbed::paper_default(model);
+        let plan = bed.plan(DesignPoint::HomogeneousFifs(size)).unwrap();
+        assert_eq!(
+            plan.count(size),
+            expected,
+            "{model} homogeneous {size} instance count"
+        );
+    }
+}
+
+#[test]
+fn gpu_max_is_never_the_smallest_partition_for_heavy_models() {
+    let bed = Testbed::paper_default(ModelKind::BertBase);
+    let (size, qps) = bed.gpu_max(&quick_sweep(&bed)).unwrap();
+    assert!(qps > 0.0);
+    assert!(
+        size.gpcs() >= 3,
+        "BERT's best homogeneous partition should be large, got {size}"
+    );
+}

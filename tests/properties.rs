@@ -1,0 +1,268 @@
+//! Property-based tests (proptest) on the core data structures and
+//! algorithmic invariants, exercised across randomized inputs.
+
+use proptest::prelude::*;
+
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::gpu::{GpuLayout, COMPUTE_SLICES, MEM_SLICES};
+use paris_elsa::paris::PartitionSnapshot;
+use paris_elsa::prelude::*;
+use paris_elsa::workload::{EmpiricalBatchPmf, PoissonProcess};
+
+fn profile_size_strategy() -> impl Strategy<Value = ProfileSize> {
+    prop::sample::select(ProfileSize::ALL.to_vec())
+}
+
+fn resnet_table() -> ProfileTable {
+    let model = ModelKind::ResNet50.build();
+    let perf = PerfModel::new(DeviceSpec::a100());
+    ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- MIG geometry ----------
+
+    #[test]
+    fn placements_never_overlap_and_respect_limits(
+        profiles in prop::collection::vec(profile_size_strategy(), 0..8)
+    ) {
+        if let Ok(layout) = GpuLayout::place(&profiles) {
+            // No memory-slice overlap.
+            let mut occupied = [false; MEM_SLICES];
+            for &(p, start) in layout.placements() {
+                #[allow(clippy::needless_range_loop)] // `s` names the slice
+                for s in start..start + p.mem_slices() {
+                    prop_assert!(!occupied[s], "slice {s} double-booked");
+                    occupied[s] = true;
+                }
+                prop_assert!(p.allowed_starts().contains(&start));
+            }
+            prop_assert!(layout.used_gpcs() <= COMPUTE_SLICES);
+            prop_assert!(layout.used_mem_slices() <= MEM_SLICES);
+            prop_assert_eq!(layout.instance_count(), profiles.len());
+        }
+    }
+
+    #[test]
+    fn placement_is_permutation_invariant(
+        profiles in prop::collection::vec(profile_size_strategy(), 0..7),
+        seed in 0u64..1000
+    ) {
+        let mut shuffled = profiles.clone();
+        // Cheap deterministic shuffle.
+        if shuffled.len() > 1 {
+            let k = (seed as usize) % shuffled.len();
+            shuffled.rotate_left(k);
+        }
+        prop_assert_eq!(GpuLayout::fits(&profiles), GpuLayout::fits(&shuffled));
+    }
+
+    // ---------- Workload distributions ----------
+
+    #[test]
+    fn lognormal_pmf_sums_to_one(max_batch in 1usize..=128, sigma in 0.05f64..3.0) {
+        let d = BatchDistribution::log_normal(max_batch, sigma);
+        let total: f64 = (1..=max_batch).map(|b| d.pmf(b)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sums to {total}");
+        prop_assert!(d.mean() >= 1.0 && d.mean() <= max_batch as f64);
+    }
+
+    #[test]
+    fn samples_stay_in_support(max_batch in 1usize..=64, seed in 0u64..500) {
+        use rand::SeedableRng;
+        let d = BatchDistribution::log_normal(max_batch, 0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let b = d.sample(&mut rng);
+            prop_assert!((1..=max_batch).contains(&b));
+        }
+    }
+
+    #[test]
+    fn poisson_gaps_nonnegative(rate in 0.1f64..1e5, seed in 0u64..500) {
+        use rand::SeedableRng;
+        let p = PoissonProcess::new(rate);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let g = p.sample_interarrival_s(&mut rng);
+            prop_assert!(g.is_finite() && g >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_histogram_counts_balance(
+        batches in prop::collection::vec(1usize..=64, 1..200)
+    ) {
+        let mut hist = EmpiricalBatchPmf::new(32);
+        for &b in &batches {
+            hist.observe(b);
+        }
+        prop_assert_eq!(hist.observations(), batches.len() as u64);
+        let total: u64 = (1..=32).map(|b| hist.count(b)).sum();
+        prop_assert_eq!(total, batches.len() as u64);
+        let d = hist.to_distribution().unwrap();
+        let mass: f64 = (1..=32).map(|b| d.pmf(b)).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    // ---------- DES engine ----------
+
+    #[test]
+    fn events_pop_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = paris_elsa::des::Simulation::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_nanos(t), t);
+        }
+        let mut prev = 0u64;
+        let mut popped = 0usize;
+        while let Some((at, _)) = sim.next_event() {
+            prop_assert!(at.as_nanos() >= prev, "time ran backwards");
+            prev = at.as_nanos();
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    // ---------- Performance model ----------
+
+    #[test]
+    fn estimates_are_finite_positive_and_bounded(
+        b in 1usize..=64,
+        size in profile_size_strategy()
+    ) {
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let model = ModelKind::MobileNet.build();
+        let est = perf.inference(&model, b, size);
+        prop_assert!(est.latency_s.is_finite() && est.latency_s > 0.0);
+        prop_assert!((0.0..=1.0).contains(&est.utilization));
+        prop_assert!((0.0..=1.0).contains(&est.flop_efficiency));
+    }
+
+    #[test]
+    fn bigger_partitions_never_slower(b in 1usize..=64) {
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let model = ModelKind::ResNet50.build();
+        let mut prev = f64::INFINITY;
+        for size in ProfileSize::ALL {
+            let lat = perf.inference(&model, b, size).latency_s;
+            prop_assert!(lat <= prev + 1e-12, "{size} slower than smaller partition at b={b}");
+            prev = lat;
+        }
+    }
+
+    // ---------- PARIS ----------
+
+    #[test]
+    fn paris_respects_any_budget(total in 7usize..=56, sigma in 0.2f64..2.0) {
+        let gpus = total.div_ceil(7);
+        let table = resnet_table();
+        let dist = BatchDistribution::log_normal(32, sigma);
+        let plan = Paris::new(&table, &dist)
+            .plan(GpcBudget::new(total, gpus))
+            .unwrap();
+        prop_assert!(plan.total_gpcs_used() <= total);
+        prop_assert!(plan.instance_count() >= 1);
+        // Layout accounting agrees with counts.
+        let placed: usize = plan.layouts().iter().map(|l| l.used_gpcs()).sum();
+        prop_assert_eq!(placed, plan.total_gpcs_used());
+        // Segments tile the batch axis exactly once.
+        for b in 1..=32usize {
+            let covering = plan.segments().iter().filter(|s| s.contains(b)).count();
+            prop_assert_eq!(covering, 1, "batch {} covered {} times", b, covering);
+        }
+    }
+
+    #[test]
+    fn random_plans_fit_their_budget(seed in 0u64..200) {
+        let plan = random_plan(GpcBudget::new(42, 6), seed).unwrap();
+        prop_assert!(plan.total_gpcs_used() <= 42);
+        for layout in plan.layouts() {
+            prop_assert!(layout.used_gpcs() <= COMPUTE_SLICES);
+        }
+    }
+
+    // ---------- ELSA ----------
+
+    #[test]
+    fn elsa_decision_is_valid_index_and_consistent(
+        queued in prop::collection::vec((0u64..200_000_000, 0u64..50_000_000), 1..12),
+        batch in 1usize..=32
+    ) {
+        let table = resnet_table();
+        let elsa = Elsa::new(ElsaConfig::new(table.sla_target_ns(1.5)));
+        let snaps: Vec<PartitionSnapshot> = queued
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, r))| PartitionSnapshot {
+                size: ProfileSize::ALL[i % 5],
+                queued_work_ns: q,
+                remaining_current_ns: r,
+            })
+            .collect();
+        let d = elsa.place(batch, &table, &snaps);
+        prop_assert!(d.partition() < snaps.len());
+        // If the decision claims SLA feasibility, the slack really is positive.
+        if d.is_within_sla() {
+            let i = d.partition();
+            let t_new = table.latency_ns(snaps[i].size, batch);
+            prop_assert!(elsa.slack_ns(&snaps[i], t_new) > 0.0);
+        }
+    }
+
+    #[test]
+    fn slack_decreases_with_queue_depth(extra in 1u64..1_000_000_000) {
+        let table = resnet_table();
+        let elsa = Elsa::new(ElsaConfig::new(table.sla_target_ns(1.5)));
+        let idle = PartitionSnapshot::idle(ProfileSize::G3);
+        let busy = PartitionSnapshot {
+            size: ProfileSize::G3,
+            queued_work_ns: extra,
+            remaining_current_ns: 0,
+        };
+        let t_new = table.latency_ns(ProfileSize::G3, 8);
+        prop_assert!(elsa.slack_ns(&busy, t_new) < elsa.slack_ns(&idle, t_new));
+    }
+
+    // ---------- Metrics ----------
+
+    #[test]
+    fn percentiles_are_order_statistics(samples in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let rec: LatencyRecorder = samples.iter().copied().collect();
+        let p50 = rec.percentile_ns(0.5);
+        let p95 = rec.percentile_ns(0.95);
+        let p100 = rec.percentile_ns(1.0);
+        prop_assert!(p50 <= p95 && p95 <= p100);
+        prop_assert_eq!(p100, *samples.iter().max().unwrap());
+        prop_assert!(samples.contains(&p95), "percentile must be an observed sample");
+    }
+
+    // ---------- Server end-to-end ----------
+
+    #[test]
+    fn server_conserves_queries_and_orders_lifecycles(
+        rate in 50f64..2_000.0,
+        seed in 0u64..100
+    ) {
+        let table = resnet_table();
+        let sla = table.sla_target_ns(1.5);
+        let server = InferenceServer::new(
+            vec![ProfileSize::G1, ProfileSize::G2, ProfileSize::G3, ProfileSize::G7],
+            table,
+            ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla))),
+        );
+        let trace = TraceGenerator::new(rate, BatchDistribution::paper_default(), seed)
+            .generate_for(0.2);
+        let report = server.run(&trace);
+        prop_assert_eq!(report.records.len(), trace.len());
+        for r in &report.records {
+            prop_assert!(r.arrival <= r.dispatched);
+            prop_assert!(r.dispatched <= r.started);
+            prop_assert!(r.started < r.completed);
+        }
+        for &u in &report.partition_utilization {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}
