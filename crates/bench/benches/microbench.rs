@@ -44,7 +44,13 @@ fn bench_paris_planning(c: &mut Criterion) {
     let table = ProfileTable::profile(&resnet, &perf, &ProfileSize::ALL, 32);
     let dist = BatchDistribution::paper_default();
     c.bench_function("paris_plan_48gpc_8gpu", |b| {
-        b.iter(|| black_box(Paris::new(&table, &dist).plan(GpcBudget::new(48, 8)).unwrap()));
+        b.iter(|| {
+            black_box(
+                Paris::new(&table, &dist)
+                    .plan(GpcBudget::new(48, 8))
+                    .unwrap(),
+            )
+        });
     });
 }
 
@@ -114,6 +120,26 @@ fn bench_trace_generation(c: &mut Criterion) {
     });
 }
 
+/// The scheduler hot path itself: a dispatch-heavy trace pushed through
+/// FIFS and ELSA servers at 8/56/224 partitions, run at `Summary` detail so
+/// the loop is allocation-free and the numbers isolate per-query dispatch
+/// cost. Uses the same [`paris_bench::dispatch_workload`] configuration as
+/// the `bench_server` bin, whose `BENCH_server.json` tracks this quantity
+/// across PRs.
+fn bench_dispatch_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_path_20k_queries");
+    for n in paris_bench::DISPATCH_BENCH_PARTITIONS {
+        let (fifs, elsa, trace) = paris_bench::dispatch_workload(n, 20_000);
+        group.bench_function(format!("fifs_{n}_partitions"), |b| {
+            b.iter(|| black_box(fifs.run_with_detail(&trace, ReportDetail::Summary)));
+        });
+        group.bench_function(format!("elsa_{n}_partitions"), |b| {
+            b.iter(|| black_box(elsa.run_with_detail(&trace, ReportDetail::Summary)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_server_run(c: &mut Criterion) {
     let bed = Testbed::paper_default(ModelKind::MobileNet);
     let fifs = bed
@@ -138,6 +164,7 @@ criterion_group!(
     bench_profiling,
     bench_paris_planning,
     bench_elsa_decision,
+    bench_dispatch_path,
     bench_des_event_loop,
     bench_mig_placement,
     bench_trace_generation,

@@ -54,7 +54,13 @@ fn main() {
     }
     print_table(
         "Ablation D2 — ELSA α/β on ResNet (PARIS plan)",
-        &["alpha", "beta", "LBT (q/s)", "p95@60% (ms)", "violations@60% (%)"],
+        &[
+            "alpha",
+            "beta",
+            "LBT (q/s)",
+            "p95@60% (ms)",
+            "violations@60% (%)",
+        ],
         &rows,
     );
     println!(

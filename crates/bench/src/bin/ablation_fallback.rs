@@ -49,7 +49,13 @@ fn main() {
     }
     print_table(
         "Ablation D3 — ELSA Step-B fallback (* = paper's rule)",
-        &["Model", "Fallback", "LBT (q/s)", "p95@120% (ms)", "violations@120% (%)"],
+        &[
+            "Model",
+            "Fallback",
+            "LBT (q/s)",
+            "p95@120% (ms)",
+            "violations@120% (%)",
+        ],
         &rows,
     );
     println!(

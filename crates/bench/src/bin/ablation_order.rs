@@ -14,7 +14,11 @@ use paris_elsa::server::measure_point;
 fn main() {
     let opts = ExperimentOpts::from_args();
     let mut rows = Vec::new();
-    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+    for model in [
+        ModelKind::MobileNet,
+        ModelKind::ResNet50,
+        ModelKind::BertBase,
+    ] {
         let bed = Testbed::paper_default(model);
         let sweep = opts.sweep(&bed);
         let plan = bed.plan(DesignPoint::ParisElsa).expect("plan builds");

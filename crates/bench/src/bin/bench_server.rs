@@ -1,0 +1,138 @@
+//! `bench_server` — the perf-trajectory benchmark behind `BENCH_server.json`.
+//!
+//! Pushes a dispatch-heavy trace through the server's **fast path**
+//! (streamed arrivals + incremental ELSA state, `Summary` detail) and the
+//! pre-rearchitecture **reference path** (`run_reference`: trace pre-loaded
+//! into the event queue, fresh snapshots + pure `Elsa::place` per query)
+//! for FIFS and ELSA at 8/56/224 partitions, then writes wall time,
+//! events/sec and the fast-vs-reference speedup to `BENCH_server.json` so
+//! future PRs can track the dispatch-path trajectory.
+//!
+//! Usage: `cargo run --release --bin bench_server [--quick] [--queries N]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use paris_bench::print_table;
+use paris_elsa::prelude::*;
+
+struct Measurement {
+    scheduler: &'static str,
+    partitions: usize,
+    path: &'static str,
+    wall_s: f64,
+    events_per_sec: f64,
+    wall_per_1m_queries_s: f64,
+}
+
+fn measure(
+    label: (&'static str, &'static str),
+    server: &InferenceServer,
+    trace: &[QuerySpec],
+    reference: bool,
+) -> Measurement {
+    let start = Instant::now();
+    let report = if reference {
+        server.run_reference(trace)
+    } else {
+        server.run_with_detail(trace, ReportDetail::Summary)
+    };
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(report.completed(), trace.len() as u64, "all queries served");
+    // Two DES events per query: one dispatch, one completion.
+    let events = 2.0 * trace.len() as f64;
+    Measurement {
+        scheduler: label.0,
+        partitions: server.partitions().len(),
+        path: label.1,
+        wall_s,
+        events_per_sec: events / wall_s,
+        wall_per_1m_queries_s: wall_s * 1e6 / trace.len() as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let queries: usize = args
+        .iter()
+        .position(|a| a == "--queries")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 100_000 } else { 1_000_000 });
+    if queries == 0 {
+        eprintln!("error: --queries must be at least 1");
+        std::process::exit(2);
+    }
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for n in paris_bench::DISPATCH_BENCH_PARTITIONS {
+        let (fifs, elsa, trace) = paris_bench::dispatch_workload(n, queries);
+        for (scheduler, server) in [("fifs", &fifs), ("elsa", &elsa)] {
+            results.push(measure((scheduler, "fast"), server, &trace, false));
+            results.push(measure((scheduler, "reference"), server, &trace, true));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.scheduler.to_owned(),
+                m.partitions.to_string(),
+                m.path.to_owned(),
+                format!("{:.3}", m.wall_s),
+                format!("{:.2e}", m.events_per_sec),
+                format!("{:.2}", m.wall_per_1m_queries_s),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("server dispatch path, {queries} queries/config"),
+        &[
+            "sched",
+            "parts",
+            "path",
+            "wall s",
+            "events/s",
+            "s per 1M queries",
+        ],
+        &rows,
+    );
+
+    // Speedup summary: fast vs reference per (scheduler, partitions).
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for pair in results.chunks(2) {
+        let [fast, reference] = pair else { continue };
+        speedups.push((
+            format!("{}_{}", fast.scheduler, fast.partitions),
+            fast.events_per_sec / reference.events_per_sec,
+        ));
+    }
+    println!();
+    for (name, s) in &speedups {
+        println!("speedup {name}: {s:.2}x");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_server/v1\",\n");
+    let _ = writeln!(json, "  \"queries_per_config\": {queries},");
+    json.push_str("  \"model\": \"mobilenet_v1\",\n  \"configs\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scheduler\": \"{}\", \"partitions\": {}, \"path\": \"{}\", \
+             \"wall_s\": {:.4}, \"events_per_sec\": {:.1}, \"wall_per_1m_queries_s\": {:.3}}}",
+            m.scheduler, m.partitions, m.path, m.wall_s, m.events_per_sec, m.wall_per_1m_queries_s
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"fast_vs_reference_speedup\": {\n");
+    for (i, (name, s)) in speedups.iter().enumerate() {
+        let _ = write!(json, "    \"{name}\": {s:.2}");
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("\nwrote BENCH_server.json");
+}

@@ -13,7 +13,11 @@ fn main() {
     let perf = PerfModel::new(DeviceSpec::a100());
     let batch = 8;
     let mut rows = Vec::new();
-    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+    for model in [
+        ModelKind::MobileNet,
+        ModelKind::ResNet50,
+        ModelKind::BertBase,
+    ] {
         let graph = model.build();
         let baseline = perf.inference(&graph, batch, ProfileSize::G7).latency_s;
         for size in ProfileSize::ALL {
@@ -29,7 +33,13 @@ fn main() {
     }
     print_table(
         "Figure 3 — utilization & latency vs partition size (batch 8)",
-        &["Model", "Partition", "Util (%)", "Latency (ms)", "Norm. latency"],
+        &[
+            "Model",
+            "Partition",
+            "Util (%)",
+            "Latency (ms)",
+            "Norm. latency",
+        ],
         &rows,
     );
     println!(

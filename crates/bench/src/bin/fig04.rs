@@ -15,7 +15,11 @@ const BATCHES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 fn main() {
     let perf = PerfModel::new(DeviceSpec::a100());
-    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+    for model in [
+        ModelKind::MobileNet,
+        ModelKind::ResNet50,
+        ModelKind::BertBase,
+    ] {
         let graph = model.build();
         let table = ProfileTable::profile(&graph, &perf, &ProfileSize::ALL, 64);
 
@@ -31,7 +35,16 @@ fn main() {
             util_rows.push(util_row);
             lat_rows.push(lat_row);
         }
-        let headers = ["Partition", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64"];
+        let headers = [
+            "Partition",
+            "b=1",
+            "b=2",
+            "b=4",
+            "b=8",
+            "b=16",
+            "b=32",
+            "b=64",
+        ];
         print_table(
             &format!("Figure 4(a) — {model} utilization (%) vs batch"),
             &headers,
@@ -48,7 +61,10 @@ fn main() {
             .iter()
             .map(|k| format!("{}→B={}", k.size, k.batch))
             .collect();
-        println!("MaxBatch_knee markers (blue diamonds): {}", marks.join(", "));
+        println!(
+            "MaxBatch_knee markers (blue diamonds): {}",
+            marks.join(", ")
+        );
     }
     println!(
         "\nPaper shape check: utilization and latency rise monotonically \

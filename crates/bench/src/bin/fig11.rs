@@ -17,7 +17,10 @@ fn main() {
         let sweep_cfg = opts.sweep(&bed);
         let (gpu_max, _) = bed.gpu_max(&sweep_cfg).expect("homogeneous plans build");
         let designs = vec![
-            ("GPU(7)+FIFS".to_string(), DesignPoint::HomogeneousFifs(ProfileSize::G7)),
+            (
+                "GPU(7)+FIFS".to_string(),
+                DesignPoint::HomogeneousFifs(ProfileSize::G7),
+            ),
             (
                 format!("GPU(max)=GPU({})+FIFS", gpu_max.gpcs()),
                 DesignPoint::HomogeneousFifs(gpu_max),
@@ -44,7 +47,12 @@ fn main() {
                     name.clone(),
                     format!("{:.0}", p.achieved_qps),
                     format!("{:.2}", p.p95_ms),
-                    if p.meets_target(sweep_cfg.sla_ms()) { "yes" } else { "no" }.to_string(),
+                    if p.meets_target(sweep_cfg.sla_ms()) {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                    .to_string(),
                 ]);
             }
             bounded.push((name.clone(), search.latency_bounded_qps));

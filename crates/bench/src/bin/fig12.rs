@@ -5,8 +5,8 @@
 //! cargo run -p paris-bench --release --bin fig12 [-- --quick] [--seed N]
 //! ```
 
-use paris_elsa::dnn::ModelKind;
 use paris_bench::{figure12_designs, measure_designs, print_table, ExperimentOpts};
+use paris_elsa::dnn::ModelKind;
 use paris_elsa::prelude::*;
 
 fn main() {
@@ -30,7 +30,11 @@ fn main() {
         );
         norm_rows.push(
             std::iter::once(model.to_string())
-                .chain(measured.iter().map(|&(_, qps)| format!("{:.2}", qps / baseline)))
+                .chain(
+                    measured
+                        .iter()
+                        .map(|&(_, qps)| format!("{:.2}", qps / baseline)),
+                )
                 .collect::<Vec<_>>(),
         );
     }

@@ -26,7 +26,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut gain_summary = Vec::new();
-    for (label, sigma) in [("small (σ=0.3)", 0.3), ("default (σ=0.9)", 0.9), ("large (σ=1.8)", 1.8)] {
+    for (label, sigma) in [
+        ("small (σ=0.3)", 0.3),
+        ("default (σ=0.9)", 0.9),
+        ("large (σ=1.8)", 1.8),
+    ] {
         let dist = BatchDistribution::log_normal(32, sigma);
         let bed = Testbed::with_distribution(ModelKind::ResNet50, dist);
         let sweep = opts.sweep(&bed);
@@ -34,7 +38,11 @@ fn main() {
         let baseline = measured[0].1.max(1e-9);
         rows.push(
             std::iter::once(label.to_string())
-                .chain(measured.iter().map(|&(_, q)| format!("{:.2}", q / baseline)))
+                .chain(
+                    measured
+                        .iter()
+                        .map(|&(_, q)| format!("{:.2}", q / baseline)),
+                )
                 .collect(),
         );
         let best_homog = measured[..4].iter().map(|&(_, q)| q).fold(0.0, f64::max);

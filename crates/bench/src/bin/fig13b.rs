@@ -38,7 +38,14 @@ fn main() {
     }
     print_table(
         "Figure 13(b) — throughput vs max batch size (normalized to GPU(max)+FIFS)",
-        &["Model", "MaxBatch", "GPU(max)", "GPU(max)+FIFS", "PARIS+FIFS", "PARIS+ELSA"],
+        &[
+            "Model",
+            "MaxBatch",
+            "GPU(max)",
+            "GPU(max)+FIFS",
+            "PARIS+FIFS",
+            "PARIS+ELSA",
+        ],
         &rows,
     );
     println!(

@@ -36,15 +36,21 @@ fn main() {
                 plan.to_string(),
             ]);
             if name == "PARIS" {
-                let layouts: Vec<String> =
-                    plan.layouts().iter().map(|l| l.to_string()).collect();
+                let layouts: Vec<String> = plan.layouts().iter().map(|l| l.to_string()).collect();
                 paris_layouts.push((model, layouts.join(" ")));
             }
         }
     }
     print_table(
         "Table I — server configurations (instances / GPCs per design)",
-        &["Model", "Design", "#instances", "#GPCs", "#A100", "Composition"],
+        &[
+            "Model",
+            "Design",
+            "#instances",
+            "#GPCs",
+            "#A100",
+            "Composition",
+        ],
         &rows,
     );
     println!("\nPARIS physical MIG packing (per A100):");

@@ -77,6 +77,49 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The dispatch-path benchmark workload shared by the criterion
+/// microbench (`dispatch_path_20k_queries`) and the `bench_server` bin:
+/// both must measure the *same* configuration or `BENCH_server.json`
+/// silently stops being comparable to the microbench numbers.
+///
+/// Returns, for a partition count `n`, the FIFS server, the ELSA server
+/// (paper-default SLA) and a dispatch-heavy trace of `queries` queries
+/// offered at `200·n` q/s over a cycling mix of all five MIG profiles.
+#[must_use]
+pub fn dispatch_workload(
+    n_partitions: usize,
+    queries: usize,
+) -> (InferenceServer, InferenceServer, Vec<QuerySpec>) {
+    use paris_elsa::gpu::DeviceSpec;
+    let perf = PerfModel::new(DeviceSpec::a100());
+    let model = paris_elsa::dnn::ModelKind::MobileNet.build();
+    let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+    let sla = table.sla_target_ns(1.5);
+    let partitions: Vec<ProfileSize> = (0..n_partitions)
+        .map(|i| ProfileSize::ALL[i % ProfileSize::ALL.len()])
+        .collect();
+    let trace = TraceGenerator::new(
+        n_partitions as f64 * 200.0,
+        BatchDistribution::paper_default(),
+        7,
+    )
+    .generate_count(queries);
+    let fifs = InferenceServer::new(
+        partitions.clone(),
+        table.clone(),
+        ServerConfig::new(SchedulerKind::Fifs),
+    );
+    let elsa = InferenceServer::new(
+        partitions,
+        table,
+        ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla))),
+    );
+    (fifs, elsa, trace)
+}
+
+/// The partition counts the dispatch-path benchmarks sweep.
+pub const DISPATCH_BENCH_PARTITIONS: [usize; 3] = [8, 56, 224];
+
 /// The full Figure 12 design list: four homogeneous baselines, the two
 /// random-partitioned baselines, and the two PARIS designs.
 #[must_use]

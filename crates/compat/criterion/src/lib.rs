@@ -1,0 +1,260 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements a pragmatic timing harness behind criterion's API shape:
+//! each benchmark is warmed up, then timed in batches until a wall-clock
+//! budget is spent, and the per-iteration mean / best-batch figures are
+//! printed as `name ... mean <t> (best <t>, N iters)`. There are no
+//! statistical confidence intervals or HTML reports; the goal is stable,
+//! comparable numbers for tracking relative regressions offline.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs every variant
+/// with per-iteration setup outside the timed region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean_ns: f64,
+    best_ns: f64,
+    iters: u64,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The per-benchmark measurement driver handed to `bench_function`
+/// closures.
+pub struct Bencher {
+    budget: Duration,
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            sample: None,
+        }
+    }
+
+    /// Times `routine` repeatedly and records the per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: find an iteration count that takes ≥ ~1 ms
+        // per batch so Instant overhead is negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let deadline = Instant::now() + self.budget;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut best_ns = f64::INFINITY;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iters += batch;
+            best_ns = best_ns.min(elapsed.as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.sample = Some(Sample {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            best_ns,
+            iters,
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup cost is kept
+    /// outside the timed region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut best_ns = f64::INFINITY;
+        // One warmup round.
+        std::hint::black_box(routine(setup()));
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iters += 1;
+            best_ns = best_ns.min(elapsed.as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.sample = Some(Sample {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            best_ns,
+            iters,
+        });
+    }
+}
+
+/// The top-level harness: registers and runs benchmarks immediately.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_BUDGET_MS shortens runs in CI smoke checks.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        match b.sample {
+            Some(s) => println!(
+                "bench {name:<52} mean {:>12} (best {:>12}, {} iters)",
+                format_ns(s.mean_ns),
+                format_ns(s.best_ns),
+                s.iters
+            ),
+            None => println!("bench {name:<52} (no measurement taken)"),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock
+    /// budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("  {}", name.as_ref());
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("CRITERION_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u64, 2, 3],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.sample.is_some());
+        assert!(b.sample.unwrap().iters >= 1);
+    }
+
+    #[test]
+    fn ns_formatting_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(12_000_000_000.0).contains(" s"));
+    }
+}

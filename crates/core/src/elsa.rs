@@ -141,7 +141,8 @@ impl PartitionSnapshot {
     /// Equation 1: the wait a newly enqueued query would see.
     #[must_use]
     pub fn wait_ns(&self) -> u64 {
-        self.queued_work_ns.saturating_add(self.remaining_current_ns)
+        self.queued_work_ns
+            .saturating_add(self.remaining_current_ns)
     }
 }
 
@@ -185,7 +186,10 @@ impl Decision {
 impl fmt::Display for Decision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Decision::WithinSla { partition, slack_ns } => write!(
+            Decision::WithinSla {
+                partition,
+                slack_ns,
+            } => write!(
                 f,
                 "partition {partition} within SLA (slack {:.3} ms)",
                 slack_ns / 1e6
@@ -416,12 +420,9 @@ mod tests {
             remaining_current_ns: 0,
         };
         let snaps = [overloaded(ProfileSize::G1), overloaded(ProfileSize::G7)];
-        let small = Elsa::new(
-            ElsaConfig::new(sla).with_fallback(FallbackPolicy::SmallestPartition),
-        );
-        let large = Elsa::new(
-            ElsaConfig::new(sla).with_fallback(FallbackPolicy::LargestPartition),
-        );
+        let small =
+            Elsa::new(ElsaConfig::new(sla).with_fallback(FallbackPolicy::SmallestPartition));
+        let large = Elsa::new(ElsaConfig::new(sla).with_fallback(FallbackPolicy::LargestPartition));
         assert_eq!(small.place(8, &t, &snaps).partition(), 0);
         assert_eq!(large.place(8, &t, &snaps).partition(), 1);
     }
@@ -429,9 +430,8 @@ mod tests {
     #[test]
     fn largest_first_order_flips_preference() {
         let t = table();
-        let e = Elsa::new(
-            ElsaConfig::new(t.sla_target_ns(1.5)).with_order(ScanOrder::LargestFirst),
-        );
+        let e =
+            Elsa::new(ElsaConfig::new(t.sla_target_ns(1.5)).with_order(ScanOrder::LargestFirst));
         let snaps = [
             PartitionSnapshot::idle(ProfileSize::G1),
             PartitionSnapshot::idle(ProfileSize::G7),
@@ -453,7 +453,10 @@ mod tests {
         ];
         assert_eq!(relaxed.place(1, &t, &snaps).partition(), 0);
         let d = paranoid.place(1, &t, &snaps);
-        assert!(!d.is_within_sla(), "nothing satisfies a 1000× inflated estimate");
+        assert!(
+            !d.is_within_sla(),
+            "nothing satisfies a 1000× inflated estimate"
+        );
     }
 
     #[test]

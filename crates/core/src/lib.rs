@@ -34,14 +34,18 @@
 
 mod elsa;
 mod knee;
+mod ordset;
 mod paris;
+mod placement;
 mod profile;
 
 pub use elsa::{Decision, Elsa, ElsaConfig, FallbackPolicy, PartitionSnapshot, ScanOrder};
 pub use knee::{
     find_knee, find_knees, KneeRule, MaxBatchKnee, DEFAULT_KNEE_THRESHOLD, DEFAULT_TAKEOFF_FACTOR,
 };
+pub use ordset::{IndexSet, LoadSet};
 pub use paris::{
     homogeneous_plan, random_plan, BatchSegment, GpcBudget, Paris, PartitionPlan, PlanError,
 };
+pub use placement::ElsaState;
 pub use profile::ProfileTable;

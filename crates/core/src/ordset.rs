@@ -1,0 +1,490 @@
+//! A deterministic, arena-backed ordered set of `(load, index)` keys.
+//!
+//! This is the data structure behind ELSA's O(log P) hot path: each
+//! per-size bucket keeps its *busy* partitions ordered by
+//! `(drain_time, partition index)` so the least- and most-loaded instance
+//! can be found in logarithmic time, while enqueue/begin/finish events
+//! re-key a partition with one remove + insert.
+//!
+//! Three properties matter here and drove the implementation (a treap over
+//! a slab of nodes with an explicit free list):
+//!
+//! * **No steady-state allocation.** Nodes live in a `Vec` arena that grows
+//!   to the high-water population and is then recycled through a free
+//!   list, so a simulation dispatching millions of queries performs zero
+//!   heap allocations after warm-up.
+//! * **Determinism.** Tree shape depends only on the sequence of inserted
+//!   keys: priorities come from a SplitMix64 counter owned by the set, not
+//!   from a global RNG or the allocator. Identical runs produce identical
+//!   trees and identical iteration orders.
+//! * **O(log n) expected** insert, remove, min and max.
+
+/// Sentinel "null" arena index.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: (u64, u32),
+    prio: u64,
+    left: u32,
+    right: u32,
+}
+
+/// An ordered set of `(u64, u32)` keys with O(log n) expected insert,
+/// exact-key remove, and min/max queries — allocation-free once its arena
+/// has grown to the working population.
+///
+/// # Examples
+///
+/// ```
+/// use paris_core::LoadSet;
+///
+/// let mut set = LoadSet::new();
+/// set.insert((30, 2));
+/// set.insert((10, 7));
+/// set.insert((10, 3));
+/// assert_eq!(set.first(), Some((10, 3)));
+/// assert_eq!(set.last(), Some((30, 2)));
+/// assert!(set.remove((10, 3)));
+/// assert_eq!(set.first(), Some((10, 7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadSet {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    prio_state: u64,
+}
+
+impl LoadSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty set whose arena holds `capacity` nodes before
+    /// growing.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        LoadSet {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            root: NIL,
+            len: 0,
+            prio_state: 0x243F_6A88_85A3_08D3, // deterministic fixed seed
+        }
+    }
+
+    /// Number of keys in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The smallest key, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<(u64, u32)> {
+        let mut t = self.root;
+        if t == NIL {
+            return None;
+        }
+        while self.nodes[t as usize].left != NIL {
+            t = self.nodes[t as usize].left;
+        }
+        Some(self.nodes[t as usize].key)
+    }
+
+    /// The largest key, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<(u64, u32)> {
+        let mut t = self.root;
+        if t == NIL {
+            return None;
+        }
+        while self.nodes[t as usize].right != NIL {
+            t = self.nodes[t as usize].right;
+        }
+        Some(self.nodes[t as usize].key)
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        self.prio_state = self.prio_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.prio_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn alloc(&mut self, key: (u64, u32), prio: u64) -> u32 {
+        let node = Node {
+            key,
+            prio,
+            left: NIL,
+            right: NIL,
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = node;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.nodes.len()).expect("arena exceeds u32 indices");
+                self.nodes.push(node);
+                idx
+            }
+        }
+    }
+
+    /// Inserts `key`. Duplicate keys are allowed but never arise in ELSA's
+    /// usage (the `u32` half is a unique partition index).
+    pub fn insert(&mut self, key: (u64, u32)) {
+        let prio = self.next_prio();
+        let n = self.alloc(key, prio);
+        self.root = self.insert_at(self.root, n);
+        self.len += 1;
+    }
+
+    fn insert_at(&mut self, t: u32, n: u32) -> u32 {
+        if t == NIL {
+            return n;
+        }
+        if self.nodes[n as usize].prio > self.nodes[t as usize].prio {
+            let (l, r) = self.split(t, self.nodes[n as usize].key);
+            self.nodes[n as usize].left = l;
+            self.nodes[n as usize].right = r;
+            n
+        } else if self.nodes[n as usize].key < self.nodes[t as usize].key {
+            let child = self.insert_at(self.nodes[t as usize].left, n);
+            self.nodes[t as usize].left = child;
+            t
+        } else {
+            let child = self.insert_at(self.nodes[t as usize].right, n);
+            self.nodes[t as usize].right = child;
+            t
+        }
+    }
+
+    /// Splits subtree `t` into (< key, >= key).
+    fn split(&mut self, t: u32, key: (u64, u32)) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key < key {
+            let (l, r) = self.split(self.nodes[t as usize].right, key);
+            self.nodes[t as usize].right = l;
+            (t, r)
+        } else {
+            let (l, r) = self.split(self.nodes[t as usize].left, key);
+            self.nodes[t as usize].left = r;
+            (l, t)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].prio > self.nodes[b as usize].prio {
+            let merged = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = merged;
+            a
+        } else {
+            let merged = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = merged;
+            b
+        }
+    }
+
+    /// Removes `key` if present; returns whether it was found.
+    pub fn remove(&mut self, key: (u64, u32)) -> bool {
+        let (root, removed) = self.remove_at(self.root, key);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(&mut self, t: u32, key: (u64, u32)) -> (u32, bool) {
+        if t == NIL {
+            return (NIL, false);
+        }
+        let node_key = self.nodes[t as usize].key;
+        if key == node_key {
+            let merged = self.merge(self.nodes[t as usize].left, self.nodes[t as usize].right);
+            self.free.push(t);
+            (merged, true)
+        } else if key < node_key {
+            let (child, removed) = self.remove_at(self.nodes[t as usize].left, key);
+            self.nodes[t as usize].left = child;
+            (t, removed)
+        } else {
+            let (child, removed) = self.remove_at(self.nodes[t as usize].right, key);
+            self.nodes[t as usize].right = child;
+            (t, removed)
+        }
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains(&self, key: (u64, u32)) -> bool {
+        let mut t = self.root;
+        while t != NIL {
+            let node_key = self.nodes[t as usize].key;
+            if key == node_key {
+                return true;
+            }
+            t = if key < node_key {
+                self.nodes[t as usize].left
+            } else {
+                self.nodes[t as usize].right
+            };
+        }
+        false
+    }
+}
+
+impl Default for LoadSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-universe set of partition indices with O(universe/64) min/max
+/// scans — the "idle" side of an ELSA bucket, where every member has zero
+/// wait and only the index tie-break matters.
+///
+/// # Examples
+///
+/// ```
+/// use paris_core::IndexSet;
+///
+/// let mut idle = IndexSet::new(100);
+/// idle.insert(40);
+/// idle.insert(7);
+/// assert_eq!(idle.min(), Some(7));
+/// assert_eq!(idle.max(), Some(40));
+/// idle.remove(7);
+/// assert_eq!(idle.min(), Some(40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IndexSet {
+    /// Creates an empty set over the universe `0..universe`.
+    #[must_use]
+    pub fn new(universe: usize) -> Self {
+        IndexSet {
+            words: vec![0; universe.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds `idx` (no-op if already present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the universe.
+    pub fn insert(&mut self, idx: u32) {
+        let (w, b) = (idx as usize / 64, idx as usize % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+        }
+    }
+
+    /// Removes `idx` (no-op if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the universe.
+    pub fn remove(&mut self, idx: u32) {
+        let (w, b) = (idx as usize / 64, idx as usize % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.len -= 1;
+        }
+    }
+
+    /// Whether `idx` is a member.
+    #[must_use]
+    pub fn contains(&self, idx: u32) -> bool {
+        let (w, b) = (idx as usize / 64, idx as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// The smallest member, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u32> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some((w * 64 + word.trailing_zeros() as usize) as u32);
+            }
+        }
+        None
+    }
+
+    /// The largest member, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u32> {
+        for (w, &word) in self.words.iter().enumerate().rev() {
+            if word != 0 {
+                return Some((w * 64 + 63 - word.leading_zeros() as usize) as u32);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_extremes() {
+        let set = LoadSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.first(), None);
+        assert_eq!(set.last(), None);
+    }
+
+    #[test]
+    fn orders_by_load_then_index() {
+        let mut set = LoadSet::new();
+        set.insert((10, 5));
+        set.insert((10, 2));
+        set.insert((5, 9));
+        set.insert((20, 0));
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.first(), Some((5, 9)));
+        assert_eq!(set.last(), Some((20, 0)));
+        set.remove((5, 9));
+        assert_eq!(set.first(), Some((10, 2)), "index breaks the load tie");
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut set = LoadSet::new();
+        set.insert((1, 1));
+        assert!(!set.remove((1, 2)));
+        assert!(!set.remove((2, 1)));
+        assert!(set.remove((1, 1)));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn rekey_moves_element() {
+        let mut set = LoadSet::new();
+        set.insert((100, 0));
+        set.insert((200, 1));
+        // Partition 0 gains work: 100 → 300.
+        assert!(set.remove((100, 0)));
+        set.insert((300, 0));
+        assert_eq!(set.first(), Some((200, 1)));
+        assert_eq!(set.last(), Some((300, 0)));
+    }
+
+    #[test]
+    fn arena_is_recycled() {
+        let mut set = LoadSet::new();
+        for round in 0..100u64 {
+            for i in 0..16u32 {
+                set.insert((round * 1000 + u64::from(i), i));
+            }
+            for i in 0..16u32 {
+                assert!(set.remove((round * 1000 + u64::from(i), i)));
+            }
+        }
+        assert!(set.is_empty());
+        assert!(
+            set.nodes.capacity() <= 32,
+            "arena stays at the working-set high-water mark, got {}",
+            set.nodes.capacity()
+        );
+    }
+
+    #[test]
+    fn matches_btreeset_reference_on_random_workload() {
+        use std::collections::BTreeSet;
+        let mut set = LoadSet::new();
+        let mut reference: BTreeSet<(u64, u32)> = BTreeSet::new();
+        // Deterministic pseudo-random op sequence.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut rng = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5_000 {
+            let key = (rng() % 64, (rng() % 16) as u32);
+            if reference.contains(&key) {
+                assert!(set.remove(key));
+                reference.remove(&key);
+            } else {
+                set.insert(key);
+                reference.insert(key);
+            }
+            assert_eq!(set.len(), reference.len());
+            assert_eq!(set.first(), reference.iter().next().copied());
+            assert_eq!(set.last(), reference.iter().next_back().copied());
+        }
+    }
+
+    #[test]
+    fn contains_finds_members() {
+        let mut set = LoadSet::new();
+        set.insert((7, 3));
+        assert!(set.contains((7, 3)));
+        assert!(!set.contains((7, 4)));
+    }
+
+    #[test]
+    fn index_set_min_max_and_membership() {
+        let mut s = IndexSet::new(200);
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        for idx in [150, 3, 64, 63, 127] {
+            s.insert(idx);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.min(), Some(3));
+        assert_eq!(s.max(), Some(150));
+        assert!(s.contains(64));
+        s.remove(3);
+        s.remove(150);
+        assert_eq!(s.min(), Some(63));
+        assert_eq!(s.max(), Some(127));
+        s.insert(63); // duplicate insert is a no-op
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -598,7 +598,9 @@ mod tests {
             (ModelKind::Conformer, 48, 8),
         ] {
             let t = table(kind);
-            let plan = Paris::new(&t, &dist).plan(GpcBudget::new(gpcs, gpus)).unwrap();
+            let plan = Paris::new(&t, &dist)
+                .plan(GpcBudget::new(gpcs, gpus))
+                .unwrap();
             assert!(
                 plan.total_gpcs_used() <= gpcs,
                 "{kind}: used {} > budget {gpcs}",

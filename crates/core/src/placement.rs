@@ -1,0 +1,545 @@
+//! Persistent, incrementally-maintained placement state for ELSA's hot
+//! path.
+//!
+//! The pure [`Elsa::place`] entry point rebuilds its view of the server on
+//! every query: the caller snapshots all `P` partitions, `place` allocates
+//! and sorts an order vector, and every decision costs O(P log P) plus two
+//! heap allocations. That is fine for a handful of decisions and is kept as
+//! the *reference implementation*, but a load sweep pushes millions of
+//! queries through the scheduler and pays that cost per query.
+//!
+//! [`ElsaState`] maintains the same information *incrementally*: partitions
+//! are grouped into per-size buckets, and each bucket keeps its idle
+//! members in an [`IndexSet`] (all have zero wait; only the index
+//! tie-break matters) and its busy members in a [`LoadSet`] ordered by
+//! `(drain_time, index)`, where `drain_time = queued_work + busy_until` is
+//! the absolute instant the partition would go idle. Because every
+//! partition of one size shares the same profiled execution estimate,
+//! Equation 2's slack is monotonically decreasing in the wait within a
+//! bucket — so only each bucket's *least-loaded* member can ever be Step
+//! A's answer, and [`Elsa::place_mut`] needs one O(log P) bucket query per
+//! size instead of a full sort.
+//!
+//! # Equivalence contract
+//!
+//! `place_mut` over an `ElsaState` returns **bit-for-bit** the same
+//! [`Decision`] as `place` over snapshots taken at the same instant,
+//! including tie-breaks, for every scan order and fallback policy —
+//! property tests in `tests/properties.rs` check this against randomized
+//! operation sequences. The contract holds under the server's
+//! work-conserving discipline:
+//!
+//! * `enqueue` is only called on an executing partition (an idle partition
+//!   accepts the query directly via `begin`);
+//! * `dequeue` + `begin` immediately follow `finish` when the local queue
+//!   is non-empty, with no placement in between;
+//! * the simulation clock passed as `now_ns` never exceeds any executing
+//!   partition's `busy_until`.
+
+use mig_gpu::ProfileSize;
+
+use crate::elsa::{Decision, Elsa, FallbackPolicy, PartitionSnapshot, ScanOrder};
+use crate::ordset::{IndexSet, LoadSet};
+use crate::profile::ProfileTable;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    queued_ns: u64,
+    busy_until_ns: u64,
+    busy: bool,
+}
+
+impl Slot {
+    fn drain_key(&self) -> u64 {
+        self.queued_ns.saturating_add(self.busy_until_ns)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    size: ProfileSize,
+    idle: IndexSet,
+    busy: LoadSet,
+}
+
+impl Bucket {
+    /// The bucket member a smallest-wait-first scan visits first, with its
+    /// wait at `now_ns`: minimum `(wait, index)` over the bucket.
+    fn least_loaded(&self, now_ns: u64) -> Option<(u32, u64)> {
+        let idle = self.idle.min();
+        let busy = self.busy.first();
+        match (idle, busy) {
+            (None, None) => None,
+            (Some(i), None) => Some((i, 0)),
+            (None, Some((drain, j))) => Some((j, drain.saturating_sub(now_ns))),
+            (Some(i), Some((drain, j))) => {
+                let wait = drain.saturating_sub(now_ns);
+                if wait == 0 {
+                    // A partition finishing exactly now ties with the idle
+                    // ones; the global index decides, as in the reference
+                    // sort key (size, wait, index).
+                    Some((i.min(j), 0))
+                } else {
+                    Some((i, 0))
+                }
+            }
+        }
+    }
+
+    /// The bucket member a smallest-wait-first scan visits last: maximum
+    /// `(wait, index)` over the bucket.
+    fn most_loaded(&self, now_ns: u64) -> Option<(u32, u64)> {
+        let idle = self.idle.max();
+        let busy = self.busy.last();
+        match (idle, busy) {
+            (None, None) => None,
+            (Some(i), None) => Some((i, 0)),
+            (None, Some((drain, j))) => Some((j, drain.saturating_sub(now_ns))),
+            (Some(i), Some((drain, j))) => {
+                let wait = drain.saturating_sub(now_ns);
+                if wait == 0 {
+                    // All busy members drain exactly now: everyone ties at
+                    // zero wait and the largest index wins.
+                    Some((i.max(j), 0))
+                } else {
+                    Some((j, wait))
+                }
+            }
+        }
+    }
+}
+
+/// Incrementally-maintained per-partition load state consumed by
+/// [`Elsa::place_mut`].
+///
+/// Create it once per simulation run and keep it in lock-step with the
+/// partition workers by calling [`begin`](Self::begin),
+/// [`enqueue`](Self::enqueue), [`dequeue`](Self::dequeue) and
+/// [`finish`](Self::finish) as queries move through the server. All four
+/// updates are O(log P); none allocate once the internal arenas have
+/// reached the partition count.
+///
+/// # Examples
+///
+/// ```
+/// use mig_gpu::ProfileSize;
+/// use paris_core::ElsaState;
+///
+/// let mut state = ElsaState::new(&[ProfileSize::G1, ProfileSize::G7]);
+/// state.begin(0, 1_000_000); // partition 0 executes until t = 1 ms
+/// state.enqueue(0, 500_000); // and has 0.5 ms of queued work behind it
+/// assert_eq!(state.snapshot(0, 400_000).wait_ns(), 1_100_000);
+/// assert_eq!(state.snapshot(1, 400_000).wait_ns(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElsaState {
+    sizes: Vec<ProfileSize>,
+    slots: Vec<Slot>,
+    bucket_of: Vec<u32>,
+    buckets: Vec<Bucket>,
+}
+
+impl ElsaState {
+    /// Creates the state for the given partitions (all idle), grouping
+    /// them into per-size buckets.
+    #[must_use]
+    pub fn new(partitions: &[ProfileSize]) -> Self {
+        let mut distinct: Vec<ProfileSize> = partitions.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut buckets: Vec<Bucket> = distinct
+            .iter()
+            .map(|&size| Bucket {
+                size,
+                idle: IndexSet::new(partitions.len()),
+                busy: LoadSet::with_capacity(partitions.len()),
+            })
+            .collect();
+        let bucket_of: Vec<u32> = partitions
+            .iter()
+            .map(|size| {
+                distinct
+                    .iter()
+                    .position(|s| s == size)
+                    .expect("every size is in the distinct list") as u32
+            })
+            .collect();
+        for (p, &b) in bucket_of.iter().enumerate() {
+            buckets[b as usize].idle.insert(p as u32);
+        }
+        ElsaState {
+            sizes: partitions.to_vec(),
+            slots: vec![
+                Slot {
+                    queued_ns: 0,
+                    busy_until_ns: 0,
+                    busy: false,
+                };
+                partitions.len()
+            ],
+            bucket_of,
+            buckets,
+        }
+    }
+
+    /// Number of partitions tracked.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The partitions' profiles, in index order.
+    #[must_use]
+    pub fn sizes(&self) -> &[ProfileSize] {
+        &self.sizes
+    }
+
+    fn bucket_mut(&mut self, p: usize) -> &mut Bucket {
+        &mut self.buckets[self.bucket_of[p] as usize]
+    }
+
+    /// Partition `p` starts executing a query that will finish at
+    /// `busy_until_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is already executing.
+    pub fn begin(&mut self, p: usize, busy_until_ns: u64) {
+        let slot = self.slots[p];
+        assert!(!slot.busy, "partition {p} already executing");
+        self.slots[p].busy = true;
+        self.slots[p].busy_until_ns = busy_until_ns;
+        let drain = self.slots[p].drain_key();
+        let bucket = self.bucket_mut(p);
+        bucket.idle.remove(p as u32);
+        bucket.busy.insert((drain, p as u32));
+    }
+
+    /// A query with execution estimate `est_ns` joins partition `p`'s
+    /// local queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is idle — a work-conserving server starts the query
+    /// immediately instead of queueing it.
+    pub fn enqueue(&mut self, p: usize, est_ns: u64) {
+        let slot = self.slots[p];
+        assert!(slot.busy, "enqueue on idle partition {p}");
+        let old_drain = slot.drain_key();
+        self.slots[p].queued_ns = slot.queued_ns.saturating_add(est_ns);
+        let new_drain = self.slots[p].drain_key();
+        let bucket = self.bucket_mut(p);
+        bucket.busy.remove((old_drain, p as u32));
+        bucket.busy.insert((new_drain, p as u32));
+    }
+
+    /// A query with execution estimate `est_ns` leaves partition `p`'s
+    /// local queue (immediately before the matching [`begin`](Self::begin)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is executing: dequeue happens in the idle gap between
+    /// `finish` and `begin`.
+    pub fn dequeue(&mut self, p: usize, est_ns: u64) {
+        let slot = self.slots[p];
+        assert!(!slot.busy, "dequeue while partition {p} is executing");
+        self.slots[p].queued_ns = slot.queued_ns.saturating_sub(est_ns);
+    }
+
+    /// Partition `p` finished its current query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is idle.
+    pub fn finish(&mut self, p: usize) {
+        let slot = self.slots[p];
+        assert!(slot.busy, "finish on idle partition {p}");
+        let drain = slot.drain_key();
+        self.slots[p].busy = false;
+        self.slots[p].busy_until_ns = 0;
+        let bucket = self.bucket_mut(p);
+        let removed = bucket.busy.remove((drain, p as u32));
+        debug_assert!(removed, "busy set out of sync for partition {p}");
+        bucket.idle.insert(p as u32);
+    }
+
+    /// The Equation-1 view of partition `p` at `now_ns` — identical to the
+    /// snapshot a [`crate::elsa::PartitionSnapshot`]-based caller would
+    /// build from the worker.
+    #[must_use]
+    pub fn snapshot(&self, p: usize, now_ns: u64) -> PartitionSnapshot {
+        let slot = self.slots[p];
+        PartitionSnapshot {
+            size: self.sizes[p],
+            queued_work_ns: slot.queued_ns,
+            remaining_current_ns: if slot.busy {
+                slot.busy_until_ns.saturating_sub(now_ns)
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Snapshots of every partition at `now_ns`, in index order. Intended
+    /// for validation and tests — the hot path never materializes this.
+    #[must_use]
+    pub fn snapshots(&self, now_ns: u64) -> Vec<PartitionSnapshot> {
+        (0..self.sizes.len())
+            .map(|p| self.snapshot(p, now_ns))
+            .collect()
+    }
+}
+
+impl Elsa {
+    /// Algorithm 2 over incrementally-maintained state: the allocation-free
+    /// O(S log P) twin of [`place`](Elsa::place) (S = number of distinct
+    /// partition sizes, ≤ 5 on an A100).
+    ///
+    /// Returns bit-for-bit the same [`Decision`] as `place` applied to
+    /// `state.snapshots(now_ns)` — see the module docs for the equivalence
+    /// contract. The `&mut` borrow reserves the right to keep scratch
+    /// space inside the state; the current implementation only reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` tracks no partitions or one of its sizes was not
+    /// profiled in `table`.
+    #[must_use]
+    pub fn place_mut(
+        &self,
+        batch: usize,
+        table: &ProfileTable,
+        state: &mut ElsaState,
+        now_ns: u64,
+    ) -> Decision {
+        assert!(
+            state.partition_count() > 0,
+            "no partitions to schedule onto"
+        );
+        let ascending = self.config().order == ScanOrder::SmallestFirst;
+        let nb = state.buckets.len();
+        let bucket_at = |rank: usize| {
+            if ascending {
+                &state.buckets[rank]
+            } else {
+                &state.buckets[nb - 1 - rank]
+            }
+        };
+
+        // Step A: per size (in scan order), only the least-loaded instance
+        // can have the maximum slack; test it and move on.
+        for rank in 0..nb {
+            let bucket = bucket_at(rank);
+            let Some((idx, wait)) = bucket.least_loaded(now_ns) else {
+                continue;
+            };
+            let t_new = table.latency_ns(bucket.size, batch);
+            let probe = PartitionSnapshot {
+                size: bucket.size,
+                queued_work_ns: wait,
+                remaining_current_ns: 0,
+            };
+            let slack = self.slack_ns(&probe, t_new);
+            if slack > 0.0 {
+                return Decision::WithinSla {
+                    partition: idx as usize,
+                    slack_ns: slack,
+                };
+            }
+        }
+
+        // Step B: SLA unattainable — bound the damage.
+        let (partition, expected_service_ns) = match self.config().fallback {
+            FallbackPolicy::FastestService => {
+                let mut best: Option<(u64, u32)> = None;
+                for bucket in &state.buckets {
+                    let Some((idx, wait)) = bucket.least_loaded(now_ns) else {
+                        continue;
+                    };
+                    let t_new = table.latency_ns(bucket.size, batch);
+                    let service = wait.saturating_add(t_new);
+                    if best.is_none_or(|b| (service, idx) < b) {
+                        best = Some((service, idx));
+                    }
+                }
+                let (service, idx) = best.expect("partitions is non-empty");
+                (idx as usize, service)
+            }
+            FallbackPolicy::SmallestPartition => {
+                let (idx, wait) = (0..nb)
+                    .find_map(|rank| bucket_at(rank).least_loaded(now_ns))
+                    .expect("partitions is non-empty");
+                let size = state.sizes[idx as usize];
+                (
+                    idx as usize,
+                    wait.saturating_add(table.latency_ns(size, batch)),
+                )
+            }
+            FallbackPolicy::LargestPartition => {
+                let (idx, wait) = (0..nb)
+                    .rev()
+                    .find_map(|rank| bucket_at(rank).most_loaded(now_ns))
+                    .expect("partitions is non-empty");
+                let size = state.sizes[idx as usize];
+                (
+                    idx as usize,
+                    wait.saturating_add(table.latency_ns(size, batch)),
+                )
+            }
+        };
+        Decision::Fallback {
+            partition,
+            expected_service_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elsa::ElsaConfig;
+    use dnn_zoo::ModelKind;
+    use mig_gpu::{DeviceSpec, PerfModel};
+
+    fn table() -> ProfileTable {
+        let model = ModelKind::ResNet50.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32)
+    }
+
+    fn assert_matches_reference(
+        elsa: &Elsa,
+        state: &mut ElsaState,
+        t: &ProfileTable,
+        now_ns: u64,
+        batch: usize,
+    ) {
+        let snaps = state.snapshots(now_ns);
+        let reference = elsa.place(batch, t, &snaps);
+        let fast = elsa.place_mut(batch, t, state, now_ns);
+        assert_eq!(fast, reference, "batch {batch} at t={now_ns}");
+    }
+
+    #[test]
+    fn idle_state_matches_reference_for_all_batches() {
+        let t = table();
+        let elsa = Elsa::new(ElsaConfig::new(t.sla_target_ns(1.5)));
+        let mut state = ElsaState::new(&[
+            ProfileSize::G7,
+            ProfileSize::G1,
+            ProfileSize::G2,
+            ProfileSize::G1,
+        ]);
+        for batch in [1usize, 4, 8, 16, 32] {
+            assert_matches_reference(&elsa, &mut state, &t, 0, batch);
+        }
+    }
+
+    #[test]
+    fn loaded_state_matches_reference_across_policies() {
+        let t = table();
+        let sla = t.sla_target_ns(1.5);
+        let configs = [
+            ElsaConfig::new(sla),
+            ElsaConfig::new(sla).with_order(ScanOrder::LargestFirst),
+            ElsaConfig::new(sla).with_fallback(FallbackPolicy::SmallestPartition),
+            ElsaConfig::new(sla).with_fallback(FallbackPolicy::LargestPartition),
+            ElsaConfig::new(sla / 1000), // hopeless SLA → always fallback
+            ElsaConfig::new(sla / 1000).with_order(ScanOrder::LargestFirst),
+            ElsaConfig::new(sla / 1000).with_fallback(FallbackPolicy::SmallestPartition),
+            ElsaConfig::new(sla / 1000).with_fallback(FallbackPolicy::LargestPartition),
+            // Scan order × fallback interactions: Step B's bucket-scan
+            // reversal is the subtlest branch, so cover both fallbacks
+            // under the reversed order too (hopeless SLA forces Step B).
+            ElsaConfig::new(sla / 1000)
+                .with_order(ScanOrder::LargestFirst)
+                .with_fallback(FallbackPolicy::SmallestPartition),
+            ElsaConfig::new(sla / 1000)
+                .with_order(ScanOrder::LargestFirst)
+                .with_fallback(FallbackPolicy::LargestPartition),
+        ];
+        for cfg in configs {
+            let elsa = Elsa::new(cfg);
+            let mut state = ElsaState::new(&[
+                ProfileSize::G1,
+                ProfileSize::G1,
+                ProfileSize::G3,
+                ProfileSize::G7,
+            ]);
+            state.begin(0, 2_000_000);
+            state.enqueue(0, 1_000_000);
+            state.begin(2, 5_000_000);
+            state.begin(3, 1_500_000);
+            state.enqueue(3, 750_000);
+            for (now, batch) in [(0u64, 1usize), (100_000, 8), (1_499_999, 16)] {
+                assert_matches_reference(&elsa, &mut state, &t, now, batch);
+            }
+            // Retire work that ends before the later probes so the
+            // simulation-clock invariant (busy_until ≥ now) holds.
+            state.finish(3);
+            state.dequeue(3, 750_000);
+            state.begin(3, 2_600_000);
+            assert_matches_reference(&elsa, &mut state, &t, 1_600_000, 16);
+            state.finish(0);
+            state.dequeue(0, 1_000_000);
+            state.begin(0, 3_500_000);
+            assert_matches_reference(&elsa, &mut state, &t, 2_500_000, 32);
+        }
+    }
+
+    #[test]
+    fn zero_wait_busy_partition_ties_with_idle_by_index() {
+        // A partition whose current query ends exactly now has zero wait
+        // and must tie-break against idle same-size partitions by index,
+        // exactly like the reference sort.
+        let t = table();
+        let elsa = Elsa::new(ElsaConfig::new(t.sla_target_ns(1.5)));
+        for (busy_idx, expected) in [(0usize, 0usize), (1, 0)] {
+            let mut state = ElsaState::new(&[ProfileSize::G2, ProfileSize::G2]);
+            state.begin(busy_idx, 1_000);
+            // now == busy_until → wait 0 for the executing partition.
+            assert_matches_reference(&elsa, &mut state, &t, 1_000, 4);
+            let d = elsa.place_mut(4, &t, &mut state, 1_000);
+            assert_eq!(d.partition(), expected);
+        }
+    }
+
+    #[test]
+    fn state_updates_keep_buckets_in_sync() {
+        let mut state = ElsaState::new(&[ProfileSize::G1, ProfileSize::G1, ProfileSize::G7]);
+        state.begin(0, 1_000);
+        state.enqueue(0, 500);
+        assert_eq!(state.snapshot(0, 400).wait_ns(), 1_100);
+        state.finish(0);
+        state.dequeue(0, 500);
+        state.begin(0, 2_000);
+        assert_eq!(state.snapshot(0, 1_000).wait_ns(), 1_000);
+        state.finish(0);
+        assert_eq!(state.snapshot(0, 1_000).wait_ns(), 0);
+        assert_eq!(state.partition_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already executing")]
+    fn double_begin_panics() {
+        let mut state = ElsaState::new(&[ProfileSize::G1]);
+        state.begin(0, 100);
+        state.begin(0, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "enqueue on idle")]
+    fn enqueue_on_idle_panics() {
+        let mut state = ElsaState::new(&[ProfileSize::G1]);
+        state.enqueue(0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no partitions")]
+    fn empty_state_panics_on_place() {
+        let t = table();
+        let elsa = Elsa::new(ElsaConfig::new(t.sla_target_ns(1.5)));
+        let mut state = ElsaState::new(&[]);
+        let _ = elsa.place_mut(1, &t, &mut state, 0);
+    }
+}

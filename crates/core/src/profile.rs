@@ -39,11 +39,19 @@ pub struct ProfileTable {
     model_name: String,
     sizes: Vec<ProfileSize>,
     max_batch: usize,
-    /// `latency_ns[size_idx][batch - 1]`.
-    latency_ns: Vec<Vec<u64>>,
-    /// `utilization[size_idx][batch - 1]`.
-    utilization: Vec<Vec<f64>>,
+    /// Dense `ProfileSize → row` map: `row_of[size as usize]` is the row
+    /// index of that size, or [`UNPROFILED`] if the size was not profiled.
+    /// Keeps every latency lookup a couple of array indexings instead of a
+    /// linear scan over `sizes` — this sits on the per-query dispatch path.
+    row_of: [u32; ProfileSize::ALL.len()],
+    /// Row-major `latency_ns[row * max_batch + (batch - 1)]`.
+    latency_ns: Vec<u64>,
+    /// Row-major `utilization[row * max_batch + (batch - 1)]`.
+    utilization: Vec<f64>,
 }
+
+/// Sentinel in [`ProfileTable::row_of`] for sizes absent from the table.
+const UNPROFILED: u32 = u32::MAX;
 
 impl ProfileTable {
     /// Profiles `model` over every `(size, batch)` pair up to `max_batch`.
@@ -67,23 +75,22 @@ impl ProfileTable {
         let mut sizes = sizes.to_vec();
         sizes.sort();
         sizes.dedup();
-        let mut latency_ns = Vec::with_capacity(sizes.len());
-        let mut utilization = Vec::with_capacity(sizes.len());
-        for &size in &sizes {
-            let mut lat_row = Vec::with_capacity(max_batch);
-            let mut util_row = Vec::with_capacity(max_batch);
+        let mut row_of = [UNPROFILED; ProfileSize::ALL.len()];
+        let mut latency_ns = Vec::with_capacity(sizes.len() * max_batch);
+        let mut utilization = Vec::with_capacity(sizes.len() * max_batch);
+        for (row, &size) in sizes.iter().enumerate() {
+            row_of[size as usize] = row as u32;
             for b in 1..=max_batch {
                 let est = perf.inference(model, b, size);
-                lat_row.push((est.latency_s * 1e9).round() as u64);
-                util_row.push(est.utilization);
+                latency_ns.push((est.latency_s * 1e9).round() as u64);
+                utilization.push(est.utilization);
             }
-            latency_ns.push(lat_row);
-            utilization.push(util_row);
         }
         ProfileTable {
             model_name: model.name().to_owned(),
             sizes,
             max_batch,
+            row_of,
             latency_ns,
             utilization,
         }
@@ -117,11 +124,28 @@ impl ProfileTable {
         *self.sizes.last().expect("table is never empty")
     }
 
+    #[inline]
     fn size_idx(&self, size: ProfileSize) -> usize {
-        self.sizes
-            .iter()
-            .position(|&s| s == size)
-            .unwrap_or_else(|| panic!("partition size {size} was not profiled"))
+        let row = self.row_of[size as usize];
+        if row == UNPROFILED {
+            panic!("partition size {size} was not profiled");
+        }
+        row as usize
+    }
+
+    /// The full per-batch latency row for `size`, in nanoseconds:
+    /// `row[b - 1]` is the profiled latency at batch `b`. Borrowing the row
+    /// once lets per-query hot paths resolve latencies by direct slice
+    /// indexing with no per-lookup size resolution at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` was not profiled.
+    #[must_use]
+    #[inline]
+    pub fn latency_row(&self, size: ProfileSize) -> &[u64] {
+        let row = self.size_idx(size);
+        &self.latency_ns[row * self.max_batch..(row + 1) * self.max_batch]
     }
 
     /// Profiled latency (`T_estimated`) in nanoseconds.
@@ -133,9 +157,10 @@ impl ProfileTable {
     ///
     /// Panics if `size` was not profiled.
     #[must_use]
+    #[inline]
     pub fn latency_ns(&self, size: ProfileSize, batch: usize) -> u64 {
-        let row = &self.latency_ns[self.size_idx(size)];
-        row[batch.clamp(1, self.max_batch) - 1]
+        let row = self.size_idx(size);
+        self.latency_ns[row * self.max_batch + batch.clamp(1, self.max_batch) - 1]
     }
 
     /// Profiled latency in seconds.
@@ -166,9 +191,10 @@ impl ProfileTable {
     ///
     /// Panics if `size` was not profiled.
     #[must_use]
+    #[inline]
     pub fn utilization(&self, size: ProfileSize, batch: usize) -> f64 {
-        let row = &self.utilization[self.size_idx(size)];
-        row[batch.clamp(1, self.max_batch) - 1]
+        let row = self.size_idx(size);
+        self.utilization[row * self.max_batch + batch.clamp(1, self.max_batch) - 1]
     }
 
     /// The paper's SLA target construction (§V): `n_times` × the latency of
@@ -240,7 +266,10 @@ mod tests {
     #[test]
     fn batch_clamps_at_table_edges() {
         let t = table(ModelKind::MobileNet);
-        assert_eq!(t.latency_ns(ProfileSize::G1, 0), t.latency_ns(ProfileSize::G1, 1));
+        assert_eq!(
+            t.latency_ns(ProfileSize::G1, 0),
+            t.latency_ns(ProfileSize::G1, 1)
+        );
         assert_eq!(
             t.latency_ns(ProfileSize::G1, 1000),
             t.latency_ns(ProfileSize::G1, 32)
@@ -275,6 +304,36 @@ mod tests {
         );
         assert_eq!(t.sizes(), &[ProfileSize::G1, ProfileSize::G7]);
         assert_eq!(t.largest_size(), ProfileSize::G7);
+    }
+
+    #[test]
+    fn latency_row_matches_pointwise_lookups() {
+        let t = table(ModelKind::BertBase);
+        for &size in t.sizes() {
+            let row = t.latency_row(size);
+            assert_eq!(row.len(), t.max_batch());
+            for b in 1..=t.max_batch() {
+                assert_eq!(row[b - 1], t.latency_ns(size, b));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_tables_index_correctly() {
+        let model = ModelKind::MobileNet.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let t = ProfileTable::profile(&model, &perf, &[ProfileSize::G2, ProfileSize::G7], 8);
+        assert_eq!(t.latency_row(ProfileSize::G2).len(), 8);
+        assert!(t.latency_ns(ProfileSize::G7, 4) <= t.latency_ns(ProfileSize::G2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not profiled")]
+    fn unprofiled_latency_row_panics() {
+        let model = ModelKind::MobileNet.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let t = ProfileTable::profile(&model, &perf, &[ProfileSize::G1], 4);
+        let _ = t.latency_row(ProfileSize::G3);
     }
 
     #[test]

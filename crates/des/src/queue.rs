@@ -5,17 +5,22 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A pending event: ordered by time, then by insertion sequence number so
-/// that events scheduled for the same instant pop in FIFO order.
+/// A pending event: ordered by time, then by an explicit tie-break key,
+/// then by insertion sequence number. For plain [`EventQueue::push`] the key
+/// *is* the sequence number, so events scheduled for the same instant pop
+/// in FIFO order; [`EventQueue::push_keyed`] lets callers impose their own
+/// deterministic same-instant order that does not depend on when the event
+/// happened to be inserted.
 struct Scheduled<E> {
     time: SimTime,
+    key: u64,
     seq: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 
@@ -30,10 +35,12 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap but we want the earliest event
-        // (and, within an instant, the lowest sequence number) on top.
+        // (and, within an instant, the lowest key then sequence number) on
+        // top.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -41,8 +48,10 @@ impl<E> Ord for Scheduled<E> {
 /// A priority queue of timestamped events.
 ///
 /// Events pop in non-decreasing time order; events scheduled for the same
-/// instant pop in the order they were pushed. This determinism is what makes
-/// whole-server simulations reproducible bit-for-bit.
+/// instant pop in the order they were pushed (or, with
+/// [`push_keyed`](Self::push_keyed), in ascending key order). This
+/// determinism is what makes whole-server simulations reproducible
+/// bit-for-bit.
 ///
 /// # Examples
 ///
@@ -86,8 +95,24 @@ impl<E> EventQueue<E> {
     /// Schedules `payload` to fire at `time`.
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
+        self.push_keyed(time, seq, payload);
+    }
+
+    /// Schedules `payload` to fire at `time`, breaking same-instant ties by
+    /// `key` (ascending) before insertion order.
+    ///
+    /// Mixing keyed and unkeyed pushes in one queue is well-defined (plain
+    /// pushes use their sequence number as the key) but rarely what you
+    /// want, since sequence numbers grow past explicit keys.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, payload: E) {
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, payload });
+        self.heap.push(Scheduled {
+            time,
+            key,
+            seq,
+            payload,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -164,6 +189,36 @@ mod tests {
     }
 
     #[test]
+    fn keyed_ties_pop_in_key_order_regardless_of_insertion() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        for &k in &[7u64, 3, 9, 1, 5] {
+            q.push_keyed(t, k, k);
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(popped, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn equal_keys_fall_back_to_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(10);
+        q.push_keyed(t, 1, "a");
+        q.push_keyed(t, 1, "b");
+        q.push_keyed(t, 0, "c");
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(popped, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn time_still_dominates_keys() {
+        let mut q = EventQueue::new();
+        q.push_keyed(SimTime::from_nanos(20), 0, "later");
+        q.push_keyed(SimTime::from_nanos(10), 99, "earlier");
+        assert_eq!(q.pop().map(|(_, v)| v), Some("earlier"));
+    }
+
+    #[test]
     fn peek_does_not_consume() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_nanos(8), "x");
@@ -191,6 +246,12 @@ mod tests {
         q.push(SimTime::ZERO, 3);
         assert_eq!(q.pop().map(|(_, v)| v), Some(2));
         assert_eq!(q.pop().map(|(_, v)| v), Some(3));
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let q: EventQueue<u8> = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -43,16 +43,30 @@ pub struct Simulation<E> {
     queue: EventQueue<E>,
     now: SimTime,
     processed: u64,
+    peak_pending: usize,
 }
 
 impl<E> Simulation<E> {
     /// Creates a simulation with the clock at [`SimTime::ZERO`].
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates a simulation whose event queue has room for `capacity`
+    /// events before reallocating.
+    ///
+    /// Sizing the queue to the simulation's steady-state event population
+    /// (for the inference server: one completion per partition plus the
+    /// next streamed arrival) makes the event loop allocation-free after
+    /// startup.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         Simulation {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             processed: 0,
+            peak_pending: 0,
         }
     }
 
@@ -74,17 +88,35 @@ impl<E> Simulation<E> {
         self.queue.len()
     }
 
+    /// The largest number of events that were ever pending at once.
+    #[must_use]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Schedules `event` at the absolute instant `at`.
     ///
     /// Events scheduled in the past are clamped to fire "now": simulated time
     /// never runs backwards.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         self.queue.push(at.max(self.now), event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
+    }
+
+    /// Schedules `event` at the absolute instant `at`, breaking
+    /// same-instant ties by `key` (ascending) before insertion order — see
+    /// [`EventQueue::push_keyed`](crate::EventQueue::push_keyed).
+    ///
+    /// Events scheduled in the past are clamped to fire "now".
+    pub fn schedule_at_keyed(&mut self, at: SimTime, key: u64, event: E) {
+        self.queue.push_keyed(at.max(self.now), key, event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Schedules `event` to fire `delay` after the current instant.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Advances the clock to the earliest pending event and returns it, or
@@ -203,5 +235,28 @@ mod tests {
         let mut sim = Simulation::new();
         sim.schedule_at(SimTime::from_nanos(500), "edge");
         assert!(sim.next_event_before(SimTime::from_nanos(500)).is_some());
+    }
+
+    #[test]
+    fn keyed_scheduling_orders_same_instant_events() {
+        let mut sim = Simulation::new();
+        let t = SimTime::from_nanos(100);
+        sim.schedule_at_keyed(t, 2, "second");
+        sim.schedule_at_keyed(t, 1, "first");
+        assert_eq!(sim.next_event().map(|(_, e)| e), Some("first"));
+        assert_eq!(sim.next_event().map(|(_, e)| e), Some("second"));
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut sim = Simulation::with_capacity(8);
+        assert_eq!(sim.peak_pending(), 0);
+        for i in 0..5u64 {
+            sim.schedule_at(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(sim.peak_pending(), 5);
+        while sim.next_event().is_some() {}
+        // Draining does not lower the high-water mark.
+        assert_eq!(sim.peak_pending(), 5);
     }
 }

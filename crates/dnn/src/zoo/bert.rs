@@ -33,14 +33,22 @@ fn push_encoder_layer(g: &mut ModelGraph, name: &str, seq: usize) {
         seq,
         HEAD_DIM,
     ));
-    g.push(Layer::softmax(format!("{name}.attn.softmax"), HEADS * seq * seq));
+    g.push(Layer::softmax(
+        format!("{name}.attn.softmax"),
+        HEADS * seq * seq,
+    ));
     g.push(Layer::attention_matmul(
         format!("{name}.attn.context"),
         HEADS,
         seq,
         HEAD_DIM,
     ));
-    g.push(Layer::linear(format!("{name}.attn.out"), seq, HIDDEN, HIDDEN));
+    g.push(Layer::linear(
+        format!("{name}.attn.out"),
+        seq,
+        HIDDEN,
+        HIDDEN,
+    ));
     g.push(Layer::residual(format!("{name}.attn.add"), tok_elems));
     g.push(Layer::norm(format!("{name}.attn.norm"), tok_elems));
     // Feed-forward network.

@@ -122,9 +122,17 @@ pub fn conformer() -> ModelGraph {
         SEQ,
         MEL_BINS / 4,
     ));
-    g.push(Layer::activation("subsample.relu2", DIM * SEQ * (MEL_BINS / 4)));
+    g.push(Layer::activation(
+        "subsample.relu2",
+        DIM * SEQ * (MEL_BINS / 4),
+    ));
     // Flatten (time, channel×freq) and project into the encoder width.
-    g.push(Layer::linear("subsample.proj", SEQ, DIM * MEL_BINS / 4, DIM));
+    g.push(Layer::linear(
+        "subsample.proj",
+        SEQ,
+        DIM * MEL_BINS / 4,
+        DIM,
+    ));
 
     for i in 0..LAYERS {
         push_conformer_block(&mut g, &format!("block{i}"), SEQ);

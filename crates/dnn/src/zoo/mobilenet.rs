@@ -47,7 +47,9 @@ pub fn mobilenet_v1() -> ModelGraph {
     for (i, &(stride, out_c, spatial)) in BLOCKS.iter().enumerate() {
         let dw = format!("block{}.dw", i + 1);
         let pw = format!("block{}.pw", i + 1);
-        g.push(Layer::depthwise_conv(&dw, in_c, 3, stride, spatial, spatial));
+        g.push(Layer::depthwise_conv(
+            &dw, in_c, 3, stride, spatial, spatial,
+        ));
         g.push(Layer::activation(
             format!("{dw}.relu"),
             in_c * spatial * spatial,

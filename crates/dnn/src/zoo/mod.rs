@@ -178,7 +178,10 @@ mod tests {
         assert!(shuffle < mobile, "shufflenet lighter than mobilenet");
         assert!(mobile < resnet, "mobilenet lighter than resnet");
         assert!(resnet < bert, "resnet lighter than bert");
-        assert!(conformer < bert && conformer > mobile, "conformer is medium");
+        assert!(
+            conformer < bert && conformer > mobile,
+            "conformer is medium"
+        );
     }
 
     #[test]
@@ -191,7 +194,10 @@ mod tests {
             ModelKind::Conformer.compute_intensity(),
             ComputeIntensity::Medium
         );
-        assert_eq!(ModelKind::BertBase.compute_intensity(), ComputeIntensity::High);
+        assert_eq!(
+            ModelKind::BertBase.compute_intensity(),
+            ComputeIntensity::High
+        );
     }
 
     #[test]

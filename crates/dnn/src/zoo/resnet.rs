@@ -36,9 +36,23 @@ fn push_bottleneck(
         format!("{name}.relu1"),
         mid_c * s * stride * s * stride,
     ));
-    g.push(Layer::conv2d(format!("{name}.conv2"), mid_c, mid_c, 3, stride, s, s));
+    g.push(Layer::conv2d(
+        format!("{name}.conv2"),
+        mid_c,
+        mid_c,
+        3,
+        stride,
+        s,
+        s,
+    ));
     g.push(Layer::activation(format!("{name}.relu2"), mid_c * s * s));
-    g.push(Layer::pointwise_conv(format!("{name}.conv3"), mid_c, out_c, s, s));
+    g.push(Layer::pointwise_conv(
+        format!("{name}.conv3"),
+        mid_c,
+        out_c,
+        s,
+        s,
+    ));
     if in_c != out_c || stride != 1 {
         g.push(Layer::conv2d(
             format!("{name}.downsample"),

@@ -13,10 +13,29 @@ const STAGES: [(usize, usize, usize); 3] = [(116, 4, 28), (232, 8, 14), (464, 4,
 /// halves are concatenated and channel-shuffled.
 fn push_basic_unit(g: &mut ModelGraph, name: &str, c: usize, s: usize) {
     let half = c / 2;
-    g.push(Layer::pointwise_conv(format!("{name}.pw1"), half, half, s, s));
+    g.push(Layer::pointwise_conv(
+        format!("{name}.pw1"),
+        half,
+        half,
+        s,
+        s,
+    ));
     g.push(Layer::activation(format!("{name}.relu1"), half * s * s));
-    g.push(Layer::depthwise_conv(format!("{name}.dw"), half, 3, 1, s, s));
-    g.push(Layer::pointwise_conv(format!("{name}.pw2"), half, half, s, s));
+    g.push(Layer::depthwise_conv(
+        format!("{name}.dw"),
+        half,
+        3,
+        1,
+        s,
+        s,
+    ));
+    g.push(Layer::pointwise_conv(
+        format!("{name}.pw2"),
+        half,
+        half,
+        s,
+        s,
+    ));
     g.push(Layer::activation(format!("{name}.relu2"), half * s * s));
     g.push(Layer::channel_shuffle(format!("{name}.shuffle"), c * s * s));
 }
@@ -26,8 +45,21 @@ fn push_basic_unit(g: &mut ModelGraph, name: &str, c: usize, s: usize) {
 fn push_down_unit(g: &mut ModelGraph, name: &str, in_c: usize, out_c: usize, s: usize) {
     let half = out_c / 2;
     // Left branch: dw(s2) → pw.
-    g.push(Layer::depthwise_conv(format!("{name}.l.dw"), in_c, 3, 2, s, s));
-    g.push(Layer::pointwise_conv(format!("{name}.l.pw"), in_c, half, s, s));
+    g.push(Layer::depthwise_conv(
+        format!("{name}.l.dw"),
+        in_c,
+        3,
+        2,
+        s,
+        s,
+    ));
+    g.push(Layer::pointwise_conv(
+        format!("{name}.l.pw"),
+        in_c,
+        half,
+        s,
+        s,
+    ));
     g.push(Layer::activation(format!("{name}.l.relu"), half * s * s));
     // Right branch: pw → dw(s2) → pw.
     g.push(Layer::pointwise_conv(
@@ -37,11 +69,30 @@ fn push_down_unit(g: &mut ModelGraph, name: &str, in_c: usize, out_c: usize, s: 
         s * 2,
         s * 2,
     ));
-    g.push(Layer::activation(format!("{name}.r.relu1"), half * s * 2 * s * 2));
-    g.push(Layer::depthwise_conv(format!("{name}.r.dw"), half, 3, 2, s, s));
-    g.push(Layer::pointwise_conv(format!("{name}.r.pw2"), half, half, s, s));
+    g.push(Layer::activation(
+        format!("{name}.r.relu1"),
+        half * s * 2 * s * 2,
+    ));
+    g.push(Layer::depthwise_conv(
+        format!("{name}.r.dw"),
+        half,
+        3,
+        2,
+        s,
+        s,
+    ));
+    g.push(Layer::pointwise_conv(
+        format!("{name}.r.pw2"),
+        half,
+        half,
+        s,
+        s,
+    ));
     g.push(Layer::activation(format!("{name}.r.relu2"), half * s * s));
-    g.push(Layer::channel_shuffle(format!("{name}.shuffle"), out_c * s * s));
+    g.push(Layer::channel_shuffle(
+        format!("{name}.shuffle"),
+        out_c * s * s,
+    ));
 }
 
 /// Builds ShuffleNetV2 1.0×, ≈0.15 GMACs per sample — the lightest model in
@@ -65,13 +116,7 @@ pub fn shufflenet_v2() -> ModelGraph {
     let mut in_c = 24;
     for (stage_idx, &(out_c, units, spatial)) in STAGES.iter().enumerate() {
         let stage = stage_idx + 2; // ShuffleNet numbering starts at stage2
-        push_down_unit(
-            &mut g,
-            &format!("stage{stage}.0"),
-            in_c,
-            out_c,
-            spatial,
-        );
+        push_down_unit(&mut g, &format!("stage{stage}.0"), in_c, out_c, spatial);
         for unit in 1..units {
             push_basic_unit(&mut g, &format!("stage{stage}.{unit}"), out_c, spatial);
         }

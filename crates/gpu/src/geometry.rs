@@ -119,20 +119,26 @@ impl GpuLayout {
             // slices must contain at least `gpcs` compute slices, i.e. it
             // may touch memory slice 7 only if it has spare memory span
             // (3g/7g do; 1g/2g at the top would be compute-less).
-            let compute_in_span = (start..start + span).filter(|&s| s < COMPUTE_SLICES).count();
+            let compute_in_span = (start..start + span)
+                .filter(|&s| s < COMPUTE_SLICES)
+                .count();
             if compute_in_span < profile.gpcs() {
                 continue;
             }
             if occupied[start..start + span].iter().any(|&o| o) {
                 continue;
             }
-            occupied[start..start + span].iter_mut().for_each(|o| *o = true);
+            occupied[start..start + span]
+                .iter_mut()
+                .for_each(|o| *o = true);
             placements.push((profile, start));
             if Self::backtrack(profiles, idx + 1, occupied, placements) {
                 return true;
             }
             placements.pop();
-            occupied[start..start + span].iter_mut().for_each(|o| *o = false);
+            occupied[start..start + span]
+                .iter_mut()
+                .for_each(|o| *o = false);
         }
         false
     }
@@ -222,11 +228,7 @@ pub fn valid_gpu_configurations() -> Vec<Vec<ProfileSize>> {
     let mut current = Vec::new();
     // Depth-first over non-increasing profile sequences to enumerate
     // multisets once each.
-    fn dfs(
-        start_idx: usize,
-        current: &mut Vec<ProfileSize>,
-        results: &mut Vec<Vec<ProfileSize>>,
-    ) {
+    fn dfs(start_idx: usize, current: &mut Vec<ProfileSize>, results: &mut Vec<Vec<ProfileSize>>) {
         let mut normalized = current.clone();
         normalized.sort();
         results.push(normalized);
@@ -275,8 +277,14 @@ mod tests {
     fn real_a100_constraints_hold() {
         assert!(GpuLayout::fits(&[G3, G3]));
         assert!(GpuLayout::fits(&[G4, G3]));
-        assert!(!GpuLayout::fits(&[G4, G4]), "two 4g need 8 mem slices each side but only one 4g start");
-        assert!(!GpuLayout::fits(&[G3, G3, G1]), "3g+3g consume all 8 mem slices");
+        assert!(
+            !GpuLayout::fits(&[G4, G4]),
+            "two 4g need 8 mem slices each side but only one 4g start"
+        );
+        assert!(
+            !GpuLayout::fits(&[G3, G3, G1]),
+            "3g+3g consume all 8 mem slices"
+        );
         assert!(!GpuLayout::fits(&[G7, G1]));
         assert!(!GpuLayout::fits(&[G1; 8]), "only 7 compute slices");
         assert!(!GpuLayout::fits(&[G2, G2, G2, G2]), "8 GPCs worth of 2g");

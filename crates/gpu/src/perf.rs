@@ -353,7 +353,8 @@ mod tests {
         // relative to the lightweight models, which stay overhead-bound.
         let perf = perf();
         let util_at_b1 = |kind: ModelKind| {
-            perf.inference(&kind.build(), 1, ProfileSize::G1).utilization
+            perf.inference(&kind.build(), 1, ProfileSize::G1)
+                .utilization
         };
         let bert = util_at_b1(ModelKind::BertBase);
         let mobilenet = util_at_b1(ModelKind::MobileNet);

@@ -70,7 +70,10 @@ impl LatencyRecorder {
     /// Maximum latency in milliseconds (0 if empty).
     #[must_use]
     pub fn max_ms(&self) -> f64 {
-        self.samples_ns.iter().max().map_or(0.0, |&n| n as f64 / 1e6)
+        self.samples_ns
+            .iter()
+            .max()
+            .map_or(0.0, |&n| n as f64 / 1e6)
     }
 
     /// The `p`-quantile latency in nanoseconds using the nearest-rank

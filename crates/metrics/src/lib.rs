@@ -4,6 +4,8 @@
 //!
 //! * [`LatencyRecorder`] — per-query latency samples with percentile and
 //!   SLA-violation queries (the paper's p95 tail-latency metric),
+//! * [`LatencyHistogram`] — a fixed-footprint log-linear alternative for
+//!   O(1)-memory sweeps (≤ 1.6 % percentile error),
 //! * [`BusyTracker`] — time-weighted busy/idle accounting for partitions,
 //! * [`ThroughputPoint`] / [`latency_bounded_throughput`] — the
 //!   latency-bounded throughput metric of §VI-B.
@@ -16,9 +18,11 @@
 //! ```
 
 mod busy;
+mod histogram;
 mod latency;
 mod throughput;
 
 pub use busy::BusyTracker;
+pub use histogram::LatencyHistogram;
 pub use latency::LatencyRecorder;
 pub use throughput::{latency_bounded_throughput, ThroughputPoint};

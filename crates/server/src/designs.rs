@@ -39,7 +39,10 @@ impl DesignPoint {
     /// Whether this design schedules with ELSA.
     #[must_use]
     pub fn uses_elsa(&self) -> bool {
-        matches!(self, DesignPoint::RandomElsa { .. } | DesignPoint::ParisElsa)
+        matches!(
+            self,
+            DesignPoint::RandomElsa { .. } | DesignPoint::ParisElsa
+        )
     }
 }
 
@@ -232,7 +235,11 @@ impl Testbed {
         } else {
             SchedulerKind::Fifs
         };
-        Ok(InferenceServer::from_plan(&plan, self.table.clone(), config))
+        Ok(InferenceServer::from_plan(
+            &plan,
+            self.table.clone(),
+            config,
+        ))
     }
 
     /// Measures the latency-bounded throughput of a design point.
@@ -315,10 +322,15 @@ mod tests {
     #[test]
     fn gpu7_design_uses_divisible_budget() {
         let bed = Testbed::paper_default(ModelKind::MobileNet);
-        let plan = bed.plan(DesignPoint::HomogeneousFifs(ProfileSize::G7)).unwrap();
+        let plan = bed
+            .plan(DesignPoint::HomogeneousFifs(ProfileSize::G7))
+            .unwrap();
         assert_eq!(plan.count(ProfileSize::G7), 4, "28 GPCs → 4×GPU(7)");
         let paris = bed.plan(DesignPoint::ParisElsa).unwrap();
-        assert!(paris.total_gpcs_used() <= 24, "PARIS uses the smaller budget");
+        assert!(
+            paris.total_gpcs_used() <= 24,
+            "PARIS uses the smaller budget"
+        );
     }
 
     #[test]
@@ -348,7 +360,10 @@ mod tests {
             "GPU(3)+FIFS"
         );
         assert_eq!(DesignPoint::ParisElsa.to_string(), "PARIS+ELSA");
-        assert_eq!(DesignPoint::RandomElsa { seed: 0 }.to_string(), "Random+ELSA");
+        assert_eq!(
+            DesignPoint::RandomElsa { seed: 0 }.to_string(),
+            "Random+ELSA"
+        );
     }
 
     #[test]

@@ -97,8 +97,7 @@ impl Gantt {
             let mut cells = vec!['\u{b7}'; width];
             for span in self.spans.iter().filter(|s| s.partition == p) {
                 let lo = (span.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
-                let hi =
-                    (span.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let hi = (span.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
                 let hi = hi.clamp(lo + 1, width);
                 let digit = char::from_digit((span.query.0 % 10) as u32, 10).unwrap_or('#');
                 for cell in cells.iter_mut().take(hi).skip(lo.min(width - 1)) {

@@ -12,6 +12,27 @@
 //!   Table I budgets,
 //! * [`Gantt`] — Figure 5/10-style execution timelines.
 //!
+//! # Hot path invariants
+//!
+//! The per-query dispatch path is allocation-free and O(log P) in the
+//! partition count once warm; sweeps run at [`ReportDetail::Summary`] so a
+//! measurement's memory is O(1) in the trace length. Every fast-path
+//! shortcut is paired with a pure reference implementation and an
+//! equivalence contract checked by tests:
+//!
+//! * [`InferenceServer::run`] (streamed arrivals, keyed event order,
+//!   incremental ELSA state) must produce reports **bit-for-bit** equal to
+//!   [`InferenceServer::run_reference`] (whole trace pre-loaded, fresh
+//!   snapshots + pure `Elsa::place` per query) under
+//!   [`ReportDetail::Full`].
+//! * `paris_core::Elsa::place_mut` over a `paris_core::ElsaState` must
+//!   return the same decision — including tie-breaks — as `Elsa::place`
+//!   over snapshots taken at the same instant.
+//!
+//! Anyone optimizing this path further should extend those cross-checks
+//! rather than replace them: the reference implementations define the
+//! semantics.
+//!
 //! ```
 //! use dnn_zoo::ModelKind;
 //! use inference_server::{DesignPoint, Testbed};
@@ -36,7 +57,7 @@ mod worker;
 pub use designs::{paper_budgets, DesignPoint, Testbed};
 pub use gantt::{Gantt, Span};
 pub use query::{Query, QueryId, QueryRecord};
-pub use server::{InferenceServer, RunReport, SchedulerKind, ServerConfig};
+pub use server::{InferenceServer, ReportDetail, RunReport, SchedulerKind, ServerConfig};
 pub use sweep::{
     capacity_hint_qps, measure_point, rate_sweep, search_latency_bounded_throughput, SweepConfig,
     ThroughputSearch,

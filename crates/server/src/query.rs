@@ -23,6 +23,10 @@ pub struct Query {
     pub batch: usize,
     /// When the query reached the server frontend.
     pub arrival: SimTime,
+    /// When the serial frontend handed the query to the scheduler. Carried
+    /// on the query itself so completion records never need an O(trace)
+    /// side table of dispatch times.
+    pub dispatched: SimTime,
 }
 
 /// The full lifecycle of one completed query — the raw data behind every

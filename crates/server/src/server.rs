@@ -5,14 +5,47 @@
 //! serial frontend, a scheduling policy (FIFS or ELSA) assigns them to
 //! partitions, each partition executes its queue in FIFO order with the
 //! profiled latency as service time, and every completion is recorded.
+//!
+//! # Hot path invariants
+//!
+//! [`InferenceServer::run`] is the workhorse behind every sweep, so its
+//! per-query dispatch cost is engineered to be **allocation-free and
+//! sub-linear in the partition count** once warm:
+//!
+//! * Arrivals are **streamed** into the event queue: only the next
+//!   arrival's dispatch event is pending at any time, and handling it
+//!   injects its successor. The queue therefore holds O(P) events (one
+//!   completion per busy partition + one arrival), not O(trace), so every
+//!   push/pop costs O(log P).
+//! * Same-instant event order is pinned by explicit tie-break keys
+//!   (dispatches first, in query order; then completions, in scheduling
+//!   order) — exactly the order the original implementation produced by
+//!   pre-loading the whole trace, which keeps reports **bit-for-bit
+//!   reproducible** against [`InferenceServer::run_reference`].
+//! * ELSA decisions use [`Elsa::place_mut`] over a persistent
+//!   [`ElsaState`] (per-size buckets with incrementally maintained load)
+//!   instead of snapshotting and sorting all partitions per query; FIFS
+//!   keeps its idle set in a [`LoadSet`] ordered by `(idle_since, index)`.
+//!   Both resolve a dispatch in O(log P).
+//! * Profiled latencies come from borrowed per-partition rows
+//!   ([`ProfileTable::latency_row`]), one slice index per estimate.
+//! * With [`ReportDetail::Summary`], per-query records are not
+//!   materialized at all: latency goes straight into a fixed-footprint
+//!   [`LatencyHistogram`], making a sweep's memory O(1) in the trace
+//!   length.
+//!
+//! The equivalence contract between the fast path and the pure reference
+//! implementations is enforced by `runs_are_deterministic` /
+//! `fast_path_matches_reference*` below and by the property tests in
+//! `tests/properties.rs`.
 
 use des_engine::{SimDuration, SimTime, Simulation};
 use inference_workload::QuerySpec;
 use mig_gpu::ProfileSize;
-use paris_core::{Elsa, ElsaConfig, PartitionPlan, ProfileTable};
+use paris_core::{Elsa, ElsaConfig, ElsaState, LoadSet, PartitionPlan, ProfileTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use server_metrics::LatencyRecorder;
+use server_metrics::{LatencyHistogram, LatencyRecorder};
 
 use crate::gantt::{Gantt, Span};
 use crate::query::{Query, QueryId, QueryRecord};
@@ -29,6 +62,19 @@ pub enum SchedulerKind {
     Elsa(ElsaConfig),
 }
 
+/// How much per-query material a run keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportDetail {
+    /// Keep everything: per-query [`QueryRecord`]s and exact latency
+    /// samples. Memory grows O(trace).
+    #[default]
+    Full,
+    /// Keep only aggregates: latencies go straight into the fixed-size
+    /// [`LatencyHistogram`], no records are materialized, and run memory
+    /// is O(partitions). The mode sweeps use.
+    Summary,
+}
+
 /// Server-level configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
@@ -41,9 +87,13 @@ pub struct ServerConfig {
     pub record_gantt: bool,
     /// Relative standard deviation of multiplicative service-time noise
     /// (0 = perfectly deterministic execution, the paper's observation).
+    /// Service times are scaled by `1 + noise·z` with `z` standard normal,
+    /// floored at 0.1× the profiled latency.
     pub service_noise: f64,
     /// Seed for the service-noise RNG.
     pub noise_seed: u64,
+    /// How much per-query material [`InferenceServer::run`] keeps.
+    pub detail: ReportDetail,
 }
 
 impl ServerConfig {
@@ -56,6 +106,7 @@ impl ServerConfig {
             record_gantt: false,
             service_noise: 0.0,
             noise_seed: 0,
+            detail: ReportDetail::Full,
         }
     }
 
@@ -73,7 +124,16 @@ impl ServerConfig {
         self
     }
 
-    /// Adds multiplicative service-time noise (robustness studies).
+    /// Sets how much per-query material runs keep.
+    #[must_use]
+    pub fn with_detail(mut self, detail: ReportDetail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Adds multiplicative service-time noise (robustness studies):
+    /// `noise` is the relative standard deviation of the normally
+    /// distributed scale factor.
     ///
     /// # Panics
     ///
@@ -90,10 +150,16 @@ impl ServerConfig {
 /// Everything measured during one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
-    /// Per-query lifecycle records, completion order.
+    /// Detail level the run was recorded at.
+    pub detail: ReportDetail,
+    /// Per-query lifecycle records, completion order. Empty under
+    /// [`ReportDetail::Summary`].
     pub records: Vec<QueryRecord>,
-    /// End-to-end latency samples.
+    /// Exact end-to-end latency samples. Empty under
+    /// [`ReportDetail::Summary`].
     pub latency: LatencyRecorder,
+    /// Fixed-footprint latency histogram, filled at every detail level.
+    pub histogram: LatencyHistogram,
     /// Time from first arrival to last completion.
     pub makespan: SimDuration,
     /// Completed queries divided by the makespan.
@@ -102,13 +168,27 @@ pub struct RunReport {
     pub partition_utilization: Vec<f64>,
     /// Execution trace, when requested via [`ServerConfig::with_gantt`].
     pub gantt: Option<Gantt>,
+    /// High-water mark of the DES event queue — O(partitions) for the
+    /// streaming fast path, O(trace) for the pre-loaded reference path.
+    pub peak_pending_events: usize,
 }
 
 impl RunReport {
-    /// The paper's headline metric: p95 tail latency in milliseconds.
+    /// Number of queries that completed.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.histogram.count()
+    }
+
+    /// The paper's headline metric: p95 tail latency in milliseconds
+    /// (exact under [`ReportDetail::Full`], bucket-accurate under
+    /// [`ReportDetail::Summary`]).
     #[must_use]
     pub fn p95_ms(&self) -> f64 {
-        self.latency.p95_ms()
+        match self.detail {
+            ReportDetail::Full => self.latency.p95_ms(),
+            ReportDetail::Summary => self.histogram.p95_ms(),
+        }
     }
 
     /// Mean partition utilization.
@@ -123,7 +203,10 @@ impl RunReport {
     /// Fraction of queries whose latency exceeded `sla_ns`.
     #[must_use]
     pub fn sla_violation_rate(&self, sla_ns: u64) -> f64 {
-        self.latency.violation_rate(sla_ns)
+        match self.detail {
+            ReportDetail::Full => self.latency.violation_rate(sla_ns),
+            ReportDetail::Summary => self.histogram.violation_rate(sla_ns),
+        }
     }
 }
 
@@ -135,6 +218,11 @@ enum Event {
     /// A partition finished its current query.
     Complete { partition: usize },
 }
+
+/// Same-instant ordering: all dispatches (by query id) strictly before all
+/// completions (by scheduling order) — the order the pre-loaded seed
+/// implementation produced through its FIFO sequence numbers.
+const COMPLETE_KEY_BASE: u64 = 1 << 63;
 
 /// A simulated multi-GPU inference server: a set of MIG partitions, a
 /// profiled latency table and a scheduling policy.
@@ -180,7 +268,10 @@ impl InferenceServer {
     /// Panics if `partitions` is empty.
     #[must_use]
     pub fn new(partitions: Vec<ProfileSize>, table: ProfileTable, config: ServerConfig) -> Self {
-        assert!(!partitions.is_empty(), "server needs at least one partition");
+        assert!(
+            !partitions.is_empty(),
+            "server needs at least one partition"
+        );
         InferenceServer {
             partitions,
             table,
@@ -216,9 +307,66 @@ impl InferenceServer {
         &self.config
     }
 
-    /// Simulates the server over a query trace until every query completes.
+    /// Simulates the server over a query trace until every query completes,
+    /// at the configured [`ReportDetail`].
     #[must_use]
     pub fn run(&self, trace: &[QuerySpec]) -> RunReport {
+        self.run_with_detail(trace, self.config.detail)
+    }
+
+    /// Simulates the server over a query trace at an explicit detail level.
+    #[must_use]
+    pub fn run_with_detail(&self, trace: &[QuerySpec], detail: ReportDetail) -> RunReport {
+        self.run_stream(trace.iter().copied(), detail)
+    }
+
+    /// Simulates the server over a *streamed* arrival sequence (ascending
+    /// arrival times) without ever materializing the trace: together with
+    /// [`ReportDetail::Summary`] this makes a whole measurement O(1) in
+    /// memory regardless of how many queries flow through.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnn_zoo::ModelKind;
+    /// use inference_workload::{BatchDistribution, TraceGenerator};
+    /// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+    /// use paris_core::ProfileTable;
+    /// use inference_server::{InferenceServer, ReportDetail, SchedulerKind, ServerConfig};
+    ///
+    /// let model = ModelKind::MobileNet.build();
+    /// let perf = PerfModel::new(DeviceSpec::a100());
+    /// let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+    /// let server = InferenceServer::new(
+    ///     vec![ProfileSize::G2; 2],
+    ///     table,
+    ///     ServerConfig::new(SchedulerKind::Fifs),
+    /// );
+    /// let gen = TraceGenerator::new(200.0, BatchDistribution::paper_default(), 9);
+    /// let report = server.run_stream(gen.stream_for(0.5), ReportDetail::Summary);
+    /// assert!(report.completed() > 0);
+    /// assert!(report.records.is_empty(), "summary keeps no records");
+    /// ```
+    #[must_use]
+    pub fn run_stream<I>(&self, arrivals: I, detail: ReportDetail) -> RunReport
+    where
+        I: IntoIterator<Item = QuerySpec>,
+    {
+        Engine::new(self, detail, arrivals.into_iter()).run()
+    }
+
+    /// The pre-rearchitecture implementation, kept as the semantic
+    /// reference: the whole trace is loaded into the event queue up front,
+    /// every ELSA decision snapshots all partitions and runs the pure
+    /// [`Elsa::place`], and every per-query record is materialized.
+    ///
+    /// Reports are bit-for-bit identical to [`run`](Self::run) with
+    /// [`ReportDetail::Full`] — this is what the determinism tests and
+    /// property suite cross-check the fast path against. It exists for
+    /// validation and as the baseline in `bench_server`; sweeps should use
+    /// `run`.
+    #[must_use]
+    pub fn run_reference(&self, trace: &[QuerySpec]) -> RunReport {
         let mut sim: Simulation<Event> = Simulation::new();
         let mut workers: Vec<PartitionWorker> = self
             .partitions
@@ -238,36 +386,42 @@ impl InferenceServer {
 
         // The frontend is a serial FIFO server: query i's dispatch time is
         // max(arrival, previous dispatch) + overhead.
-        let mut dispatch_times: Vec<SimTime> = Vec::with_capacity(trace.len());
         let mut frontend_free = SimTime::ZERO;
         for (i, spec) in trace.iter().enumerate() {
             let arrival = SimTime::from_nanos(spec.arrival_ns);
             let begin = arrival.max(frontend_free);
             let dispatched = begin + self.config.frontend_overhead;
             frontend_free = dispatched;
-            dispatch_times.push(dispatched);
             sim.schedule_at(
                 dispatched,
                 Event::Dispatch(Query {
                     id: QueryId(i as u64),
                     batch: spec.batch,
                     arrival,
+                    dispatched,
                 }),
             );
         }
 
         let mut records: Vec<QueryRecord> = Vec::with_capacity(trace.len());
         let mut latency = LatencyRecorder::new();
+        let mut histogram = LatencyHistogram::new();
 
         while let Some((now, event)) = sim.next_event() {
             match event {
                 Event::Dispatch(query) => match &elsa {
                     Some(elsa) => {
-                        let snapshots: Vec<_> =
-                            workers.iter().map(|w| w.snapshot(now)).collect();
+                        let snapshots: Vec<_> = workers.iter().map(|w| w.snapshot(now)).collect();
                         let p = elsa.place(query.batch, &self.table, &snapshots).partition();
                         if workers[p].is_idle() {
-                            self.begin(&mut workers[p], p, query, now, &mut sim, &mut noise_rng);
+                            self.begin_reference(
+                                &mut workers[p],
+                                p,
+                                query,
+                                now,
+                                &mut sim,
+                                &mut noise_rng,
+                            );
                         } else {
                             let est = SimDuration::from_nanos(
                                 self.table.latency_ns(workers[p].size(), query.batch),
@@ -283,7 +437,7 @@ impl InferenceServer {
                             .min_by_key(|&i| (workers[i].idle_since(), i));
                         match idle {
                             Some(p) => {
-                                self.begin(
+                                self.begin_reference(
                                     &mut workers[p],
                                     p,
                                     query,
@@ -302,12 +456,13 @@ impl InferenceServer {
                         id: query.id,
                         batch: query.batch,
                         arrival: query.arrival,
-                        dispatched: dispatch_times[query.id.0 as usize],
+                        dispatched: query.dispatched,
                         started,
                         completed: now,
                         partition,
                     };
                     latency.record(record.latency().as_nanos());
+                    histogram.record(record.latency().as_nanos());
                     if let Some(g) = &mut gantt {
                         g.push(Span {
                             partition,
@@ -324,7 +479,7 @@ impl InferenceServer {
                         None => central.pop_front(),
                     };
                     if let Some(q) = next {
-                        self.begin(
+                        self.begin_reference(
                             &mut workers[partition],
                             partition,
                             q,
@@ -356,17 +511,40 @@ impl InferenceServer {
             .collect();
 
         RunReport {
+            detail: ReportDetail::Full,
             records,
             latency,
+            histogram,
             makespan,
             achieved_qps,
             partition_utilization,
             gantt,
+            peak_pending_events: sim.peak_pending(),
         }
     }
 
-    /// Starts `query` on worker `p` at `now` and schedules its completion.
-    fn begin(
+    /// Turns a profiled latency of `base_ns` nanoseconds into the actual
+    /// service time, applying the configured multiplicative normal noise.
+    /// Shared by the fast path and `run_reference` so their noise streams
+    /// stay aligned draw-for-draw.
+    fn service_duration(&self, base_ns: u64, noise_rng: &mut StdRng) -> SimDuration {
+        if self.config.service_noise > 0.0 {
+            // Box–Muller: two uniforms → one standard normal draw. The
+            // second uniform is always consumed so the stream stays aligned
+            // across implementations.
+            let u1: f64 = noise_rng.gen();
+            let u2: f64 = noise_rng.gen();
+            let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let factor = (1.0 + self.config.service_noise * z).max(0.1);
+            SimDuration::from_nanos((base_ns as f64 * factor).round() as u64)
+        } else {
+            SimDuration::from_nanos(base_ns)
+        }
+    }
+
+    /// Reference-path begin: starts `query` on worker `p` at `now` and
+    /// schedules its completion with a plain (FIFO-tie-break) push.
+    fn begin_reference(
         &self,
         worker: &mut PartitionWorker,
         p: usize,
@@ -376,15 +554,242 @@ impl InferenceServer {
         noise_rng: &mut StdRng,
     ) {
         let base = self.table.latency_ns(worker.size(), query.batch);
-        let duration_ns = if self.config.service_noise > 0.0 {
-            let z: f64 = noise_rng.sample(rand::distributions::Standard);
-            let factor = (1.0 + self.config.service_noise * (2.0 * z - 1.0)).max(0.1);
-            (base as f64 * factor).round() as u64
-        } else {
-            base
-        };
-        let end = worker.begin(query, now, SimDuration::from_nanos(duration_ns));
+        let duration = self.service_duration(base, noise_rng);
+        let end = worker.begin(query, now, duration);
         sim.schedule_at(end, Event::Complete { partition: p });
+    }
+}
+
+/// One run's mutable state, wired for the allocation-free fast path.
+struct Engine<'a, I> {
+    server: &'a InferenceServer,
+    detail: ReportDetail,
+    arrivals: I,
+    sim: Simulation<Event>,
+    workers: Vec<PartitionWorker>,
+    /// Borrowed per-partition latency rows: `rows[p][batch - 1]`.
+    rows: Vec<&'a [u64]>,
+    max_batch: usize,
+    /// ELSA runtime: the decision core plus its incremental load state.
+    elsa: Option<(Elsa, ElsaState)>,
+    /// FIFS runtime: idle partitions ordered by `(idle_since, index)`.
+    fifs_idle: LoadSet,
+    central: std::collections::VecDeque<Query>,
+    noise_rng: StdRng,
+    gantt: Option<Gantt>,
+    records: Vec<QueryRecord>,
+    latency: LatencyRecorder,
+    histogram: LatencyHistogram,
+    frontend_free: SimTime,
+    next_query_id: u64,
+    next_complete_key: u64,
+}
+
+impl<'a, I: Iterator<Item = QuerySpec>> Engine<'a, I> {
+    fn new(server: &'a InferenceServer, detail: ReportDetail, arrivals: I) -> Self {
+        let n = server.partitions.len();
+        let workers: Vec<PartitionWorker> = server
+            .partitions
+            .iter()
+            .map(|&size| PartitionWorker::new(size))
+            .collect();
+        let rows: Vec<&[u64]> = server
+            .partitions
+            .iter()
+            .map(|&size| server.table.latency_row(size))
+            .collect();
+        let elsa = match &server.config.scheduler {
+            SchedulerKind::Fifs => None,
+            SchedulerKind::Elsa(cfg) => Some((Elsa::new(*cfg), ElsaState::new(&server.partitions))),
+        };
+        let mut fifs_idle = LoadSet::with_capacity(n);
+        if elsa.is_none() {
+            for p in 0..n {
+                fifs_idle.insert((0, p as u32));
+            }
+        }
+        Engine {
+            server,
+            detail,
+            arrivals,
+            // Steady state: ≤ one completion per partition + the next
+            // streamed arrival.
+            sim: Simulation::with_capacity(n + 2),
+            workers,
+            rows,
+            max_batch: server.table.max_batch(),
+            elsa,
+            fifs_idle,
+            central: std::collections::VecDeque::new(),
+            noise_rng: StdRng::seed_from_u64(server.config.noise_seed),
+            gantt: server
+                .config
+                .record_gantt
+                .then(|| Gantt::new(server.partitions.clone())),
+            records: Vec::new(),
+            latency: LatencyRecorder::new(),
+            histogram: LatencyHistogram::new(),
+            frontend_free: SimTime::ZERO,
+            next_query_id: 0,
+            next_complete_key: COMPLETE_KEY_BASE,
+        }
+    }
+
+    /// Profiled execution estimate for `batch` on partition `p`.
+    #[inline]
+    fn estimate_ns(&self, p: usize, batch: usize) -> u64 {
+        self.rows[p][batch.clamp(1, self.max_batch) - 1]
+    }
+
+    /// Pulls the next arrival (if any) through the serial frontend and
+    /// schedules its dispatch. Dispatch times are non-decreasing, so the
+    /// successor is always injected before the queue could pop past it.
+    fn inject_next_arrival(&mut self) {
+        if let Some(spec) = self.arrivals.next() {
+            let arrival = SimTime::from_nanos(spec.arrival_ns);
+            let begin = arrival.max(self.frontend_free);
+            let dispatched = begin + self.server.config.frontend_overhead;
+            self.frontend_free = dispatched;
+            let id = self.next_query_id;
+            self.next_query_id += 1;
+            self.sim.schedule_at_keyed(
+                dispatched,
+                id,
+                Event::Dispatch(Query {
+                    id: QueryId(id),
+                    batch: spec.batch,
+                    arrival,
+                    dispatched,
+                }),
+            );
+        }
+    }
+
+    /// Starts `query` on partition `p` at `now` and schedules completion.
+    fn begin(&mut self, p: usize, query: Query, now: SimTime) {
+        let base = self.estimate_ns(p, query.batch);
+        let duration = self.server.service_duration(base, &mut self.noise_rng);
+        let end = self.workers[p].begin(query, now, duration);
+        if let Some((_, state)) = &mut self.elsa {
+            state.begin(p, end.as_nanos());
+        }
+        let key = self.next_complete_key;
+        self.next_complete_key += 1;
+        self.sim
+            .schedule_at_keyed(end, key, Event::Complete { partition: p });
+    }
+
+    fn on_dispatch(&mut self, query: Query, now: SimTime) {
+        // Keep the pipeline primed before handling this query.
+        self.inject_next_arrival();
+        if self.elsa.is_some() {
+            let p = {
+                let (elsa, state) = self.elsa.as_mut().expect("elsa mode");
+                elsa.place_mut(query.batch, &self.server.table, state, now.as_nanos())
+                    .partition()
+            };
+            if self.workers[p].is_idle() {
+                self.begin(p, query, now);
+            } else {
+                let est = self.estimate_ns(p, query.batch);
+                self.workers[p].enqueue(query, SimDuration::from_nanos(est));
+                self.elsa.as_mut().expect("elsa mode").1.enqueue(p, est);
+            }
+        } else {
+            match self.fifs_idle.first() {
+                Some((idle_since, p)) => {
+                    self.fifs_idle.remove((idle_since, p));
+                    self.begin(p as usize, query, now);
+                }
+                None => self.central.push_back(query),
+            }
+        }
+    }
+
+    fn on_complete(&mut self, partition: usize, now: SimTime) {
+        let (query, started) = self.workers[partition].finish(now);
+        let latency_ns = (now - query.arrival).as_nanos();
+        self.histogram.record(latency_ns);
+        if self.detail == ReportDetail::Full {
+            self.latency.record(latency_ns);
+            self.records.push(QueryRecord {
+                id: query.id,
+                batch: query.batch,
+                arrival: query.arrival,
+                dispatched: query.dispatched,
+                started,
+                completed: now,
+                partition,
+            });
+        }
+        if let Some(g) = &mut self.gantt {
+            g.push(Span {
+                partition,
+                query: query.id,
+                batch: query.batch,
+                start: started,
+                end: now,
+            });
+        }
+
+        if self.elsa.is_some() {
+            self.elsa.as_mut().expect("elsa mode").1.finish(partition);
+            if let Some((q, est)) = self.workers[partition].pop_next() {
+                self.elsa
+                    .as_mut()
+                    .expect("elsa mode")
+                    .1
+                    .dequeue(partition, est.as_nanos());
+                self.begin(partition, q, now);
+            }
+        } else {
+            match self.central.pop_front() {
+                Some(q) => self.begin(partition, q, now),
+                None => self.fifs_idle.insert((now.as_nanos(), partition as u32)),
+            }
+        }
+    }
+
+    fn run(mut self) -> RunReport {
+        self.inject_next_arrival();
+        while let Some((now, event)) = self.sim.next_event() {
+            match event {
+                Event::Dispatch(query) => self.on_dispatch(query, now),
+                Event::Complete { partition } => self.on_complete(partition, now),
+            }
+        }
+
+        let makespan = self.sim.now().saturating_since(SimTime::ZERO);
+        let makespan_s = makespan.as_secs_f64();
+        let completed = self.histogram.count();
+        let achieved_qps = if makespan_s > 0.0 {
+            completed as f64 / makespan_s
+        } else {
+            0.0
+        };
+        let partition_utilization = self
+            .workers
+            .iter()
+            .map(|w| {
+                if makespan.as_nanos() == 0 {
+                    0.0
+                } else {
+                    (w.busy_ns() as f64 / makespan.as_nanos() as f64).min(1.0)
+                }
+            })
+            .collect();
+
+        RunReport {
+            detail: self.detail,
+            records: self.records,
+            latency: self.latency,
+            histogram: self.histogram,
+            makespan,
+            achieved_qps,
+            partition_utilization,
+            gantt: self.gantt,
+            peak_pending_events: self.sim.peak_pending(),
+        }
     }
 }
 
@@ -423,6 +828,14 @@ mod tests {
         )
     }
 
+    fn assert_reports_identical(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.partition_utilization, b.partition_utilization);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.achieved_qps, b.achieved_qps);
+    }
+
     #[test]
     fn every_query_completes_exactly_once() {
         let server = fifs_server(
@@ -455,15 +868,121 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let server = elsa_server(
-            ModelKind::ResNet50,
-            vec![ProfileSize::G2, ProfileSize::G7],
-        );
+        let server = elsa_server(ModelKind::ResNet50, vec![ProfileSize::G2, ProfileSize::G7]);
         let tr = trace(200.0, 7, 1.0);
         let a = server.run(&tr);
         let b = server.run(&tr);
         assert_eq!(a.records, b.records);
         assert_eq!(a.partition_utilization, b.partition_utilization);
+        // The streamed fast path must also reproduce the pre-loaded
+        // reference implementation bit-for-bit.
+        let reference = server.run_reference(&tr);
+        assert_reports_identical(&a, &reference);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_for_fifs() {
+        let server = fifs_server(
+            ModelKind::MobileNet,
+            vec![
+                ProfileSize::G1,
+                ProfileSize::G1,
+                ProfileSize::G2,
+                ProfileSize::G3,
+            ],
+        );
+        for (rate, seed) in [(100.0, 1u64), (800.0, 2), (3_000.0, 3)] {
+            let tr = trace(rate, seed, 0.5);
+            assert_reports_identical(&server.run(&tr), &server.run_reference(&tr));
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_for_elsa_under_overload() {
+        // Overload exercises Step B fallbacks and deep local queues.
+        let server = elsa_server(
+            ModelKind::ResNet50,
+            vec![
+                ProfileSize::G1,
+                ProfileSize::G2,
+                ProfileSize::G2,
+                ProfileSize::G7,
+            ],
+        );
+        for (rate, seed) in [(50.0, 11u64), (500.0, 12), (4_000.0, 13)] {
+            let tr = trace(rate, seed, 0.3);
+            assert_reports_identical(&server.run(&tr), &server.run_reference(&tr));
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_with_noise() {
+        let t = table(ModelKind::ShuffleNet);
+        let server = InferenceServer::new(
+            vec![ProfileSize::G2, ProfileSize::G3],
+            t,
+            ServerConfig::new(SchedulerKind::Fifs).with_service_noise(0.15, 77),
+        );
+        let tr = trace(300.0, 21, 0.5);
+        assert_reports_identical(&server.run(&tr), &server.run_reference(&tr));
+    }
+
+    #[test]
+    fn streaming_keeps_event_queue_small() {
+        let server = fifs_server(ModelKind::MobileNet, vec![ProfileSize::G2; 4]);
+        let tr = trace(2_000.0, 5, 0.5);
+        assert!(tr.len() > 100, "need a non-trivial trace");
+        let fast = server.run(&tr);
+        let reference = server.run_reference(&tr);
+        assert!(
+            fast.peak_pending_events <= server.partitions().len() + 2,
+            "streamed queue stays O(partitions), got {}",
+            fast.peak_pending_events
+        );
+        assert!(
+            reference.peak_pending_events >= tr.len(),
+            "reference pre-loads the whole trace"
+        );
+    }
+
+    #[test]
+    fn summary_matches_full_statistics() {
+        let server = elsa_server(
+            ModelKind::MobileNet,
+            vec![ProfileSize::G1, ProfileSize::G2, ProfileSize::G7],
+        );
+        let tr = trace(600.0, 17, 0.5);
+        let full = server.run_with_detail(&tr, ReportDetail::Full);
+        let summary = server.run_with_detail(&tr, ReportDetail::Summary);
+        assert!(summary.records.is_empty());
+        assert!(summary.latency.is_empty());
+        assert_eq!(summary.completed(), tr.len() as u64);
+        assert_eq!(summary.completed(), full.completed());
+        assert_eq!(summary.makespan, full.makespan);
+        assert_eq!(summary.achieved_qps, full.achieved_qps);
+        assert_eq!(summary.partition_utilization, full.partition_utilization);
+        // Histogram percentiles are bucket-accurate (≤ 1.6 % error).
+        let exact = full.p95_ms();
+        let approx = summary.p95_ms();
+        assert!(
+            (approx / exact - 1.0).abs() < 0.016,
+            "p95 {approx} vs exact {exact}"
+        );
+        let sla = server.table().sla_target_ns(1.5);
+        assert!(
+            (summary.sla_violation_rate(sla) - full.sla_violation_rate(sla)).abs() < 0.02,
+            "violation rates within bucket accuracy"
+        );
+    }
+
+    #[test]
+    fn run_stream_equals_run_on_materialized_trace() {
+        let server = elsa_server(ModelKind::BertBase, vec![ProfileSize::G3, ProfileSize::G7]);
+        let gen = TraceGenerator::new(150.0, BatchDistribution::paper_default(), 23);
+        let tr = gen.generate_for(0.5);
+        let from_slice = server.run(&tr);
+        let from_stream = server.run_stream(gen.stream_for(0.5), ReportDetail::Full);
+        assert_reports_identical(&from_slice, &from_stream);
     }
 
     #[test]
@@ -472,8 +991,14 @@ mod tests {
         // idle_since, i.e. never used → index order) gets the query.
         let server = fifs_server(ModelKind::MobileNet, vec![ProfileSize::G1, ProfileSize::G1]);
         let tr = vec![
-            QuerySpec { arrival_ns: 0, batch: 1 },
-            QuerySpec { arrival_ns: 1_000, batch: 1 },
+            QuerySpec {
+                arrival_ns: 0,
+                batch: 1,
+            },
+            QuerySpec {
+                arrival_ns: 1_000,
+                batch: 1,
+            },
         ];
         let report = server.run(&tr);
         let partitions: Vec<usize> = report.records.iter().map(|r| r.partition).collect();
@@ -482,12 +1007,12 @@ mod tests {
 
     #[test]
     fn elsa_routes_small_batches_to_small_partitions_under_light_load() {
-        let server = elsa_server(
-            ModelKind::MobileNet,
-            vec![ProfileSize::G1, ProfileSize::G7],
-        );
+        let server = elsa_server(ModelKind::MobileNet, vec![ProfileSize::G1, ProfileSize::G7]);
         // A single tiny query: must land on the small partition.
-        let tr = vec![QuerySpec { arrival_ns: 0, batch: 1 }];
+        let tr = vec![QuerySpec {
+            arrival_ns: 0,
+            batch: 1,
+        }];
         let report = server.run(&tr);
         assert_eq!(report.records[0].partition, 0);
     }
@@ -495,7 +1020,10 @@ mod tests {
     #[test]
     fn service_time_matches_profiled_latency_without_noise() {
         let server = fifs_server(ModelKind::BertBase, vec![ProfileSize::G7]);
-        let tr = vec![QuerySpec { arrival_ns: 0, batch: 8 }];
+        let tr = vec![QuerySpec {
+            arrival_ns: 0,
+            batch: 8,
+        }];
         let report = server.run(&tr);
         let expected = server.table().latency_ns(ProfileSize::G7, 8);
         assert_eq!(report.records[0].service_time().as_nanos(), expected);
@@ -507,8 +1035,14 @@ mod tests {
         // overhead after the first.
         let server = fifs_server(ModelKind::MobileNet, vec![ProfileSize::G1, ProfileSize::G1]);
         let tr = vec![
-            QuerySpec { arrival_ns: 0, batch: 1 },
-            QuerySpec { arrival_ns: 0, batch: 1 },
+            QuerySpec {
+                arrival_ns: 0,
+                batch: 1,
+            },
+            QuerySpec {
+                arrival_ns: 0,
+                batch: 1,
+            },
         ];
         let report = server.run(&tr);
         let overhead = server.config().frontend_overhead.as_nanos();
@@ -575,6 +1109,38 @@ mod tests {
             a.records[0].service_time(),
             b.records[0].service_time(),
             "noise should change service times"
+        );
+    }
+
+    #[test]
+    fn service_noise_scale_tracks_configured_stddev() {
+        // The doc promises `noise` is the *relative standard deviation* of
+        // the service-time scale factor; check the sampled factors.
+        let t = table(ModelKind::ResNet50);
+        let noise = 0.2;
+        let server = InferenceServer::new(
+            vec![ProfileSize::G3],
+            t.clone(),
+            ServerConfig::new(SchedulerKind::Fifs).with_service_noise(noise, 4242),
+        );
+        let tr = trace(40.0, 31, 5.0);
+        let report = server.run(&tr);
+        let factors: Vec<f64> = report
+            .records
+            .iter()
+            .map(|r| {
+                let base = t.latency_ns(ProfileSize::G3, r.batch) as f64;
+                r.service_time().as_nanos() as f64 / base
+            })
+            .collect();
+        let n = factors.len() as f64;
+        let mean = factors.iter().sum::<f64>() / n;
+        let var = factors.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / n;
+        assert!((mean - 1.0).abs() < 0.05, "mean factor {mean}");
+        assert!(
+            (var.sqrt() / noise - 1.0).abs() < 0.2,
+            "sampled stddev {} vs configured {noise}",
+            var.sqrt()
         );
     }
 

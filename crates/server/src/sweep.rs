@@ -4,7 +4,7 @@
 use inference_workload::{BatchDistribution, TraceGenerator};
 use server_metrics::{latency_bounded_throughput, ThroughputPoint};
 
-use crate::server::InferenceServer;
+use crate::server::{InferenceServer, ReportDetail};
 
 /// Parameters of one load sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,8 +36,10 @@ impl SweepConfig {
     }
 }
 
-/// Measures one operating point: generates a Poisson trace at `rate_qps`
-/// and runs the server over it.
+/// Measures one operating point: streams a Poisson trace at `rate_qps`
+/// through the server at [`ReportDetail::Summary`], so the measurement's
+/// memory stays O(1) in the simulated duration (no trace vector, no
+/// per-query records — latencies aggregate into the fixed-size histogram).
 #[must_use]
 pub fn measure_point(
     server: &InferenceServer,
@@ -45,9 +47,8 @@ pub fn measure_point(
     rate_qps: f64,
     cfg: &SweepConfig,
 ) -> ThroughputPoint {
-    let trace =
-        TraceGenerator::new(rate_qps, dist.clone(), cfg.seed).generate_for(cfg.duration_s);
-    let report = server.run(&trace);
+    let gen = TraceGenerator::new(rate_qps, dist.clone(), cfg.seed);
+    let report = server.run_stream(gen.stream_for(cfg.duration_s), ReportDetail::Summary);
     ThroughputPoint {
         offered_qps: rate_qps,
         achieved_qps: report.achieved_qps,
@@ -90,21 +91,40 @@ pub fn rate_sweep(
     rates_qps: &[f64],
     cfg: &SweepConfig,
 ) -> Vec<ThroughputPoint> {
-    let mut points: Vec<Option<ThroughputPoint>> = vec![None; rates_qps.len()];
-    std::thread::scope(|scope| {
-        for (i, slot) in points.iter_mut().enumerate() {
-            let rate = rates_qps[i];
-            let mut point_cfg = *cfg;
-            point_cfg.seed = cfg.seed.wrapping_add(i as u64);
-            scope.spawn(move || {
-                *slot = Some(measure_point(server, dist, rate, &point_cfg));
-            });
-        }
+    // A bounded worker pool: `available_parallelism` threads pull point
+    // indices from a shared counter, so a 200-point sweep spawns a handful
+    // of OS threads instead of 200.
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(rates_qps.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut points: Vec<(usize, ThroughputPoint)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut measured = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= rates_qps.len() {
+                            return measured;
+                        }
+                        let mut point_cfg = *cfg;
+                        point_cfg.seed = cfg.seed.wrapping_add(i as u64);
+                        measured.push((i, measure_point(server, dist, rates_qps[i], &point_cfg)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
     });
-    points
-        .into_iter()
-        .map(|p| p.expect("every sweep point measured"))
-        .collect()
+    points.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(points.len(), rates_qps.len());
+    points.into_iter().map(|(_, p)| p).collect()
 }
 
 /// Result of a latency-bounded-throughput search.

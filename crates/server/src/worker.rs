@@ -144,6 +144,7 @@ mod tests {
             id: QueryId(id),
             batch,
             arrival: SimTime::ZERO,
+            dispatched: SimTime::ZERO,
         }
     }
 
@@ -159,12 +160,19 @@ mod tests {
     #[test]
     fn snapshot_tracks_remaining_execution() {
         let mut w = PartitionWorker::new(ProfileSize::G1);
-        let end = w.begin(query(1, 4), SimTime::from_nanos(100), SimDuration::from_nanos(1_000));
+        let end = w.begin(
+            query(1, 4),
+            SimTime::from_nanos(100),
+            SimDuration::from_nanos(1_000),
+        );
         assert_eq!(end, SimTime::from_nanos(1_100));
         let s = w.snapshot(SimTime::from_nanos(600));
         assert_eq!(s.remaining_current_ns, 500);
         // Past the end, remaining clamps to zero.
-        assert_eq!(w.snapshot(SimTime::from_nanos(2_000)).remaining_current_ns, 0);
+        assert_eq!(
+            w.snapshot(SimTime::from_nanos(2_000)).remaining_current_ns,
+            0
+        );
     }
 
     #[test]
@@ -194,7 +202,11 @@ mod tests {
     #[test]
     fn finish_restores_idle_and_stamps_idle_since() {
         let mut w = PartitionWorker::new(ProfileSize::G1);
-        w.begin(query(7, 1), SimTime::from_nanos(50), SimDuration::from_nanos(100));
+        w.begin(
+            query(7, 1),
+            SimTime::from_nanos(50),
+            SimDuration::from_nanos(100),
+        );
         assert!(!w.is_idle());
         let (q, started) = w.finish(SimTime::from_nanos(150));
         assert_eq!(q.id, QueryId(7));
@@ -208,7 +220,11 @@ mod tests {
         let mut w = PartitionWorker::new(ProfileSize::G1);
         w.begin(query(1, 1), SimTime::ZERO, SimDuration::from_nanos(400));
         w.finish(SimTime::from_nanos(400));
-        w.begin(query(2, 1), SimTime::from_nanos(500), SimDuration::from_nanos(100));
+        w.begin(
+            query(2, 1),
+            SimTime::from_nanos(500),
+            SimDuration::from_nanos(100),
+        );
         w.finish(SimTime::from_nanos(600));
         assert_eq!(w.busy_ns(), 500);
     }

@@ -28,4 +28,4 @@ mod trace;
 pub use arrivals::PoissonProcess;
 pub use dist::{BatchDistribution, BuildDistributionError};
 pub use empirical::EmpiricalBatchPmf;
-pub use trace::{QuerySpec, TraceGenerator};
+pub use trace::{QuerySpec, TraceGenerator, TraceStream};

@@ -105,6 +105,78 @@ impl TraceGenerator {
         }
         trace
     }
+
+    /// Streams the queries of [`generate_for`](Self::generate_for) one at a
+    /// time without materializing the trace — O(1) memory however long the
+    /// window. The stream yields exactly the same sequence as
+    /// `generate_for(duration_s)` (the RNG is re-seeded per call).
+    #[must_use]
+    pub fn stream_for(&self, duration_s: f64) -> TraceStream {
+        TraceStream {
+            arrivals: self.arrivals,
+            batches: self.batches.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            t: 0.0,
+            horizon_s: duration_s,
+            remaining: usize::MAX,
+        }
+    }
+
+    /// Streams exactly `count` queries, mirroring
+    /// [`generate_count`](Self::generate_count) without materializing the
+    /// trace.
+    #[must_use]
+    pub fn stream_count(&self, count: usize) -> TraceStream {
+        TraceStream {
+            arrivals: self.arrivals,
+            batches: self.batches.clone(),
+            rng: StdRng::seed_from_u64(self.seed),
+            t: 0.0,
+            horizon_s: f64::INFINITY,
+            remaining: count,
+        }
+    }
+}
+
+/// A lazy query stream — see [`TraceGenerator::stream_for`].
+///
+/// # Examples
+///
+/// ```
+/// use inference_workload::{BatchDistribution, TraceGenerator};
+///
+/// let gen = TraceGenerator::new(500.0, BatchDistribution::paper_default(), 3);
+/// let streamed: Vec<_> = gen.stream_for(1.0).collect();
+/// assert_eq!(streamed, gen.generate_for(1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    arrivals: PoissonProcess,
+    batches: BatchDistribution,
+    rng: StdRng,
+    t: f64,
+    horizon_s: f64,
+    remaining: usize,
+}
+
+impl Iterator for TraceStream {
+    type Item = QuerySpec;
+
+    fn next(&mut self) -> Option<QuerySpec> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.t += self.arrivals.sample_interarrival_s(&mut self.rng);
+        if self.t >= self.horizon_s {
+            self.remaining = 0;
+            return None;
+        }
+        self.remaining -= 1;
+        Some(QuerySpec {
+            arrival_ns: (self.t * 1e9).round() as u64,
+            batch: self.batches.sample(&mut self.rng),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +229,20 @@ mod tests {
     fn generate_count_produces_exact_count() {
         let trace = generator(11).generate_count(1234);
         assert_eq!(trace.len(), 1234);
+    }
+
+    #[test]
+    fn stream_for_replays_generate_for() {
+        let gen = generator(13);
+        let streamed: Vec<QuerySpec> = gen.stream_for(1.5).collect();
+        assert_eq!(streamed, gen.generate_for(1.5));
+    }
+
+    #[test]
+    fn stream_count_replays_generate_count() {
+        let gen = generator(17);
+        let streamed: Vec<QuerySpec> = gen.stream_count(500).collect();
+        assert_eq!(streamed, gen.generate_count(500));
+        assert_eq!(streamed.len(), 500);
     }
 }

@@ -32,7 +32,11 @@ fn main() {
         let points = rate_sweep(&server, bed.distribution(), &rates, &sweep_cfg);
         println!("{design}: ({} instances)", server.partitions().len());
         for p in &points {
-            let marker = if p.meets_target(sweep_cfg.sla_ms()) { " " } else { "×" };
+            let marker = if p.meets_target(sweep_cfg.sla_ms()) {
+                " "
+            } else {
+                "×"
+            };
             println!(
                 "  {marker} offered {:>6.0} q/s → p95 {:>8.2} ms, util {:>3.0}%",
                 p.offered_qps,

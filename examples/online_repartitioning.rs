@@ -32,7 +32,9 @@ fn main() {
 
     // Phase 1: plan for the morning workload (small batches dominate).
     let morning = BatchDistribution::log_normal_with_median(32, 0.9, 2.0);
-    let plan = Paris::new(&table, &morning).plan(budget).expect("plan builds");
+    let plan = Paris::new(&table, &morning)
+        .plan(budget)
+        .expect("plan builds");
     println!("morning plan (median batch 2): {plan}");
     println!(
         "  throughput on morning traffic: {:.0} q/s",
@@ -56,9 +58,7 @@ fn main() {
 
     // Phase 3: PARIS re-partitions from the *observed* distribution — no
     // oracle knowledge of the true workload needed.
-    let observed = histogram
-        .to_distribution()
-        .expect("histogram is non-empty");
+    let observed = histogram.to_distribution().expect("histogram is non-empty");
     let refreshed = Paris::new(&table, &observed)
         .plan(budget)
         .expect("plan builds");

@@ -23,10 +23,22 @@ fn main() {
     // The large partitions are busy when a big query A arrives; a small
     // query B follows shortly after.
     let trace = vec![
-        QuerySpec { arrival_ns: 0, batch: 16 },          // occupies large #1
-        QuerySpec { arrival_ns: 1_000, batch: 16 },      // occupies large #2
-        QuerySpec { arrival_ns: 2_000_000, batch: 24 },  // query A: big
-        QuerySpec { arrival_ns: 3_000_000, batch: 2 },   // query B: small
+        QuerySpec {
+            arrival_ns: 0,
+            batch: 16,
+        }, // occupies large #1
+        QuerySpec {
+            arrival_ns: 1_000,
+            batch: 16,
+        }, // occupies large #2
+        QuerySpec {
+            arrival_ns: 2_000_000,
+            batch: 24,
+        }, // query A: big
+        QuerySpec {
+            arrival_ns: 3_000_000,
+            batch: 2,
+        }, // query B: small
     ];
 
     for (name, scheduler) in [

@@ -60,8 +60,8 @@ pub mod prelude {
         ProfileTable,
     };
     pub use crate::server::{
-        rate_sweep, search_latency_bounded_throughput, DesignPoint, InferenceServer, RunReport,
-        SchedulerKind, ServerConfig, SweepConfig, Testbed,
+        rate_sweep, search_latency_bounded_throughput, DesignPoint, InferenceServer, ReportDetail,
+        RunReport, SchedulerKind, ServerConfig, SweepConfig, Testbed,
     };
     pub use crate::workload::{BatchDistribution, QuerySpec, TraceGenerator};
 }

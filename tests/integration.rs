@@ -24,7 +24,11 @@ fn paris_elsa_beats_or_matches_every_baseline_on_every_model() {
     for model in ModelKind::ALL {
         let bed = Testbed::paper_default(model);
         let champion = lbt(&bed, DesignPoint::ParisElsa);
-        let tolerance = if model == ModelKind::Conformer { 0.85 } else { 0.95 };
+        let tolerance = if model == ModelKind::Conformer {
+            0.85
+        } else {
+            0.95
+        };
         for design in [
             DesignPoint::HomogeneousFifs(ProfileSize::G1),
             DesignPoint::HomogeneousFifs(ProfileSize::G2),
@@ -45,7 +49,11 @@ fn paris_elsa_beats_or_matches_every_baseline_on_every_model() {
 
 #[test]
 fn elsa_never_hurts_a_paris_plan() {
-    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+    for model in [
+        ModelKind::MobileNet,
+        ModelKind::ResNet50,
+        ModelKind::BertBase,
+    ] {
         let bed = Testbed::paper_default(model);
         let fifs = lbt(&bed, DesignPoint::ParisFifs);
         let elsa = lbt(&bed, DesignPoint::ParisElsa);
@@ -109,7 +117,10 @@ fn paris_plans_match_model_compute_intensity() {
         avg_gpcs(&light) < avg_gpcs(&heavy),
         "MobileNet plan must lean smaller than BERT's"
     );
-    assert!(heavy.count(ProfileSize::G7) >= 1, "BERT needs big partitions");
+    assert!(
+        heavy.count(ProfileSize::G7) >= 1,
+        "BERT needs big partitions"
+    );
 }
 
 #[test]
@@ -147,7 +158,11 @@ fn conservation_no_query_lost_or_duplicated_under_overload() {
 fn paris_extracts_more_throughput_per_gpc_than_gpu7() {
     // The TCO argument: at the SLA, PARIS-configured silicon serves more
     // queries per GPC than the monolithic GPU(7) server.
-    for model in [ModelKind::MobileNet, ModelKind::ResNet50, ModelKind::BertBase] {
+    for model in [
+        ModelKind::MobileNet,
+        ModelKind::ResNet50,
+        ModelKind::BertBase,
+    ] {
         let bed = Testbed::paper_default(model);
         let paris_qps = lbt(&bed, DesignPoint::ParisElsa);
         let gpu7_qps = lbt(&bed, DesignPoint::HomogeneousFifs(ProfileSize::G7));
@@ -182,7 +197,10 @@ fn sla_violations_vanish_below_capacity_with_elsa() {
 fn looser_sla_increases_every_designs_throughput() {
     let tight = Testbed::paper_default(ModelKind::ResNet50);
     let loose = Testbed::paper_default(ModelKind::ResNet50).with_sla_multiplier(2.5);
-    for design in [DesignPoint::HomogeneousFifs(ProfileSize::G7), DesignPoint::ParisElsa] {
+    for design in [
+        DesignPoint::HomogeneousFifs(ProfileSize::G7),
+        DesignPoint::ParisElsa,
+    ] {
         let a = lbt(&tight, design);
         let b = lbt(&loose, design);
         assert!(

@@ -5,8 +5,9 @@ use proptest::prelude::*;
 
 use paris_elsa::dnn::ModelKind;
 use paris_elsa::gpu::{GpuLayout, COMPUTE_SLICES, MEM_SLICES};
-use paris_elsa::paris::PartitionSnapshot;
+use paris_elsa::paris::{ElsaState, PartitionSnapshot};
 use paris_elsa::prelude::*;
+use paris_elsa::server::ReportDetail;
 use paris_elsa::workload::{EmpiricalBatchPmf, PoissonProcess};
 
 fn profile_size_strategy() -> impl Strategy<Value = ProfileSize> {
@@ -223,6 +224,161 @@ proptest! {
         };
         let t_new = table.latency_ns(ProfileSize::G3, 8);
         prop_assert!(elsa.slack_ns(&busy, t_new) < elsa.slack_ns(&idle, t_new));
+    }
+
+    // ---------- ELSA incremental placement state ----------
+
+    #[test]
+    fn elsa_incremental_state_matches_fresh_snapshots(
+        partitions in prop::collection::vec(profile_size_strategy(), 1..6),
+        ops in prop::collection::vec(
+            (0u64..3, 0usize..8, 100_000u64..50_000_000),
+            1..120
+        ),
+        batch in 1usize..=32
+    ) {
+        // Drives an arbitrary legal (work-conserving) sequence of
+        // dispatch/complete events against the incremental ElsaState and a
+        // plain per-partition mirror, checking after every step that (a)
+        // the state's load accounting equals freshly-built snapshots and
+        // (b) place_mut equals the pure reference place, tie-breaks
+        // included.
+        let table = resnet_table();
+        let elsa = Elsa::new(ElsaConfig::new(table.sla_target_ns(1.5)));
+        let n = partitions.len();
+        let mut state = ElsaState::new(&partitions);
+        // Mirror: (end_ns while executing, queued estimates).
+        let mut current: Vec<Option<u64>> = vec![None; n];
+        let mut queues: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut now = 0u64;
+
+        for &(kind, target, est) in &ops {
+            match kind {
+                // A query with execution estimate `est` lands on `target`.
+                0 | 1 => {
+                    let p = target % n;
+                    if current[p].is_none() {
+                        current[p] = Some(now + est);
+                        state.begin(p, now + est);
+                    } else {
+                        queues[p].push(est);
+                        state.enqueue(p, est);
+                    }
+                }
+                // The earliest-finishing partition completes.
+                _ => {
+                    let Some((p, end)) = current
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(p, c)| c.map(|end| (p, end)))
+                        .min_by_key(|&(p, end)| (end, p))
+                    else {
+                        continue;
+                    };
+                    now = end;
+                    current[p] = None;
+                    state.finish(p);
+                    if !queues[p].is_empty() {
+                        let next_est = queues[p].remove(0);
+                        state.dequeue(p, next_est);
+                        current[p] = Some(now + next_est);
+                        state.begin(p, now + next_est);
+                    }
+                }
+            }
+
+            // (a) Incremental load accounting == freshly-built snapshots.
+            let fresh: Vec<PartitionSnapshot> = (0..n)
+                .map(|p| PartitionSnapshot {
+                    size: partitions[p],
+                    queued_work_ns: queues[p].iter().sum(),
+                    remaining_current_ns: current[p].map_or(0, |end| end - now),
+                })
+                .collect();
+            prop_assert_eq!(&state.snapshots(now), &fresh);
+
+            // (b) Fast placement == pure reference placement.
+            let reference = elsa.place(batch, &table, &fresh);
+            let fast = elsa.place_mut(batch, &table, &mut state, now);
+            prop_assert_eq!(fast, reference);
+        }
+    }
+
+    // ---------- Server fast path vs reference ----------
+
+    #[test]
+    fn server_fast_path_matches_reference(
+        rate in 50f64..2_000.0,
+        seed in 0u64..50,
+        scheduler in 0u64..2
+    ) {
+        let table = resnet_table();
+        let sla = table.sla_target_ns(1.5);
+        let kind = if scheduler == 0 {
+            SchedulerKind::Fifs
+        } else {
+            SchedulerKind::Elsa(ElsaConfig::new(sla))
+        };
+        let server = InferenceServer::new(
+            vec![ProfileSize::G1, ProfileSize::G2, ProfileSize::G2, ProfileSize::G7],
+            table,
+            ServerConfig::new(kind),
+        );
+        let trace = TraceGenerator::new(rate, BatchDistribution::paper_default(), seed)
+            .generate_for(0.2);
+        let fast = server.run(&trace);
+        let reference = server.run_reference(&trace);
+        prop_assert_eq!(&fast.records, &reference.records);
+        prop_assert_eq!(&fast.partition_utilization, &reference.partition_utilization);
+        prop_assert_eq!(fast.makespan, reference.makespan);
+        prop_assert!(
+            fast.peak_pending_events <= server.partitions().len() + 2,
+            "streamed queue must stay O(partitions), got {}",
+            fast.peak_pending_events
+        );
+    }
+
+    #[test]
+    fn summary_reports_match_full_statistics(rate in 100f64..1_500.0, seed in 0u64..50) {
+        let table = resnet_table();
+        let sla = table.sla_target_ns(1.5);
+        let server = InferenceServer::new(
+            vec![ProfileSize::G2, ProfileSize::G3, ProfileSize::G7],
+            table,
+            ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla))),
+        );
+        let trace = TraceGenerator::new(rate, BatchDistribution::paper_default(), seed)
+            .generate_for(0.2);
+        let full = server.run_with_detail(&trace, ReportDetail::Full);
+        let summary = server.run_with_detail(&trace, ReportDetail::Summary);
+        prop_assert!(summary.records.is_empty());
+        prop_assert_eq!(summary.completed(), full.completed());
+        prop_assert_eq!(summary.makespan, full.makespan);
+        prop_assert_eq!(summary.achieved_qps, full.achieved_qps);
+        prop_assert_eq!(&summary.partition_utilization, &full.partition_utilization);
+        if full.completed() > 0 {
+            let exact = full.p95_ms();
+            let approx = summary.p95_ms();
+            prop_assert!(
+                (approx / exact - 1.0).abs() < 0.016,
+                "histogram p95 {} vs exact {}", approx, exact
+            );
+            // Violation-rate error is confined to the histogram bucket the
+            // SLA falls in (≤ 1.6 % wide): every sample outside that band
+            // is classified exactly.
+            let boundary_mass = full
+                .latency
+                .samples_ns()
+                .iter()
+                .filter(|&&v| (v as f64 / sla as f64 - 1.0).abs() <= 0.016)
+                .count() as f64
+                / full.completed() as f64;
+            prop_assert!(
+                (summary.sla_violation_rate(sla) - full.sla_violation_rate(sla)).abs()
+                    <= boundary_mass + 1e-9,
+                "violation-rate error exceeds the boundary-bucket mass {}", boundary_mass
+            );
+        }
     }
 
     // ---------- Metrics ----------
