@@ -172,7 +172,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Size bounds accepted by [`vec`].
+        /// Size bounds accepted by [`vec()`].
         pub trait IntoSizeRange {
             /// Lower (inclusive) and upper (inclusive) length bounds.
             fn bounds(&self) -> (usize, usize);
@@ -204,7 +204,7 @@ pub mod prop {
             VecStrategy { element, min, max }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

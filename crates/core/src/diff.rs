@@ -1,0 +1,134 @@
+//! Diffing two partition layouts: what an online re-planner must destroy,
+//! create, and may keep serving.
+//!
+//! PARIS emits a *target* set of instances; a running server holds a
+//! *current* set. [`plan_diff`] computes the minimal multiset edit between
+//! them per [`ProfileSize`]: instances whose size survives the transition
+//! are **kept** (they keep serving, queues intact), the rest are
+//! **removed** (quiesced: drained, then their slices reclaimed) or
+//! **added** (created once the reslice completes). The reconfiguration
+//! downtime this implies is priced by
+//! `mig_gpu::ResliceCostModel::delay_ns(removed, added)`.
+
+use std::collections::BTreeMap;
+
+use mig_gpu::ProfileSize;
+
+/// The per-size multiset difference between a current and a target
+/// partition layout.
+///
+/// # Examples
+///
+/// ```
+/// use mig_gpu::ProfileSize;
+/// use paris_core::plan_diff;
+///
+/// let current = [ProfileSize::G1, ProfileSize::G1, ProfileSize::G3];
+/// let target = [ProfileSize::G1, ProfileSize::G7];
+/// let diff = plan_diff(&current, &target);
+/// assert_eq!(diff.kept_count(), 1); // one G1 survives
+/// assert_eq!(diff.removed_count(), 2); // one G1 + the G3 go away
+/// assert_eq!(diff.added_count(), 1); // the G7 is new
+/// assert!(!diff.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanDiff {
+    /// Instances per size present in both layouts (min of the two counts).
+    pub kept: BTreeMap<ProfileSize, usize>,
+    /// Instances per size only in the current layout (to be quiesced and
+    /// destroyed).
+    pub removed: BTreeMap<ProfileSize, usize>,
+    /// Instances per size only in the target layout (to be created after
+    /// the reslice).
+    pub added: BTreeMap<ProfileSize, usize>,
+}
+
+impl PlanDiff {
+    /// Total instances that keep serving across the transition.
+    #[must_use]
+    pub fn kept_count(&self) -> usize {
+        self.kept.values().sum()
+    }
+
+    /// Total instances to destroy.
+    #[must_use]
+    pub fn removed_count(&self) -> usize {
+        self.removed.values().sum()
+    }
+
+    /// Total instances to create.
+    #[must_use]
+    pub fn added_count(&self) -> usize {
+        self.added.values().sum()
+    }
+
+    /// Whether the two layouts are identical (nothing to do).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// Computes the per-size multiset difference between `current` and
+/// `target` instance lists (order is irrelevant).
+#[must_use]
+pub fn plan_diff(current: &[ProfileSize], target: &[ProfileSize]) -> PlanDiff {
+    let mut cur: BTreeMap<ProfileSize, usize> = BTreeMap::new();
+    for &s in current {
+        *cur.entry(s).or_insert(0) += 1;
+    }
+    let mut tgt: BTreeMap<ProfileSize, usize> = BTreeMap::new();
+    for &s in target {
+        *tgt.entry(s).or_insert(0) += 1;
+    }
+
+    let mut diff = PlanDiff::default();
+    for &size in ProfileSize::ALL.iter() {
+        let c = cur.get(&size).copied().unwrap_or(0);
+        let t = tgt.get(&size).copied().unwrap_or(0);
+        let kept = c.min(t);
+        if kept > 0 {
+            diff.kept.insert(size, kept);
+        }
+        if c > t {
+            diff.removed.insert(size, c - t);
+        }
+        if t > c {
+            diff.added.insert(size, t - c);
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_layouts_diff_to_empty() {
+        let p = [ProfileSize::G2, ProfileSize::G3, ProfileSize::G2];
+        let d = plan_diff(&p, &[ProfileSize::G3, ProfileSize::G2, ProfileSize::G2]);
+        assert!(d.is_empty());
+        assert_eq!(d.kept_count(), 3);
+    }
+
+    #[test]
+    fn counts_balance_with_the_inputs() {
+        let cur = [ProfileSize::G1; 4];
+        let tgt = [ProfileSize::G1, ProfileSize::G2, ProfileSize::G2];
+        let d = plan_diff(&cur, &tgt);
+        assert_eq!(d.kept_count() + d.removed_count(), cur.len());
+        assert_eq!(d.kept_count() + d.added_count(), tgt.len());
+        assert_eq!(d.removed.get(&ProfileSize::G1), Some(&3));
+        assert_eq!(d.added.get(&ProfileSize::G2), Some(&2));
+    }
+
+    #[test]
+    fn empty_layouts() {
+        let d = plan_diff(&[], &[]);
+        assert!(d.is_empty());
+        let d = plan_diff(&[], &[ProfileSize::G7]);
+        assert_eq!(d.added_count(), 1);
+        assert_eq!(d.kept_count(), 0);
+    }
+}

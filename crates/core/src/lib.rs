@@ -32,6 +32,7 @@
 //! # Ok::<(), paris_core::PlanError>(())
 //! ```
 
+mod diff;
 mod elsa;
 mod knee;
 mod ordset;
@@ -39,6 +40,7 @@ mod paris;
 mod placement;
 mod profile;
 
+pub use diff::{plan_diff, PlanDiff};
 pub use elsa::{Decision, Elsa, ElsaConfig, FallbackPolicy, PartitionSnapshot, ScanOrder};
 pub use knee::{
     find_knee, find_knees, KneeRule, MaxBatchKnee, DEFAULT_KNEE_THRESHOLD, DEFAULT_TAKEOFF_FACTOR,

@@ -362,6 +362,28 @@ impl<'a> Paris<'a> {
     ///   mass in the profiled range,
     /// * [`PlanError::BudgetTooSmall`] if not even one `GPU(1)` instance
     ///   fits the budget.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnn_zoo::ModelKind;
+    /// use inference_workload::BatchDistribution;
+    /// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+    /// use paris_core::{GpcBudget, Paris, ProfileTable};
+    ///
+    /// let model = ModelKind::ResNet50.build();
+    /// let perf = PerfModel::new(DeviceSpec::a100());
+    /// let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+    /// let dist = BatchDistribution::paper_default();
+    ///
+    /// // Partition 48 GPCs over 8 A100s for a log-normal batch mix.
+    /// let plan = Paris::new(&table, &dist).plan(GpcBudget::new(48, 8))?;
+    /// assert!(plan.total_gpcs_used() <= 48);
+    /// assert!(plan.is_heterogeneous(), "PARIS mixes partition sizes");
+    /// // Every batch size is owned by exactly one segment.
+    /// assert!(plan.segments().iter().any(|s| s.contains(1)));
+    /// # Ok::<(), paris_core::PlanError>(())
+    /// ```
     pub fn plan(&self, budget: GpcBudget) -> Result<PartitionPlan, PlanError> {
         if budget.total_gpcs < 1 {
             return Err(PlanError::BudgetTooSmall { budget });

@@ -304,6 +304,30 @@ impl Elsa {
     ///
     /// Panics if `state` tracks no partitions or one of its sizes was not
     /// profiled in `table`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnn_zoo::ModelKind;
+    /// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+    /// use paris_core::{Elsa, ElsaConfig, ElsaState, ProfileTable};
+    ///
+    /// let model = ModelKind::ResNet50.build();
+    /// let perf = PerfModel::new(DeviceSpec::a100());
+    /// let table = ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32);
+    /// let elsa = Elsa::new(ElsaConfig::new(table.sla_target_ns(1.5)));
+    ///
+    /// let mut state = ElsaState::new(&[ProfileSize::G1, ProfileSize::G7]);
+    /// // The small partition is busy until t = 5 ms with 2 ms queued...
+    /// state.begin(0, 5_000_000);
+    /// state.enqueue(0, 2_000_000);
+    /// // ...so at t = 1 ms a batch-8 query lands on the idle G7.
+    /// let decision = elsa.place_mut(8, &table, &mut state, 1_000_000);
+    /// assert_eq!(decision.partition(), 1);
+    /// // The decision equals the pure reference over fresh snapshots.
+    /// let reference = elsa.place(8, &table, &state.snapshots(1_000_000));
+    /// assert_eq!(decision, reference);
+    /// ```
     #[must_use]
     pub fn place_mut(
         &self,

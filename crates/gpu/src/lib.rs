@@ -4,7 +4,7 @@
 //! that can be partitioned into multiple smaller GPUs, exactly as NVIDIA's
 //! Multi-Instance GPU feature allows (paper §II-C).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`DeviceSpec`] — published A100 constants plus calibration knobs,
 //! * geometry — [`ProfileSize`] (the 1g/2g/3g/4g/7g instance profiles),
@@ -12,7 +12,9 @@
 //!   [`valid_gpu_configurations`] enumeration,
 //! * [`PerfModel`] — an analytical latency/utilization model standing in
 //!   for profiling on real hardware (see DESIGN.md for the substitution
-//!   argument).
+//!   argument),
+//! * [`ResliceCostModel`] — the driver-side downtime of re-partitioning a
+//!   running server (what the online re-planning loop charges).
 //!
 //! ```
 //! use dnn_zoo::ModelKind;
@@ -29,6 +31,7 @@ mod geometry;
 mod partition;
 mod perf;
 mod profile_size;
+mod reconfig;
 
 pub use device::DeviceSpec;
 pub use geometry::{
@@ -37,3 +40,4 @@ pub use geometry::{
 pub use partition::PartitionResources;
 pub use perf::{Bound, InferenceEstimate, LayerTiming, PerfModel};
 pub use profile_size::{ParseProfileSizeError, ProfileSize};
+pub use reconfig::ResliceCostModel;

@@ -6,6 +6,9 @@
 //!
 //! * [`InferenceServer`] / [`ServerConfig`] / [`RunReport`] — run query
 //!   traces through a partitioned server,
+//! * [`MultiModelServer`] / [`ModelSpec`] / [`ReplanPolicy`] — many
+//!   models over a shared, reconfigurable partition pool, with
+//!   drift-triggered online PARIS re-planning mid-run,
 //! * [`rate_sweep`] / [`search_latency_bounded_throughput`] — the
 //!   measurement procedures behind Figures 11–13,
 //! * [`Testbed`] / [`DesignPoint`] — the six evaluated designs with the
@@ -49,6 +52,7 @@
 
 mod designs;
 mod gantt;
+mod multi;
 mod query;
 mod server;
 mod sweep;
@@ -56,6 +60,10 @@ mod worker;
 
 pub use designs::{paper_budgets, DesignPoint, Testbed};
 pub use gantt::{Gantt, Span};
+pub use multi::{
+    split_budget, ModelReport, ModelSpec, MultiModelConfig, MultiModelServer, MultiRunReport,
+    ReconfigEvent, ReplanPolicy,
+};
 pub use query::{Query, QueryId, QueryRecord};
 pub use server::{InferenceServer, ReportDetail, RunReport, SchedulerKind, ServerConfig};
 pub use sweep::{

@@ -1,0 +1,1413 @@
+//! Multi-model serving over a shared partition pool, with online PARIS
+//! re-planning under traffic drift.
+//!
+//! A production reconfigurable server rarely hosts one model: ParvaGPU-style
+//! deployments co-locate many inference services on spatially shared GPUs,
+//! and Aryl-style cluster schedulers re-plan capacity as load shifts. This
+//! module brings both to the simulator:
+//!
+//! * [`MultiModelServer`] hosts one [`ModelSpec`] per model — its own
+//!   [`ProfileTable`], batch distribution, scheduling policy and SLA — over
+//!   a shared GPC budget. The budget is split across models
+//!   ([`split_budget`]) and PARIS plans each model's partition group
+//!   independently; queries ([`TaggedQuerySpec`]) route to their model's
+//!   group through **per-model scheduler state** (an `ElsaState` or FIFS
+//!   idle set per group), preserving the allocation-free O(log P) dispatch
+//!   of the single-model fast path.
+//! * With a [`ReplanPolicy`], a windowed [`DriftDetector`] watches the
+//!   arrival stream; when a model's rate or batch mix drifts, PARIS
+//!   re-plans from the **observed** distributions and the server
+//!   reconfigures mid-run: unchanged instances keep serving untouched,
+//!   removed instances are *quiesced* (they finish their current query and
+//!   local queue, accepting nothing new), and once the last one drains the
+//!   DES charges the MIG reslice downtime ([`ResliceCostModel`]) before the
+//!   new instances come online.
+//!
+//! # Degeneration contract
+//!
+//! With a single model and no replan policy, a `MultiModelServer` run is
+//! **bit-for-bit identical** to [`InferenceServer::run_stream`] over the
+//! same partitions, table and configuration — same records, same latency
+//! samples, same utilization. `tests/properties.rs` enforces this, which
+//! pins the multi-model dispatch path to the single-model semantics the
+//! PR-1 equivalence contract already guards.
+//!
+//! # Conservation contract
+//!
+//! A mid-run re-plan never drops or double-serves a query: quiesced
+//! partitions drain their in-flight work, queries that arrive for a group
+//! with no active instances wait in a stash until the reconfiguration
+//! completes, and every accepted query completes exactly once. Unit tests
+//! below and the property suite enforce this.
+
+use std::collections::VecDeque;
+
+use des_engine::{SimDuration, SimTime, Simulation};
+use inference_workload::{
+    BatchDistribution, DriftDetector, DriftDetectorConfig, DriftReport, TaggedQuerySpec,
+};
+use mig_gpu::{ProfileSize, ResliceCostModel};
+use paris_core::{plan_diff, Elsa, ElsaState, GpcBudget, LoadSet, Paris, PlanError, ProfileTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use server_metrics::{LatencyHistogram, LatencyRecorder};
+
+use crate::query::{Query, QueryId, QueryRecord};
+use crate::server::{noisy_service_duration, ReportDetail, SchedulerKind};
+use crate::worker::PartitionWorker;
+
+/// Everything the server needs to host one model.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Human-readable name, used in reports and benchmark output.
+    pub name: String,
+    /// The model's profiled latency table (must cover every size PARIS may
+    /// pick, i.e. be profiled over [`ProfileSize::ALL`]).
+    pub table: ProfileTable,
+    /// The batch distribution used for *initial* planning (re-plans use
+    /// observed distributions).
+    pub dist: BatchDistribution,
+    /// Relative share of the GPC budget at initial planning time.
+    pub weight: f64,
+    /// The scheduling policy for this model's partition group.
+    pub scheduler: SchedulerKind,
+    /// SLA target for exact per-model violation counting, if any.
+    pub sla_ns: Option<u64>,
+}
+
+impl ModelSpec {
+    /// A model served by ELSA at the paper-default SLA (1.5× the max-batch
+    /// latency on the largest partition), with unit budget weight.
+    #[must_use]
+    pub fn new(name: impl Into<String>, table: ProfileTable, dist: BatchDistribution) -> Self {
+        let sla = table.sla_target_ns(1.5);
+        ModelSpec {
+            name: name.into(),
+            table,
+            dist,
+            weight: 1.0,
+            scheduler: SchedulerKind::Elsa(paris_core::ElsaConfig::new(sla)),
+            sla_ns: Some(sla),
+        }
+    }
+
+    /// Overrides the initial budget weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
+        self.weight = weight;
+        self
+    }
+
+    /// Overrides the scheduling policy.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Overrides the SLA target used for exact violation counting.
+    #[must_use]
+    pub fn with_sla_ns(mut self, sla_ns: u64) -> Self {
+        self.sla_ns = Some(sla_ns);
+        self
+    }
+}
+
+/// When and how the server re-plans mid-run.
+#[derive(Debug, Clone)]
+pub struct ReplanPolicy {
+    /// The drift trigger.
+    pub detector: DriftDetectorConfig,
+    /// The MIG reslice downtime model the DES charges per reconfiguration.
+    pub cost: ResliceCostModel,
+}
+
+impl ReplanPolicy {
+    /// A policy with the given detection window (seconds), the default
+    /// ±50 % drift threshold and the A100 reslice cost model.
+    #[must_use]
+    pub fn new(window_s: f64) -> Self {
+        ReplanPolicy {
+            detector: DriftDetectorConfig::new(window_s),
+            cost: ResliceCostModel::a100_default(),
+        }
+    }
+
+    /// Overrides the drift detector configuration.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DriftDetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Overrides the reslice cost model.
+    #[must_use]
+    pub fn with_cost(mut self, cost: ResliceCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// Server-level configuration for multi-model runs (the multi-model twin
+/// of `ServerConfig`, minus the per-model scheduler, plus the replan
+/// policy).
+#[derive(Debug, Clone)]
+pub struct MultiModelConfig {
+    /// Serial frontend service time per query.
+    pub frontend_overhead: SimDuration,
+    /// Relative stddev of multiplicative service-time noise (0 = exact).
+    pub service_noise: f64,
+    /// Seed for the service-noise RNG.
+    pub noise_seed: u64,
+    /// How much per-query material runs keep.
+    pub detail: ReportDetail,
+    /// Online re-planning policy; `None` freezes the initial plan.
+    pub replan: Option<ReplanPolicy>,
+}
+
+impl MultiModelConfig {
+    /// A deterministic configuration with a 20 µs frontend, full detail
+    /// and no re-planning.
+    #[must_use]
+    pub fn new() -> Self {
+        MultiModelConfig {
+            frontend_overhead: SimDuration::from_micros(20),
+            service_noise: 0.0,
+            noise_seed: 0,
+            detail: ReportDetail::Full,
+            replan: None,
+        }
+    }
+
+    /// Overrides the frontend service time.
+    #[must_use]
+    pub fn with_frontend_overhead(mut self, overhead: SimDuration) -> Self {
+        self.frontend_overhead = overhead;
+        self
+    }
+
+    /// Adds multiplicative service-time noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is negative or not finite.
+    #[must_use]
+    pub fn with_service_noise(mut self, noise: f64, seed: u64) -> Self {
+        assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+        self.service_noise = noise;
+        self.noise_seed = seed;
+        self
+    }
+
+    /// Sets how much per-query material runs keep.
+    #[must_use]
+    pub fn with_detail(mut self, detail: ReportDetail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Enables online re-planning.
+    #[must_use]
+    pub fn with_replan(mut self, replan: ReplanPolicy) -> Self {
+        self.replan = Some(replan);
+        self
+    }
+}
+
+impl Default for MultiModelConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Splits a shared [`GpcBudget`] across models proportionally to
+/// `weights`, guaranteeing every model at least one GPU and one GPC.
+/// Models do not share physical GPUs (a deliberate isolation choice: MIG
+/// gives spatial isolation *within* a GPU, but keeping model groups on
+/// disjoint GPUs makes reslicing one model's group independent of the
+/// others).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, longer than the GPU count, or contains a
+/// non-positive or non-finite weight.
+///
+/// # Examples
+///
+/// ```
+/// use paris_core::GpcBudget;
+/// use inference_server::split_budget;
+///
+/// let shares = split_budget(GpcBudget::new(48, 8), &[3.0, 1.0]);
+/// assert_eq!(shares.len(), 2);
+/// assert_eq!(shares.iter().map(|b| b.total_gpcs).sum::<usize>(), 48);
+/// assert_eq!(shares.iter().map(|b| b.num_gpus).sum::<usize>(), 8);
+/// assert!(shares[0].total_gpcs > shares[1].total_gpcs);
+/// ```
+#[must_use]
+pub fn split_budget(budget: GpcBudget, weights: &[f64]) -> Vec<GpcBudget> {
+    let k = weights.len();
+    assert!(k >= 1, "need at least one model");
+    assert!(
+        k <= budget.num_gpus,
+        "{k} models need {k} GPUs, budget has {}",
+        budget.num_gpus
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "weights must be positive"
+    );
+    assert!(
+        budget.total_gpcs >= k,
+        "budget must afford one GPC per model"
+    );
+
+    let gpus = bounded_split(
+        budget.num_gpus,
+        weights,
+        &vec![1; k],
+        &vec![budget.num_gpus; k],
+    );
+    let maxs: Vec<usize> = gpus.iter().map(|&g| g * mig_gpu::COMPUTE_SLICES).collect();
+    let gpcs = bounded_split(budget.total_gpcs, weights, &vec![1; k], &maxs);
+    gpus.iter()
+        .zip(&gpcs)
+        .map(|(&g, &c)| GpcBudget::new(c, g))
+        .collect()
+}
+
+/// Largest-remainder apportionment of `total` units across `weights`,
+/// bounded below by `mins` and above by `maxs`. Deterministic: ties go to
+/// the lowest index.
+fn bounded_split(total: usize, weights: &[f64], mins: &[usize], maxs: &[usize]) -> Vec<usize> {
+    let wsum: f64 = weights.iter().sum();
+    let mut out = mins.to_vec();
+    let assigned: usize = out.iter().sum();
+    debug_assert!(assigned <= total, "mins exceed the total");
+    let target: Vec<f64> = weights.iter().map(|w| w / wsum * total as f64).collect();
+    for _ in 0..total.saturating_sub(assigned) {
+        let mut best: Option<(f64, usize)> = None;
+        for i in 0..out.len() {
+            if out[i] >= maxs[i] {
+                continue;
+            }
+            let deficit = target[i] - out[i] as f64;
+            if best.is_none_or(|(d, _)| deficit > d) {
+                best = Some((deficit, i));
+            }
+        }
+        match best {
+            Some((_, i)) => out[i] += 1,
+            None => break,
+        }
+    }
+    out
+}
+
+/// One completed mid-run reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigEvent {
+    /// When drift triggered the re-plan (quiescing began).
+    pub triggered_at: SimTime,
+    /// When the new instances came online (drain + reslice done).
+    pub completed_at: SimTime,
+    /// Instances quiesced and destroyed.
+    pub destroyed: usize,
+    /// Instances created.
+    pub created: usize,
+    /// The charged driver-side reslice downtime (excludes drain, which
+    /// plays out in simulated time).
+    pub reslice_delay: SimDuration,
+}
+
+/// Per-model results of a multi-model run.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// The model's name.
+    pub name: String,
+    /// Queries completed for this model.
+    pub completed: u64,
+    /// Latency histogram of this model's queries.
+    pub histogram: LatencyHistogram,
+    /// The SLA target exact violations were counted against, if any.
+    pub sla_ns: Option<u64>,
+    /// Exact violation count against [`sla_ns`](Self::sla_ns).
+    pub sla_violations: u64,
+}
+
+impl ModelReport {
+    /// p95 tail latency of this model's queries, milliseconds
+    /// (bucket-accurate).
+    #[must_use]
+    pub fn p95_ms(&self) -> f64 {
+        self.histogram.p95_ms()
+    }
+
+    /// Exact fraction of this model's queries that violated its SLA (0
+    /// when no SLA is configured or nothing completed).
+    #[must_use]
+    pub fn sla_violation_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.sla_violations as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Everything measured during one multi-model run.
+#[derive(Debug, Clone)]
+pub struct MultiRunReport {
+    /// Detail level the run was recorded at.
+    pub detail: ReportDetail,
+    /// Per-query lifecycle records, completion order (empty under
+    /// [`ReportDetail::Summary`]). `partition` indexes
+    /// [`partition_sizes`](Self::partition_sizes).
+    pub records: Vec<QueryRecord>,
+    /// The model of each record, parallel to [`records`](Self::records).
+    pub record_models: Vec<usize>,
+    /// Exact combined latency samples (empty under summary detail).
+    pub latency: LatencyRecorder,
+    /// Combined fixed-footprint latency histogram.
+    pub histogram: LatencyHistogram,
+    /// Per-model breakdown.
+    pub per_model: Vec<ModelReport>,
+    /// Time from first arrival to last completion.
+    pub makespan: SimDuration,
+    /// Completed queries divided by the makespan.
+    pub achieved_qps: f64,
+    /// Busy fraction over the makespan of every partition that ever
+    /// existed (including ones destroyed by reconfigurations).
+    pub partition_utilization: Vec<f64>,
+    /// Size of each partition, parallel to the utilization vector.
+    pub partition_sizes: Vec<ProfileSize>,
+    /// Owning model of each partition, parallel to the utilization vector.
+    pub partition_models: Vec<usize>,
+    /// Every completed mid-run reconfiguration, in order.
+    pub reconfigs: Vec<ReconfigEvent>,
+    /// High-water mark of the DES event queue (stays O(partitions)).
+    pub peak_pending_events: usize,
+}
+
+impl MultiRunReport {
+    /// Total queries completed across all models.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.histogram.count()
+    }
+
+    /// Combined p95 tail latency, milliseconds (exact under
+    /// [`ReportDetail::Full`], bucket-accurate under summary).
+    #[must_use]
+    pub fn p95_ms(&self) -> f64 {
+        match self.detail {
+            ReportDetail::Full => self.latency.p95_ms(),
+            ReportDetail::Summary => self.histogram.p95_ms(),
+        }
+    }
+
+    /// The worst per-model exact SLA violation rate (the metric a
+    /// latency-bounded multi-model throughput search constrains).
+    #[must_use]
+    pub fn worst_violation_rate(&self) -> f64 {
+        self.per_model
+            .iter()
+            .map(ModelReport::sla_violation_rate)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A simulated multi-model inference server over a shared, reconfigurable
+/// partition pool — see the source module's documentation for the serving
+/// and re-planning model, and the degeneration/conservation contracts.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_zoo::ModelKind;
+/// use inference_workload::{BatchDistribution, MultiTraceGenerator, PhaseSpec};
+/// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+/// use paris_core::{GpcBudget, ProfileTable};
+/// use inference_server::{ModelSpec, MultiModelConfig, MultiModelServer};
+///
+/// let perf = PerfModel::new(DeviceSpec::a100());
+/// let dist = BatchDistribution::paper_default();
+/// let spec = |kind: ModelKind| {
+///     let table = ProfileTable::profile(&kind.build(), &perf, &ProfileSize::ALL, 32);
+///     ModelSpec::new(format!("{kind}"), table, dist.clone())
+/// };
+/// let server = MultiModelServer::new(
+///     vec![spec(ModelKind::MobileNet), spec(ModelKind::ResNet50)],
+///     GpcBudget::new(48, 8),
+///     MultiModelConfig::new(),
+/// )?;
+/// let trace = MultiTraceGenerator::new(
+///     vec![PhaseSpec::new(0.3, vec![(200.0, dist.clone()), (100.0, dist)])],
+///     7,
+/// );
+/// let report = server.run_stream(trace.stream(), Default::default());
+/// assert_eq!(report.completed(), report.records.len() as u64);
+/// assert_eq!(report.per_model.len(), 2);
+/// # Ok::<(), paris_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiModelServer {
+    models: Vec<ModelSpec>,
+    groups: Vec<Vec<ProfileSize>>,
+    budget: GpcBudget,
+    config: MultiModelConfig,
+}
+
+impl MultiModelServer {
+    /// Plans the initial per-model partition groups: the budget is split
+    /// by [`split_budget`] over the model weights and PARIS plans each
+    /// model's share against its declared distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from any model's PARIS run.
+    pub fn plan_groups(
+        models: &[ModelSpec],
+        budget: GpcBudget,
+    ) -> Result<Vec<Vec<ProfileSize>>, PlanError> {
+        let weights: Vec<f64> = models.iter().map(|m| m.weight).collect();
+        let budgets = split_budget(budget, &weights);
+        models
+            .iter()
+            .zip(budgets)
+            .map(|(m, b)| Ok(Paris::new(&m.table, &m.dist).plan(b)?.partitions()))
+            .collect()
+    }
+
+    /// Creates a server with PARIS-planned initial groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from the initial planning pass.
+    pub fn new(
+        models: Vec<ModelSpec>,
+        budget: GpcBudget,
+        config: MultiModelConfig,
+    ) -> Result<Self, PlanError> {
+        let groups = Self::plan_groups(&models, budget)?;
+        Ok(Self::with_groups(models, groups, budget, config))
+    }
+
+    /// Creates a server with explicit per-model partition groups (tests,
+    /// baselines, and the single-model degeneration contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty, `groups` does not match it one-to-one,
+    /// any group is empty, or a [`ReplanPolicy`] is configured over a
+    /// budget that cannot be split across the models (fewer GPUs or GPCs
+    /// than models) — re-planning would hit that wall mid-run otherwise.
+    #[must_use]
+    pub fn with_groups(
+        models: Vec<ModelSpec>,
+        groups: Vec<Vec<ProfileSize>>,
+        budget: GpcBudget,
+        config: MultiModelConfig,
+    ) -> Self {
+        assert!(!models.is_empty(), "server needs at least one model");
+        assert_eq!(models.len(), groups.len(), "one group per model");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "every model needs at least one partition"
+        );
+        if config.replan.is_some() {
+            // Fail at construction, not at the first drift trigger: a
+            // re-plan splits the budget across models and needs one GPU
+            // and one GPC per model.
+            assert!(
+                models.len() <= budget.num_gpus && models.len() <= budget.total_gpcs,
+                "replanning {} models needs at least that many GPUs and GPCs, budget is {budget}",
+                models.len()
+            );
+        }
+        MultiModelServer {
+            models,
+            groups,
+            budget,
+            config,
+        }
+    }
+
+    /// The hosted models.
+    #[must_use]
+    pub fn models(&self) -> &[ModelSpec] {
+        &self.models
+    }
+
+    /// The initial per-model partition groups.
+    #[must_use]
+    pub fn groups(&self) -> &[Vec<ProfileSize>] {
+        &self.groups
+    }
+
+    /// The shared GPC budget.
+    #[must_use]
+    pub fn budget(&self) -> GpcBudget {
+        self.budget
+    }
+
+    /// The server configuration.
+    #[must_use]
+    pub fn config(&self) -> &MultiModelConfig {
+        &self.config
+    }
+
+    /// Simulates the server over a materialized tagged trace.
+    #[must_use]
+    pub fn run(&self, trace: &[TaggedQuerySpec]) -> MultiRunReport {
+        self.run_stream(trace.iter().copied(), self.config.detail)
+    }
+
+    /// Simulates the server over a *streamed* tagged arrival sequence
+    /// (ascending arrival times) until every accepted query completes.
+    #[must_use]
+    pub fn run_stream<I>(&self, arrivals: I, detail: ReportDetail) -> MultiRunReport
+    where
+        I: IntoIterator<Item = TaggedQuerySpec>,
+    {
+        MEngine::new(self, detail, arrivals.into_iter()).run()
+    }
+}
+
+/// Events driving the multi-model simulation.
+#[derive(Debug, Clone, Copy)]
+enum MEvent {
+    /// The frontend finished preparing a query for `model`.
+    Dispatch(Query, usize),
+    /// Partition `worker` finished its current query.
+    Complete { worker: usize },
+    /// Drain + reslice finished: bring the new instances online.
+    ReconfigReady,
+}
+
+/// Same-instant ordering mirrors the single-model engine: dispatches (by
+/// query id) before completions (by scheduling order); a reconfiguration
+/// completion goes last.
+const COMPLETE_KEY_BASE: u64 = 1 << 63;
+const RECONFIG_KEY: u64 = u64::MAX;
+
+/// One partition's identity and lifecycle within a run.
+#[derive(Debug)]
+struct WorkerSlot {
+    worker: PartitionWorker,
+    model: usize,
+    /// Index within the owning group's member list (meaningless while
+    /// retiring/retired).
+    local: usize,
+    /// Quiesced by a re-plan: finishes in-flight work, accepts nothing.
+    retiring: bool,
+}
+
+/// Per-model scheduler runtime over the group's member partitions.
+struct GroupRuntime {
+    /// Global worker indices of the active members.
+    members: Vec<usize>,
+    /// ELSA runtime (decision core + incremental state over *local*
+    /// member indices), when the model schedules with ELSA.
+    elsa: Option<(Elsa, ElsaState)>,
+    /// FIFS idle set, keyed `(idle_since, local index)`.
+    fifs_idle: LoadSet,
+    /// FIFS central queue.
+    central: VecDeque<Query>,
+    /// Queries that arrived while the group had no active members
+    /// (mid-reconfiguration); dispatched when the new instances come
+    /// online.
+    stash: VecDeque<Query>,
+}
+
+/// An in-flight reconfiguration: quiescing until `draining` hits zero,
+/// then a reslice of `delay`, then `added` comes online.
+struct ReconfigInFlight {
+    triggered_at: SimTime,
+    delay: SimDuration,
+    draining: usize,
+    added: Vec<(usize, ProfileSize)>,
+    destroyed: usize,
+    created: usize,
+}
+
+struct ModelAccum {
+    completed: u64,
+    histogram: LatencyHistogram,
+    sla_violations: u64,
+}
+
+/// One multi-model run's mutable state.
+struct MEngine<'a, I> {
+    server: &'a MultiModelServer,
+    detail: ReportDetail,
+    arrivals: I,
+    sim: Simulation<MEvent>,
+    slots: Vec<WorkerSlot>,
+    /// Borrowed latency row and max batch per slot (from the owning
+    /// model's table) — one slice index per estimate, as in the
+    /// single-model engine.
+    rows: Vec<&'a [u64]>,
+    max_batch: Vec<usize>,
+    groups: Vec<GroupRuntime>,
+    detector: Option<DriftDetector>,
+    reconfig: Option<ReconfigInFlight>,
+    reconfigs: Vec<ReconfigEvent>,
+    noise_rng: StdRng,
+    records: Vec<QueryRecord>,
+    record_models: Vec<usize>,
+    latency: LatencyRecorder,
+    histogram: LatencyHistogram,
+    per_model: Vec<ModelAccum>,
+    /// Instant of the most recent completion — the makespan endpoint. The
+    /// DES clock itself can outlive it (a trailing `ReconfigReady` fires
+    /// one reslice delay after the last drain), and charging that idle
+    /// tail to the makespan would bias throughput/utilization against
+    /// re-planning runs.
+    last_completion: SimTime,
+    frontend_free: SimTime,
+    next_query_id: u64,
+    next_complete_key: u64,
+}
+
+impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
+    fn new(server: &'a MultiModelServer, detail: ReportDetail, arrivals: I) -> Self {
+        let mut slots = Vec::new();
+        let mut rows = Vec::new();
+        let mut max_batch = Vec::new();
+        let mut groups = Vec::new();
+        for (m, sizes) in server.groups.iter().enumerate() {
+            let table = &server.models[m].table;
+            let mut members = Vec::with_capacity(sizes.len());
+            for &size in sizes {
+                members.push(slots.len());
+                slots.push(WorkerSlot {
+                    worker: PartitionWorker::new(size),
+                    model: m,
+                    local: 0,
+                    retiring: false,
+                });
+                rows.push(table.latency_row(size));
+                max_batch.push(table.max_batch());
+            }
+            groups.push(GroupRuntime {
+                members,
+                elsa: None,
+                fifs_idle: LoadSet::new(),
+                central: VecDeque::new(),
+                stash: VecDeque::new(),
+            });
+        }
+        let n = slots.len();
+        let detector = server.config.replan.as_ref().map(|rp| {
+            let max_b = server
+                .models
+                .iter()
+                .map(|m| m.table.max_batch())
+                .max()
+                .expect("at least one model");
+            DriftDetector::new(server.models.len(), max_b, rp.detector)
+        });
+        let mut engine = MEngine {
+            server,
+            detail,
+            arrivals,
+            // Steady state: ≤ one completion per partition + the next
+            // streamed arrival + a possible reconfiguration event.
+            sim: Simulation::with_capacity(n + 3),
+            slots,
+            rows,
+            max_batch,
+            groups,
+            detector,
+            reconfig: None,
+            reconfigs: Vec::new(),
+            noise_rng: StdRng::seed_from_u64(server.config.noise_seed),
+            records: Vec::new(),
+            record_models: Vec::new(),
+            latency: LatencyRecorder::new(),
+            histogram: LatencyHistogram::new(),
+            per_model: server
+                .models
+                .iter()
+                .map(|_| ModelAccum {
+                    completed: 0,
+                    histogram: LatencyHistogram::new(),
+                    sla_violations: 0,
+                })
+                .collect(),
+            last_completion: SimTime::ZERO,
+            frontend_free: SimTime::ZERO,
+            next_query_id: 0,
+            next_complete_key: COMPLETE_KEY_BASE,
+        };
+        for m in 0..engine.groups.len() {
+            engine.rebuild_group(m);
+        }
+        engine
+    }
+
+    /// Rebuilds group `m`'s scheduler state from its current members'
+    /// worker occupancy. O(group · log group); called only at construction
+    /// and at reconfiguration edges, never on the per-query path.
+    ///
+    /// `ElsaState` is pure derived state — replaying each member's current
+    /// execution (`begin`) and queued estimates (`enqueue`) reconstructs
+    /// it exactly, so surviving partitions keep serving across a re-plan
+    /// with their queues intact.
+    fn rebuild_group(&mut self, m: usize) {
+        let members = self.groups[m].members.clone();
+        for (local, &w) in members.iter().enumerate() {
+            self.slots[w].local = local;
+        }
+        let sizes: Vec<ProfileSize> = members
+            .iter()
+            .map(|&w| self.slots[w].worker.size())
+            .collect();
+        match &self.server.models[m].scheduler {
+            SchedulerKind::Elsa(cfg) => {
+                let mut state = ElsaState::new(&sizes);
+                for (local, &w) in members.iter().enumerate() {
+                    let worker = &self.slots[w].worker;
+                    if let Some(end) = worker.busy_until() {
+                        state.begin(local, end.as_nanos());
+                        for est in worker.queued_estimates() {
+                            state.enqueue(local, est.as_nanos());
+                        }
+                    }
+                }
+                self.groups[m].elsa = Some((Elsa::new(*cfg), state));
+            }
+            SchedulerKind::Fifs => {
+                let mut idle = LoadSet::with_capacity(members.len());
+                for (local, &w) in members.iter().enumerate() {
+                    let worker = &self.slots[w].worker;
+                    if worker.is_idle() {
+                        idle.insert((worker.idle_since().as_nanos(), local as u32));
+                    }
+                }
+                self.groups[m].fifs_idle = idle;
+            }
+        }
+    }
+
+    /// Profiled execution estimate for `batch` on slot `w`.
+    #[inline]
+    fn estimate_ns(&self, w: usize, batch: usize) -> u64 {
+        self.rows[w][batch.clamp(1, self.max_batch[w]) - 1]
+    }
+
+    /// Pulls the next tagged arrival through the shared serial frontend.
+    fn inject_next_arrival(&mut self) {
+        if let Some(tq) = self.arrivals.next() {
+            let arrival = SimTime::from_nanos(tq.spec.arrival_ns);
+            let begin = arrival.max(self.frontend_free);
+            let dispatched = begin + self.server.config.frontend_overhead;
+            self.frontend_free = dispatched;
+            let id = self.next_query_id;
+            self.next_query_id += 1;
+            self.sim.schedule_at_keyed(
+                dispatched,
+                id,
+                MEvent::Dispatch(
+                    Query {
+                        id: QueryId(id),
+                        batch: tq.spec.batch,
+                        arrival,
+                        dispatched,
+                    },
+                    tq.model,
+                ),
+            );
+        }
+    }
+
+    /// Starts `query` on slot `w` at `now` and schedules its completion.
+    /// Active slots also update their group's scheduler state; retiring
+    /// slots are outside every group and only drain.
+    fn begin(&mut self, w: usize, query: Query, now: SimTime) {
+        let base = self.estimate_ns(w, query.batch);
+        let duration =
+            noisy_service_duration(self.server.config.service_noise, base, &mut self.noise_rng);
+        let end = self.slots[w].worker.begin(query, now, duration);
+        if !self.slots[w].retiring {
+            let (m, local) = (self.slots[w].model, self.slots[w].local);
+            if let Some((_, state)) = &mut self.groups[m].elsa {
+                state.begin(local, end.as_nanos());
+            }
+        }
+        let key = self.next_complete_key;
+        self.next_complete_key += 1;
+        self.sim
+            .schedule_at_keyed(end, key, MEvent::Complete { worker: w });
+    }
+
+    /// Routes `query` to model `m`'s group — the same O(log P) decision
+    /// path as the single-model engine, against per-model state.
+    fn route(&mut self, query: Query, m: usize, now: SimTime) {
+        if self.groups[m].members.is_empty() {
+            // Mid-reconfiguration with the whole group quiesced: hold the
+            // query until the new instances come online.
+            self.groups[m].stash.push_back(query);
+            return;
+        }
+        if self.groups[m].elsa.is_some() {
+            let local = {
+                let table = &self.server.models[m].table;
+                let (elsa, state) = self.groups[m].elsa.as_mut().expect("elsa mode");
+                elsa.place_mut(query.batch, table, state, now.as_nanos())
+                    .partition()
+            };
+            let w = self.groups[m].members[local];
+            if self.slots[w].worker.is_idle() {
+                self.begin(w, query, now);
+            } else {
+                let est = self.estimate_ns(w, query.batch);
+                self.slots[w]
+                    .worker
+                    .enqueue(query, SimDuration::from_nanos(est));
+                self.groups[m]
+                    .elsa
+                    .as_mut()
+                    .expect("elsa mode")
+                    .1
+                    .enqueue(local, est);
+            }
+        } else {
+            match self.groups[m].fifs_idle.first() {
+                Some((idle_since, local)) => {
+                    self.groups[m].fifs_idle.remove((idle_since, local));
+                    let w = self.groups[m].members[local as usize];
+                    self.begin(w, query, now);
+                }
+                None => self.groups[m].central.push_back(query),
+            }
+        }
+    }
+
+    fn on_dispatch(&mut self, query: Query, m: usize, now: SimTime) {
+        // Keep the pipeline primed before handling this query.
+        self.inject_next_arrival();
+        if let Some(det) = &mut self.detector {
+            let drift = det.observe(m, query.arrival.as_nanos(), query.batch);
+            if self.reconfig.is_none() {
+                if let Some(report) = drift {
+                    self.try_replan(&report, now);
+                }
+            }
+        }
+        self.route(query, m, now);
+    }
+
+    fn on_complete(&mut self, w: usize, now: SimTime) {
+        self.last_completion = now;
+        let m = self.slots[w].model;
+        let (query, started) = self.slots[w].worker.finish(now);
+        let latency_ns = (now - query.arrival).as_nanos();
+        self.histogram.record(latency_ns);
+        let accum = &mut self.per_model[m];
+        accum.completed += 1;
+        accum.histogram.record(latency_ns);
+        if let Some(sla) = self.server.models[m].sla_ns {
+            accum.sla_violations += u64::from(latency_ns > sla);
+        }
+        if self.detail == ReportDetail::Full {
+            self.latency.record(latency_ns);
+            self.records.push(QueryRecord {
+                id: query.id,
+                batch: query.batch,
+                arrival: query.arrival,
+                dispatched: query.dispatched,
+                started,
+                completed: now,
+                partition: w,
+            });
+            self.record_models.push(m);
+        }
+
+        if self.slots[w].retiring {
+            // A quiesced partition serves out its own local queue, then
+            // goes dark; the last drained partition starts the reslice.
+            if let Some((q, _est)) = self.slots[w].worker.pop_next() {
+                self.begin(w, q, now);
+            } else {
+                let rc = self
+                    .reconfig
+                    .as_mut()
+                    .expect("retiring implies a reconfig in flight");
+                rc.draining -= 1;
+                if rc.draining == 0 {
+                    let delay = rc.delay;
+                    self.sim
+                        .schedule_at_keyed(now + delay, RECONFIG_KEY, MEvent::ReconfigReady);
+                }
+            }
+            return;
+        }
+
+        let local = self.slots[w].local;
+        if self.groups[m].elsa.is_some() {
+            self.groups[m]
+                .elsa
+                .as_mut()
+                .expect("elsa mode")
+                .1
+                .finish(local);
+            if let Some((q, est)) = self.slots[w].worker.pop_next() {
+                self.groups[m]
+                    .elsa
+                    .as_mut()
+                    .expect("elsa mode")
+                    .1
+                    .dequeue(local, est.as_nanos());
+                self.begin(w, q, now);
+            }
+        } else {
+            match self.groups[m].central.pop_front() {
+                Some(q) => self.begin(w, q, now),
+                None => self.groups[m]
+                    .fifs_idle
+                    .insert((now.as_nanos(), local as u32)),
+            }
+        }
+    }
+
+    /// Acts on a drift report: re-plans every model from its observed
+    /// traffic, quiesces the instances the new plan drops, and arms the
+    /// reslice.
+    fn try_replan(&mut self, report: &DriftReport, now: SimTime) {
+        let detector = self.detector.as_ref().expect("replan needs a detector");
+        let models = &self.server.models;
+
+        // Budget weights from observed demand: rate × mean profiled
+        // latency on the largest partition (≈ full-GPU-seconds per
+        // second the model needs).
+        let mut weights = Vec::with_capacity(models.len());
+        let mut dists: Vec<BatchDistribution> = Vec::with_capacity(models.len());
+        for (m, spec) in models.iter().enumerate() {
+            let dist = detector
+                .observed_distribution(m)
+                .unwrap_or_else(|| spec.dist.clone());
+            let big = spec.table.largest_size();
+            let mean_latency_s: f64 = (1..=spec.table.max_batch())
+                .map(|b| dist.pmf(b) * spec.table.latency_s(big, b))
+                .sum();
+            let rate = report.rates_qps.get(m).copied().unwrap_or(0.0);
+            weights.push((rate * mean_latency_s).max(1e-9));
+            dists.push(dist);
+        }
+
+        // Re-plan each model's share against its observed distribution;
+        // fall back to the declared distribution, then to the current
+        // layout, so a degenerate window can never break serving.
+        let budgets = split_budget(self.server.budget, &weights);
+        let current: Vec<Vec<ProfileSize>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|&w| self.slots[w].worker.size())
+                    .collect()
+            })
+            .collect();
+        let targets: Vec<Vec<ProfileSize>> = models
+            .iter()
+            .enumerate()
+            .map(|(m, spec)| {
+                Paris::new(&spec.table, &dists[m])
+                    .plan(budgets[m])
+                    .or_else(|_| Paris::new(&spec.table, &spec.dist).plan(budgets[m]))
+                    .map(|p| p.partitions())
+                    .unwrap_or_else(|_| current[m].clone())
+            })
+            .collect();
+
+        let diffs: Vec<_> = current
+            .iter()
+            .zip(&targets)
+            .map(|(c, t)| plan_diff(c, t))
+            .collect();
+        if diffs.iter().all(paris_core::PlanDiff::is_empty) {
+            // Traffic moved but the plan is already right: accept the new
+            // baseline and keep serving.
+            self.detector.as_mut().expect("checked above").rebaseline();
+            return;
+        }
+
+        let destroyed: usize = diffs.iter().map(paris_core::PlanDiff::removed_count).sum();
+        let created: usize = diffs.iter().map(paris_core::PlanDiff::added_count).sum();
+        let cost = self
+            .server
+            .config
+            .replan
+            .as_ref()
+            .expect("replan policy present")
+            .cost;
+        let delay = SimDuration::from_nanos(cost.delay_ns(destroyed, created));
+
+        // Quiesce: per model and size, retire the highest-indexed members
+        // first (deterministic), removing them from the group.
+        let mut draining = 0usize;
+        let mut added: Vec<(usize, ProfileSize)> = Vec::new();
+        for (m, diff) in diffs.iter().enumerate() {
+            for (&size, &count) in &diff.removed {
+                let mut to_retire = count;
+                let members = self.groups[m].members.clone();
+                for &w in members.iter().rev() {
+                    if to_retire == 0 {
+                        break;
+                    }
+                    if self.slots[w].worker.size() == size {
+                        self.slots[w].retiring = true;
+                        self.groups[m].members.retain(|&x| x != w);
+                        if self.slots[w].worker.is_idle() {
+                            // Nothing in flight: drained on the spot.
+                        } else {
+                            draining += 1;
+                        }
+                        to_retire -= 1;
+                    }
+                }
+            }
+            for (&size, &count) in &diff.added {
+                added.extend(std::iter::repeat_n((m, size), count));
+            }
+            self.rebuild_group(m);
+        }
+
+        self.reconfig = Some(ReconfigInFlight {
+            triggered_at: now,
+            delay,
+            draining,
+            added,
+            destroyed,
+            created,
+        });
+        if draining == 0 {
+            self.sim
+                .schedule_at_keyed(now + delay, RECONFIG_KEY, MEvent::ReconfigReady);
+        }
+    }
+
+    /// The reslice finished: create the new instances, refresh scheduler
+    /// state, serve anything that queued up during the outage, and accept
+    /// the observed traffic as the new baseline.
+    fn on_reconfig_ready(&mut self, now: SimTime) {
+        let rc = self.reconfig.take().expect("reconfig event without state");
+        for &(m, size) in &rc.added {
+            let w = self.slots.len();
+            self.slots.push(WorkerSlot {
+                worker: PartitionWorker::new(size),
+                model: m,
+                local: 0,
+                retiring: false,
+            });
+            self.rows
+                .push(self.server.models[m].table.latency_row(size));
+            self.max_batch.push(self.server.models[m].table.max_batch());
+            self.groups[m].members.push(w);
+        }
+        for m in 0..self.groups.len() {
+            self.rebuild_group(m);
+            // FIFS groups may have central backlog and fresh idle
+            // instances: work-conservation demands they meet.
+            while !self.groups[m].central.is_empty() {
+                let Some((idle_since, local)) = self.groups[m].fifs_idle.first() else {
+                    break;
+                };
+                self.groups[m].fifs_idle.remove((idle_since, local));
+                let w = self.groups[m].members[local as usize];
+                let q = self.groups[m]
+                    .central
+                    .pop_front()
+                    .expect("checked non-empty");
+                self.begin(w, q, now);
+            }
+            // Queries that arrived while the group was dark re-enter the
+            // normal dispatch path, in arrival order.
+            while let Some(q) = self.groups[m].stash.pop_front() {
+                self.route(q, m, now);
+            }
+        }
+        self.reconfigs.push(ReconfigEvent {
+            triggered_at: rc.triggered_at,
+            completed_at: now,
+            destroyed: rc.destroyed,
+            created: rc.created,
+            reslice_delay: rc.delay,
+        });
+        self.detector
+            .as_mut()
+            .expect("replan implies detector")
+            .rebaseline();
+    }
+
+    fn run(mut self) -> MultiRunReport {
+        self.inject_next_arrival();
+        while let Some((now, event)) = self.sim.next_event() {
+            match event {
+                MEvent::Dispatch(query, model) => self.on_dispatch(query, model, now),
+                MEvent::Complete { worker } => self.on_complete(worker, now),
+                MEvent::ReconfigReady => self.on_reconfig_ready(now),
+            }
+        }
+
+        let makespan = self.last_completion.saturating_since(SimTime::ZERO);
+        let makespan_s = makespan.as_secs_f64();
+        let completed = self.histogram.count();
+        let achieved_qps = if makespan_s > 0.0 {
+            completed as f64 / makespan_s
+        } else {
+            0.0
+        };
+        let partition_utilization: Vec<f64> = self
+            .slots
+            .iter()
+            .map(|s| {
+                if makespan.as_nanos() == 0 {
+                    0.0
+                } else {
+                    (s.worker.busy_ns() as f64 / makespan.as_nanos() as f64).min(1.0)
+                }
+            })
+            .collect();
+
+        MultiRunReport {
+            detail: self.detail,
+            records: self.records,
+            record_models: self.record_models,
+            latency: self.latency,
+            histogram: self.histogram,
+            per_model: self
+                .server
+                .models
+                .iter()
+                .zip(self.per_model)
+                .map(|(spec, acc)| ModelReport {
+                    name: spec.name.clone(),
+                    completed: acc.completed,
+                    histogram: acc.histogram,
+                    sla_ns: spec.sla_ns,
+                    sla_violations: acc.sla_violations,
+                })
+                .collect(),
+            makespan,
+            achieved_qps,
+            partition_utilization,
+            partition_sizes: self.slots.iter().map(|s| s.worker.size()).collect(),
+            partition_models: self.slots.iter().map(|s| s.model).collect(),
+            reconfigs: self.reconfigs,
+            peak_pending_events: self.sim.peak_pending(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_zoo::ModelKind;
+    use inference_workload::{MultiTraceGenerator, PhaseSpec};
+    use mig_gpu::{DeviceSpec, PerfModel};
+
+    fn table(kind: ModelKind) -> ProfileTable {
+        let model = kind.build();
+        let perf = PerfModel::new(DeviceSpec::a100());
+        ProfileTable::profile(&model, &perf, &ProfileSize::ALL, 32)
+    }
+
+    fn two_model_server(replan: Option<ReplanPolicy>) -> MultiModelServer {
+        let dist = BatchDistribution::paper_default();
+        let mut config = MultiModelConfig::new();
+        if let Some(rp) = replan {
+            config = config.with_replan(rp);
+        }
+        MultiModelServer::new(
+            vec![
+                ModelSpec::new("mobilenet", table(ModelKind::MobileNet), dist.clone()),
+                ModelSpec::new("resnet50", table(ModelKind::ResNet50), dist),
+            ],
+            GpcBudget::new(48, 8),
+            config,
+        )
+        .expect("plans build")
+    }
+
+    fn steady_trace(rate0: f64, rate1: f64, secs: f64, seed: u64) -> Vec<TaggedQuerySpec> {
+        let d = BatchDistribution::paper_default();
+        MultiTraceGenerator::new(
+            vec![PhaseSpec::new(secs, vec![(rate0, d.clone()), (rate1, d)])],
+            seed,
+        )
+        .generate()
+    }
+
+    /// A strongly drifting two-model trace: model 1's batch mix flips from
+    /// tiny to heavy while rates swap.
+    fn drifting_trace(secs_per_phase: f64, seed: u64) -> MultiTraceGenerator {
+        let small = BatchDistribution::log_normal_with_median(32, 0.9, 2.0);
+        let large = BatchDistribution::log_normal_with_median(32, 0.9, 12.0);
+        MultiTraceGenerator::new(
+            vec![
+                PhaseSpec::new(
+                    secs_per_phase,
+                    vec![(400.0, small.clone()), (40.0, small.clone())],
+                ),
+                PhaseSpec::new(secs_per_phase, vec![(40.0, small), (250.0, large)]),
+            ],
+            seed,
+        )
+    }
+
+    #[test]
+    fn split_budget_is_exhaustive_and_bounded() {
+        let shares = split_budget(GpcBudget::new(48, 8), &[1.0, 1.0, 6.0]);
+        assert_eq!(shares.iter().map(|b| b.total_gpcs).sum::<usize>(), 48);
+        assert_eq!(shares.iter().map(|b| b.num_gpus).sum::<usize>(), 8);
+        for b in &shares {
+            assert!(b.total_gpcs >= 1 && b.num_gpus >= 1);
+            assert!(b.total_gpcs <= b.num_gpus * mig_gpu::COMPUTE_SLICES);
+        }
+        // The heavy model gets the lion's share.
+        assert!(shares[2].total_gpcs > shares[0].total_gpcs * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "GPUs")]
+    fn more_models_than_gpus_panics() {
+        let _ = split_budget(GpcBudget::new(14, 2), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn every_query_completes_exactly_once_across_models() {
+        let server = two_model_server(None);
+        let trace = steady_trace(300.0, 150.0, 1.0, 3);
+        let report = server.run(&trace);
+        assert_eq!(report.records.len(), trace.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len(), "no duplicate completions");
+        let per_model_sum: u64 = report.per_model.iter().map(|m| m.completed).sum();
+        assert_eq!(per_model_sum, report.completed());
+    }
+
+    #[test]
+    fn queries_route_to_their_models_partitions() {
+        let server = two_model_server(None);
+        let group0 = server.groups()[0].len();
+        let trace = steady_trace(200.0, 200.0, 0.5, 5);
+        let report = server.run(&trace);
+        for (r, &m) in report.records.iter().zip(&report.record_models) {
+            assert_eq!(report.partition_models[r.partition], m);
+            // With no reconfiguration, model 0 owns partitions [0, group0).
+            assert_eq!(m == 0, r.partition < group0);
+        }
+    }
+
+    #[test]
+    fn static_plan_never_reconfigures() {
+        let server = two_model_server(None);
+        let report = server.run(&drifting_trace(1.0, 7).generate());
+        assert!(report.reconfigs.is_empty());
+        assert_eq!(
+            report.partition_sizes.len(),
+            server.groups().iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn drift_triggers_replanning_and_conserves_queries() {
+        let policy = ReplanPolicy::new(0.25).with_cost(ResliceCostModel::a100_default());
+        let server = two_model_server(Some(policy));
+        let trace = drifting_trace(2.0, 11).generate();
+        let report = server.run(&trace);
+        assert!(
+            !report.reconfigs.is_empty(),
+            "a rate swap + mix flip must trigger a re-plan"
+        );
+        // The conservation contract: nothing dropped, nothing double-served.
+        assert_eq!(report.records.len(), trace.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len());
+        for rc in &report.reconfigs {
+            assert!(rc.completed_at >= rc.triggered_at + rc.reslice_delay);
+            assert!(rc.destroyed > 0 || rc.created > 0);
+        }
+        // Destroyed instances exist in the report with their lifetime
+        // utilization; the pool grew by the created count.
+        let initial: usize = server.groups().iter().map(Vec::len).sum();
+        let created: usize = report.reconfigs.iter().map(|r| r.created).sum();
+        assert_eq!(report.partition_sizes.len(), initial + created);
+    }
+
+    #[test]
+    fn replanning_beats_static_plan_under_drift() {
+        // The tentpole claim: under a drifting two-model workload, online
+        // re-planning (even paying realistic reslice downtime) beats the
+        // frozen initial plan on SLA attainment.
+        let trace = drifting_trace(4.0, 13);
+        let static_report = two_model_server(None).run(&trace.generate());
+        let policy = ReplanPolicy::new(0.25);
+        let replan_report = two_model_server(Some(policy)).run(&trace.generate());
+        assert!(!replan_report.reconfigs.is_empty());
+        let s = static_report.worst_violation_rate();
+        let r = replan_report.worst_violation_rate();
+        assert!(
+            r < s,
+            "replanning should reduce worst-model violations: static {s:.4} vs replan {r:.4}"
+        );
+    }
+
+    #[test]
+    fn retired_partitions_finish_their_queues() {
+        // Full-detail run with replanning: every record's partition index
+        // is valid and every started query completed, even on partitions
+        // that were destroyed mid-run.
+        let policy = ReplanPolicy::new(0.25);
+        let server = two_model_server(Some(policy));
+        let report = server.run(&drifting_trace(1.5, 17).generate());
+        for r in &report.records {
+            assert!(r.partition < report.partition_sizes.len());
+            assert!(r.started < r.completed);
+        }
+    }
+
+    #[test]
+    fn summary_detail_keeps_no_records_but_counts_everything() {
+        let server = two_model_server(None);
+        let trace = steady_trace(250.0, 100.0, 0.5, 23);
+        let full = server.run_stream(trace.iter().copied(), ReportDetail::Full);
+        let summary = server.run_stream(trace.iter().copied(), ReportDetail::Summary);
+        assert!(summary.records.is_empty());
+        assert!(summary.latency.is_empty());
+        assert_eq!(summary.completed(), full.completed());
+        assert_eq!(summary.makespan, full.makespan);
+        assert_eq!(
+            summary.per_model[0].sla_violations, full.per_model[0].sla_violations,
+            "exact per-model violation counts at every detail level"
+        );
+    }
+
+    #[test]
+    fn event_queue_stays_small_with_replanning() {
+        let policy = ReplanPolicy::new(0.25);
+        let server = two_model_server(Some(policy));
+        let report = server.run_stream(drifting_trace(1.5, 29).stream(), ReportDetail::Summary);
+        assert!(
+            report.peak_pending_events <= report.partition_sizes.len() + 3,
+            "streamed multi-model queue stays O(partitions), got {}",
+            report.peak_pending_events
+        );
+    }
+}

@@ -94,6 +94,10 @@ pub struct ServerConfig {
     pub noise_seed: u64,
     /// How much per-query material [`InferenceServer::run`] keeps.
     pub detail: ReportDetail,
+    /// When set, runs count SLA violations (`latency > sla_ns`) **exactly**
+    /// at every detail level — including [`ReportDetail::Summary`], whose
+    /// histogram alone is only bucket-accurate (≤ 1.6 % error).
+    pub sla_ns: Option<u64>,
 }
 
 impl ServerConfig {
@@ -107,6 +111,7 @@ impl ServerConfig {
             service_noise: 0.0,
             noise_seed: 0,
             detail: ReportDetail::Full,
+            sla_ns: None,
         }
     }
 
@@ -128,6 +133,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_detail(mut self, detail: ReportDetail) -> Self {
         self.detail = detail;
+        self
+    }
+
+    /// Sets the SLA target runs count violations against, exactly, at
+    /// every detail level (see [`RunReport::sla_violations`]).
+    #[must_use]
+    pub fn with_sla_target(mut self, sla_ns: u64) -> Self {
+        self.sla_ns = Some(sla_ns);
         self
     }
 
@@ -171,6 +184,14 @@ pub struct RunReport {
     /// High-water mark of the DES event queue — O(partitions) for the
     /// streaming fast path, O(trace) for the pre-loaded reference path.
     pub peak_pending_events: usize,
+    /// The SLA target exact violation counting ran against, if one was
+    /// configured ([`ServerConfig::with_sla_target`] or the `sla_ns`
+    /// argument of [`InferenceServer::run_stream_sla`]).
+    pub sla_ns: Option<u64>,
+    /// Exact number of queries whose latency exceeded [`sla_ns`](Self::sla_ns)
+    /// (0 when no target was configured). Counted per completion, so it is
+    /// exact even under [`ReportDetail::Summary`].
+    pub sla_violations: u64,
 }
 
 impl RunReport {
@@ -201,8 +222,22 @@ impl RunReport {
     }
 
     /// Fraction of queries whose latency exceeded `sla_ns`.
+    ///
+    /// Exact whenever possible: if the run counted violations against this
+    /// very target (see [`sla_violations`](Self::sla_violations)) or kept
+    /// exact samples ([`ReportDetail::Full`]), the rate is exact; only a
+    /// [`ReportDetail::Summary`] run queried at a *different* target falls
+    /// back to histogram-bucket accuracy (≤ 1.6 % error).
     #[must_use]
     pub fn sla_violation_rate(&self, sla_ns: u64) -> f64 {
+        if self.sla_ns == Some(sla_ns) {
+            let n = self.completed();
+            return if n == 0 {
+                0.0
+            } else {
+                self.sla_violations as f64 / n as f64
+            };
+        }
         match self.detail {
             ReportDetail::Full => self.latency.violation_rate(sla_ns),
             ReportDetail::Summary => self.histogram.violation_rate(sla_ns),
@@ -352,7 +387,24 @@ impl InferenceServer {
     where
         I: IntoIterator<Item = QuerySpec>,
     {
-        Engine::new(self, detail, arrivals.into_iter()).run()
+        self.run_stream_sla(arrivals, detail, self.config.sla_ns)
+    }
+
+    /// [`run_stream`](Self::run_stream) with an explicit SLA target for
+    /// exact violation counting, overriding [`ServerConfig::sla_ns`]. This
+    /// is how sweeps get exact violation rates out of
+    /// [`ReportDetail::Summary`] runs without a per-point server rebuild.
+    #[must_use]
+    pub fn run_stream_sla<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        sla_ns: Option<u64>,
+    ) -> RunReport
+    where
+        I: IntoIterator<Item = QuerySpec>,
+    {
+        Engine::new(self, detail, arrivals.into_iter(), sla_ns).run()
     }
 
     /// The pre-rearchitecture implementation, kept as the semantic
@@ -406,6 +458,7 @@ impl InferenceServer {
         let mut records: Vec<QueryRecord> = Vec::with_capacity(trace.len());
         let mut latency = LatencyRecorder::new();
         let mut histogram = LatencyHistogram::new();
+        let mut sla_violations = 0u64;
 
         while let Some((now, event)) = sim.next_event() {
             match event {
@@ -463,6 +516,9 @@ impl InferenceServer {
                     };
                     latency.record(record.latency().as_nanos());
                     histogram.record(record.latency().as_nanos());
+                    if let Some(sla) = self.config.sla_ns {
+                        sla_violations += u64::from(record.latency().as_nanos() > sla);
+                    }
                     if let Some(g) = &mut gantt {
                         g.push(Span {
                             partition,
@@ -520,6 +576,8 @@ impl InferenceServer {
             partition_utilization,
             gantt,
             peak_pending_events: sim.peak_pending(),
+            sla_ns: self.config.sla_ns,
+            sla_violations,
         }
     }
 
@@ -528,18 +586,7 @@ impl InferenceServer {
     /// Shared by the fast path and `run_reference` so their noise streams
     /// stay aligned draw-for-draw.
     fn service_duration(&self, base_ns: u64, noise_rng: &mut StdRng) -> SimDuration {
-        if self.config.service_noise > 0.0 {
-            // Box–Muller: two uniforms → one standard normal draw. The
-            // second uniform is always consumed so the stream stays aligned
-            // across implementations.
-            let u1: f64 = noise_rng.gen();
-            let u2: f64 = noise_rng.gen();
-            let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            let factor = (1.0 + self.config.service_noise * z).max(0.1);
-            SimDuration::from_nanos((base_ns as f64 * factor).round() as u64)
-        } else {
-            SimDuration::from_nanos(base_ns)
-        }
+        noisy_service_duration(self.config.service_noise, base_ns, noise_rng)
     }
 
     /// Reference-path begin: starts `query` on worker `p` at `now` and
@@ -557,6 +604,29 @@ impl InferenceServer {
         let duration = self.service_duration(base, noise_rng);
         let end = worker.begin(query, now, duration);
         sim.schedule_at(end, Event::Complete { partition: p });
+    }
+}
+
+/// Turns a profiled latency of `base_ns` nanoseconds into a service time
+/// under multiplicative normal noise of relative stddev `noise`. One
+/// shared implementation keeps the noise stream aligned draw-for-draw
+/// across the fast path, `run_reference`, and the multi-model engine.
+pub(crate) fn noisy_service_duration(
+    noise: f64,
+    base_ns: u64,
+    noise_rng: &mut StdRng,
+) -> SimDuration {
+    if noise > 0.0 {
+        // Box–Muller: two uniforms → one standard normal draw. The
+        // second uniform is always consumed so the stream stays aligned
+        // across implementations.
+        let u1: f64 = noise_rng.gen();
+        let u2: f64 = noise_rng.gen();
+        let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let factor = (1.0 + noise * z).max(0.1);
+        SimDuration::from_nanos((base_ns as f64 * factor).round() as u64)
+    } else {
+        SimDuration::from_nanos(base_ns)
     }
 }
 
@@ -580,13 +650,20 @@ struct Engine<'a, I> {
     records: Vec<QueryRecord>,
     latency: LatencyRecorder,
     histogram: LatencyHistogram,
+    sla_ns: Option<u64>,
+    sla_violations: u64,
     frontend_free: SimTime,
     next_query_id: u64,
     next_complete_key: u64,
 }
 
 impl<'a, I: Iterator<Item = QuerySpec>> Engine<'a, I> {
-    fn new(server: &'a InferenceServer, detail: ReportDetail, arrivals: I) -> Self {
+    fn new(
+        server: &'a InferenceServer,
+        detail: ReportDetail,
+        arrivals: I,
+        sla_ns: Option<u64>,
+    ) -> Self {
         let n = server.partitions.len();
         let workers: Vec<PartitionWorker> = server
             .partitions
@@ -629,6 +706,8 @@ impl<'a, I: Iterator<Item = QuerySpec>> Engine<'a, I> {
             records: Vec::new(),
             latency: LatencyRecorder::new(),
             histogram: LatencyHistogram::new(),
+            sla_ns,
+            sla_violations: 0,
             frontend_free: SimTime::ZERO,
             next_query_id: 0,
             next_complete_key: COMPLETE_KEY_BASE,
@@ -710,6 +789,9 @@ impl<'a, I: Iterator<Item = QuerySpec>> Engine<'a, I> {
         let (query, started) = self.workers[partition].finish(now);
         let latency_ns = (now - query.arrival).as_nanos();
         self.histogram.record(latency_ns);
+        if let Some(sla) = self.sla_ns {
+            self.sla_violations += u64::from(latency_ns > sla);
+        }
         if self.detail == ReportDetail::Full {
             self.latency.record(latency_ns);
             self.records.push(QueryRecord {
@@ -789,6 +871,8 @@ impl<'a, I: Iterator<Item = QuerySpec>> Engine<'a, I> {
             partition_utilization,
             gantt: self.gantt,
             peak_pending_events: self.sim.peak_pending(),
+            sla_ns: self.sla_ns,
+            sla_violations: self.sla_violations,
         }
     }
 }
@@ -834,6 +918,8 @@ mod tests {
         assert_eq!(a.partition_utilization, b.partition_utilization);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.achieved_qps, b.achieved_qps);
+        assert_eq!(a.sla_ns, b.sla_ns);
+        assert_eq!(a.sla_violations, b.sla_violations);
     }
 
     #[test]
@@ -973,6 +1059,41 @@ mod tests {
             (summary.sla_violation_rate(sla) - full.sla_violation_rate(sla)).abs() < 0.02,
             "violation rates within bucket accuracy"
         );
+    }
+
+    #[test]
+    fn summary_counts_sla_violations_exactly() {
+        // The ROADMAP "exact summary violations" item: with the SLA
+        // threaded into the run, a Summary run's violation count equals
+        // the reference count computed from exact per-query latencies —
+        // not a histogram-bucket approximation.
+        let t = table(ModelKind::ResNet50);
+        let sla = t.sla_target_ns(1.5);
+        let server = InferenceServer::new(
+            vec![ProfileSize::G1, ProfileSize::G2],
+            t,
+            ServerConfig::new(SchedulerKind::Elsa(ElsaConfig::new(sla))).with_sla_target(sla),
+        );
+        // Load the two small partitions enough to violate.
+        let tr = trace(600.0, 41, 0.5);
+        let summary = server.run_with_detail(&tr, ReportDetail::Summary);
+        let reference = server.run_reference(&tr);
+        let exact = reference
+            .records
+            .iter()
+            .filter(|r| r.latency().as_nanos() > sla)
+            .count() as u64;
+        assert!(exact > 0, "workload must produce violations");
+        assert_eq!(reference.sla_violations, exact);
+        assert_eq!(summary.sla_violations, exact, "summary count is exact");
+        assert_eq!(summary.sla_ns, Some(sla));
+        assert_eq!(
+            summary.sla_violation_rate(sla),
+            exact as f64 / tr.len() as f64
+        );
+        // Querying a *different* target still answers (bucket-accurate).
+        let other = summary.sla_violation_rate(sla * 2);
+        assert!((0.0..=1.0).contains(&other));
     }
 
     #[test]

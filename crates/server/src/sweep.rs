@@ -40,6 +40,8 @@ impl SweepConfig {
 /// through the server at [`ReportDetail::Summary`], so the measurement's
 /// memory stays O(1) in the simulated duration (no trace vector, no
 /// per-query records — latencies aggregate into the fixed-size histogram).
+/// The sweep's SLA is threaded into the run, so the reported violation
+/// rate is **exact** rather than histogram-bucket-approximate.
 #[must_use]
 pub fn measure_point(
     server: &InferenceServer,
@@ -48,7 +50,11 @@ pub fn measure_point(
     cfg: &SweepConfig,
 ) -> ThroughputPoint {
     let gen = TraceGenerator::new(rate_qps, dist.clone(), cfg.seed);
-    let report = server.run_stream(gen.stream_for(cfg.duration_s), ReportDetail::Summary);
+    let report = server.run_stream_sla(
+        gen.stream_for(cfg.duration_s),
+        ReportDetail::Summary,
+        Some(cfg.sla_ns),
+    );
     ThroughputPoint {
         offered_qps: rate_qps,
         achieved_qps: report.achieved_qps,

@@ -21,7 +21,7 @@ struct QueuedQuery {
 /// One MIG partition acting as an inference worker.
 ///
 /// Holds the local scheduling queue the paper describes ("all GPU partitions
-/// have [a] local scheduling queue that buffers all the queries yet to be
+/// have \[a\] local scheduling queue that buffers all the queries yet to be
 /// executed", §IV-C) plus the execution timestamp ELSA uses to derive
 /// `T_remaining,current`.
 #[derive(Debug, Clone)]
@@ -71,6 +71,20 @@ impl PartitionWorker {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    /// When the currently executing query will finish (`None` when nothing
+    /// is executing).
+    #[must_use]
+    pub fn busy_until(&self) -> Option<SimTime> {
+        self.current.map(|(_, _, end)| end)
+    }
+
+    /// The execution estimates of the queued queries, front to back — what
+    /// a rebuilt [`paris_core::ElsaState`] must replay to reconstruct this
+    /// worker's `queued_work` exactly.
+    pub fn queued_estimates(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.queue.iter().map(|q| q.estimate)
     }
 
     /// Total busy time accumulated so far, nanoseconds.

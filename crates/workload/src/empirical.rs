@@ -74,6 +74,12 @@ impl EmpiricalBatchPmf {
         self.observations
     }
 
+    /// The largest batch size the collector tracks.
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        self.counts.len()
+    }
+
     /// Queries whose batch exceeded the collector's range.
     #[must_use]
     pub fn clamped(&self) -> u64 {

@@ -8,9 +8,14 @@
 //! * [`BatchDistribution`] — discretized log-normal (or custom) batch PMF,
 //!   the `Dist[]` input of PARIS,
 //! * [`PoissonProcess`] — exponential inter-arrival sampling,
-//! * [`TraceGenerator`] — seeded, reproducible query traces,
+//! * [`TraceGenerator`] — seeded, reproducible query traces (with
+//!   O(1)-memory streaming variants),
+//! * [`MultiTraceGenerator`] / [`PhaseSpec`] — multi-model traces with
+//!   piecewise-constant traffic drift ([`TaggedQuerySpec`] arrivals),
 //! * [`EmpiricalBatchPmf`] — the online histogram a production server would
-//!   collect to feed PARIS.
+//!   collect to feed PARIS,
+//! * [`DriftDetector`] — the windowed rate/batch-mix estimator that
+//!   triggers online re-planning.
 //!
 //! ```
 //! use inference_workload::{BatchDistribution, TraceGenerator};
@@ -22,10 +27,14 @@
 
 mod arrivals;
 mod dist;
+mod drift;
 mod empirical;
+mod multi;
 mod trace;
 
 pub use arrivals::PoissonProcess;
 pub use dist::{BatchDistribution, BuildDistributionError};
+pub use drift::{DriftDetector, DriftDetectorConfig, DriftReport};
 pub use empirical::EmpiricalBatchPmf;
+pub use multi::{MultiTraceGenerator, MultiTraceStream, PhaseSpec, TaggedQuerySpec};
 pub use trace::{QuerySpec, TraceGenerator, TraceStream};

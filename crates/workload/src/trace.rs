@@ -110,6 +110,27 @@ impl TraceGenerator {
     /// time without materializing the trace — O(1) memory however long the
     /// window. The stream yields exactly the same sequence as
     /// `generate_for(duration_s)` (the RNG is re-seeded per call).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use inference_workload::{BatchDistribution, TraceGenerator};
+    ///
+    /// let gen = TraceGenerator::new(400.0, BatchDistribution::paper_default(), 7);
+    /// // An hour of simulated arrivals, never materialized: the stream is
+    /// // what `InferenceServer::run_stream` consumes for O(1)-memory sweeps.
+    /// let mut count = 0usize;
+    /// for q in gen.stream_for(3600.0) {
+    ///     count += 1;
+    ///     if q.arrival_ns > 1_000_000_000 {
+    ///         break; // stop after the first simulated second
+    ///     }
+    /// }
+    /// assert!(count > 100);
+    /// // The stream replays the materialized trace exactly.
+    /// let head: Vec<_> = gen.stream_for(0.1).collect();
+    /// assert_eq!(head, gen.generate_for(0.1));
+    /// ```
     #[must_use]
     pub fn stream_for(&self, duration_s: f64) -> TraceStream {
         TraceStream {

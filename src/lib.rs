@@ -60,8 +60,12 @@ pub mod prelude {
         ProfileTable,
     };
     pub use crate::server::{
-        rate_sweep, search_latency_bounded_throughput, DesignPoint, InferenceServer, ReportDetail,
-        RunReport, SchedulerKind, ServerConfig, SweepConfig, Testbed,
+        rate_sweep, search_latency_bounded_throughput, DesignPoint, InferenceServer, ModelSpec,
+        MultiModelConfig, MultiModelServer, MultiRunReport, ReplanPolicy, ReportDetail, RunReport,
+        SchedulerKind, ServerConfig, SweepConfig, Testbed,
     };
-    pub use crate::workload::{BatchDistribution, QuerySpec, TraceGenerator};
+    pub use crate::workload::{
+        BatchDistribution, MultiTraceGenerator, PhaseSpec, QuerySpec, TaggedQuerySpec,
+        TraceGenerator,
+    };
 }

@@ -381,6 +381,110 @@ proptest! {
         }
     }
 
+    // ---------- Multi-model serving ----------
+
+    #[test]
+    fn multi_model_with_single_model_degenerates_to_single_path(
+        rate in 50f64..1_500.0,
+        seed in 0u64..50,
+        scheduler in 0u64..2,
+        partitions in prop::collection::vec(profile_size_strategy(), 1..6)
+    ) {
+        // The degeneration contract: a MultiModelServer hosting exactly
+        // one model (no replan policy) must reproduce the single-model
+        // fast path bit-for-bit — same records, same latency samples, same
+        // utilization — so the multi-model dispatch layer provably adds
+        // nothing to the PR-1 hot-path semantics.
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
+        use paris_elsa::workload::TaggedQuerySpec;
+
+        let table = resnet_table();
+        let sla = table.sla_target_ns(1.5);
+        let kind = if scheduler == 0 {
+            SchedulerKind::Fifs
+        } else {
+            SchedulerKind::Elsa(ElsaConfig::new(sla))
+        };
+        let single = InferenceServer::new(
+            partitions.clone(),
+            table.clone(),
+            ServerConfig::new(kind.clone()).with_sla_target(sla),
+        );
+        let dist = BatchDistribution::paper_default();
+        let multi = MultiModelServer::with_groups(
+            vec![ModelSpec::new("only", table, dist.clone())
+                .with_scheduler(kind)
+                .with_sla_ns(sla)],
+            vec![partitions],
+            GpcBudget::new(56, 8),
+            MultiModelConfig::new(),
+        );
+
+        let trace = TraceGenerator::new(rate, dist, seed).generate_for(0.2);
+        let tagged: Vec<TaggedQuerySpec> = trace
+            .iter()
+            .map(|&spec| TaggedQuerySpec { model: 0, spec })
+            .collect();
+        let expected = single.run(&trace);
+        let got = multi.run(&tagged);
+
+        prop_assert_eq!(&got.records, &expected.records);
+        prop_assert_eq!(&got.latency, &expected.latency);
+        prop_assert_eq!(&got.partition_utilization, &expected.partition_utilization);
+        prop_assert_eq!(got.makespan, expected.makespan);
+        prop_assert_eq!(got.achieved_qps, expected.achieved_qps);
+        prop_assert_eq!(got.per_model[0].sla_violations, expected.sla_violations);
+        prop_assert!(got.reconfigs.is_empty());
+        prop_assert!(got.record_models.iter().all(|&m| m == 0));
+    }
+
+    #[test]
+    fn multi_model_replanning_conserves_queries(
+        seed in 0u64..20,
+        window_s in 0.1f64..0.4
+    ) {
+        // A mid-run re-plan must never drop or double-serve a query, for
+        // any drift-window phasing relative to the traffic.
+        use paris_elsa::dnn::ModelKind;
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer, ReplanPolicy};
+        use paris_elsa::workload::{MultiTraceGenerator, PhaseSpec};
+
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let dist = BatchDistribution::paper_default();
+        let spec = |kind: ModelKind| {
+            let t = ProfileTable::profile(&kind.build(), &perf, &ProfileSize::ALL, 32);
+            ModelSpec::new(format!("{kind}"), t, dist.clone())
+        };
+        let server = MultiModelServer::new(
+            vec![spec(ModelKind::MobileNet), spec(ModelKind::ResNet50)],
+            GpcBudget::new(48, 8),
+            MultiModelConfig::new().with_replan(ReplanPolicy::new(window_s)),
+        )
+        .unwrap();
+
+        let small = BatchDistribution::log_normal_with_median(32, 0.9, 2.0);
+        let large = BatchDistribution::log_normal_with_median(32, 0.9, 12.0);
+        let trace = MultiTraceGenerator::new(
+            vec![
+                PhaseSpec::new(1.0, vec![(400.0, small.clone()), (40.0, small.clone())]),
+                PhaseSpec::new(1.0, vec![(40.0, small), (250.0, large)]),
+            ],
+            seed,
+        )
+        .generate();
+        let report = server.run(&trace);
+        prop_assert_eq!(report.records.len(), trace.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.len());
+        for r in &report.records {
+            prop_assert!(r.arrival <= r.dispatched);
+            prop_assert!(r.dispatched <= r.started);
+            prop_assert!(r.started < r.completed);
+        }
+    }
+
     // ---------- Metrics ----------
 
     #[test]
