@@ -12,7 +12,11 @@
 //! latency-bounded throughput — and writes both operating points (plus
 //! exact violation rates at the nominal load) to `BENCH_multimodel.json`.
 //!
-//! Usage: `cargo run --release --bin bench_multimodel [--quick] [--seed N]`
+//! Usage: `cargo run --release --bin bench_multimodel [--quick] [--smoke] [--seed N]`
+//!
+//! `--smoke` runs a tiny trace with a shallow search — CI uses it to catch
+//! bench regressions without paying for a real measurement; the numbers it
+//! writes are not comparable.
 
 use std::fmt::Write as _;
 
@@ -41,18 +45,13 @@ impl Scenario {
             vec![
                 PhaseSpec::new(
                     self.phase_secs,
-                    vec![
-                        (400.0 * scale, small.clone()),
-                        (40.0 * scale, small.clone()),
-                    ],
+                    vec![(400.0, small.clone()), (40.0, small.clone())],
                 ),
-                PhaseSpec::new(
-                    self.phase_secs,
-                    vec![(40.0 * scale, small), (250.0 * scale, large)],
-                ),
+                PhaseSpec::new(self.phase_secs, vec![(40.0, small), (250.0, large)]),
             ],
             self.seed,
         )
+        .with_rate_scale(scale)
     }
 
     fn server(&self, replan: bool) -> MultiModelServer {
@@ -81,6 +80,7 @@ impl Scenario {
     }
 }
 
+#[derive(Clone, Copy)]
 struct Point {
     scale: f64,
     /// max over models of p95 / SLA (≤ 1 means every model met its SLA).
@@ -109,73 +109,50 @@ fn measure(server: &MultiModelServer, scenario: &Scenario, scale: f64) -> Point 
     }
 }
 
-/// Doubling + bisection over the load scale: the largest scale at which
-/// every model's p95 stays within its SLA ([`P95_TARGET_RATIO`]).
-///
-/// The search starts at the *nominal* scale (1.0) rather than deep in the
-/// underload regime: very light loads starve the drift detector of
-/// samples, so probing there first would measure detector blindness, not
-/// serving capacity. Failures bisect downward from the nominal point.
-fn search(server: &MultiModelServer, scenario: &Scenario) -> Point {
-    let mut lo = 0.0f64;
-    let mut hi = 1.0f64;
-    let mut best: Option<Point> = None;
-    for _ in 0..6 {
-        let p = measure(server, scenario, hi);
-        let ok = p.worst_p95_ratio <= P95_TARGET_RATIO;
-        if ok {
-            lo = hi;
-            best = Some(p);
-            hi *= 2.0;
-        } else {
-            break;
-        }
-    }
-    for _ in 0..6 {
-        let mid = 0.5 * (lo + hi);
-        let p = measure(server, scenario, mid);
-        if p.worst_p95_ratio <= P95_TARGET_RATIO {
-            lo = mid;
-            best = Some(p);
-        } else {
-            hi = mid;
-        }
-    }
-    best.unwrap_or(Point {
-        scale: 0.0,
-        worst_p95_ratio: f64::INFINITY,
-        worst_violation: 1.0,
-        achieved_qps: 0.0,
-        reconfigs: 0,
-    })
+/// Doubling + bisection over the load scale
+/// (`paris_bench::max_scale_search`): the largest scale at which every
+/// model's p95 stays within its SLA ([`P95_TARGET_RATIO`]), plus the
+/// nominal (scale 1.0) operating point the search probed on the way.
+fn search(
+    server: &MultiModelServer,
+    scenario: &Scenario,
+    steps: usize,
+) -> paris_bench::ScaleSearch<Point> {
+    paris_bench::max_scale_search(
+        steps,
+        |scale| measure(server, scenario, scale),
+        |p: &Point| p.worst_p95_ratio <= P95_TARGET_RATIO,
+        Point {
+            scale: 0.0,
+            worst_p95_ratio: f64::INFINITY,
+            worst_violation: 1.0,
+            achieved_qps: 0.0,
+            reconfigs: 0,
+        },
+    )
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(13);
+    let opts = paris_bench::TrajectoryOpts::from_args(13);
     // Quick mode still needs phases comfortably longer than the
     // detection window + reslice outage (~1 s), or re-planning has no
-    // runway to pay for itself and the smoke numbers are meaningless.
+    // runway to pay for itself and the quick numbers are meaningless.
+    // Smoke mode only proves the pipeline runs end to end.
     let scenario = Scenario {
-        phase_secs: if quick { 4.0 } else { 8.0 },
-        seed,
+        phase_secs: opts.pick(8.0, 4.0, 1.5),
+        seed: opts.seed,
         budget: GpcBudget::new(48, 8),
     };
+    let steps = if opts.smoke { 2 } else { 6 };
+    let seed = opts.seed;
 
     let mut results: Vec<(&str, Point, Point)> = Vec::new();
     for (name, replan) in [("static", false), ("replan", true)] {
         let server = scenario.server(replan);
-        let best = search(&server, &scenario);
-        // The fixed-scale reference point (scale 1.0) shows what drift
-        // does to each policy at the nominal load.
-        let nominal = measure(&server, &scenario, 1.0);
-        results.push((name, best, nominal));
+        // The nominal point (scale 1.0) shows what drift does to each
+        // policy at the nominal load; the search probed it first.
+        let found = search(&server, &scenario, steps);
+        results.push((name, found.best, found.nominal));
     }
 
     let rows: Vec<Vec<String>> = results

@@ -8,7 +8,11 @@
 //! events/sec and the fast-vs-reference speedup to `BENCH_server.json` so
 //! future PRs can track the dispatch-path trajectory.
 //!
-//! Usage: `cargo run --release --bin bench_server [--quick] [--queries N]`
+//! Usage: `cargo run --release --bin bench_server [--quick] [--smoke] [--queries N]`
+//!
+//! `--smoke` runs a tiny trace (5 k queries) — CI uses it to catch bench
+//! regressions (panics, schema drift, broken paths) without paying for a
+//! real measurement; the numbers it writes are not comparable.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,14 +56,9 @@ fn measure(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let queries: usize = args
-        .iter()
-        .position(|a| a == "--queries")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if quick { 100_000 } else { 1_000_000 });
+    let opts = paris_bench::TrajectoryOpts::from_args(42);
+    let queries: usize =
+        paris_bench::arg_value("queries").unwrap_or_else(|| opts.pick(1_000_000, 100_000, 5_000));
     if queries == 0 {
         eprintln!("error: --queries must be at least 1");
         std::process::exit(2);

@@ -49,6 +49,95 @@ impl Default for ExperimentOpts {
     }
 }
 
+/// Parses `--<name> <value>` from the process arguments.
+#[must_use]
+pub fn arg_value<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+/// Runtime options shared by the trajectory benches (`bench_server`,
+/// `bench_multimodel`, `bench_cluster`): `--quick` (shorter runs),
+/// `--smoke` (tiny traces + shallow searches for CI fail-fast; numbers
+/// not comparable) and `--seed <n>`.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryOpts {
+    /// Shorter measurement (still meaningful numbers).
+    pub quick: bool,
+    /// Tiny-trace CI smoke mode (numbers not comparable).
+    pub smoke: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl TrajectoryOpts {
+    /// Parses options from the process arguments, with the bench's
+    /// default seed.
+    #[must_use]
+    pub fn from_args(default_seed: u64) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        TrajectoryOpts {
+            quick: args.iter().any(|a| a == "--quick"),
+            smoke: args.iter().any(|a| a == "--smoke"),
+            seed: arg_value("seed").unwrap_or(default_seed),
+        }
+    }
+
+    /// Picks the value matching the run mode (smoke wins over quick).
+    #[must_use]
+    pub fn pick<T>(&self, full: T, quick: T, smoke: T) -> T {
+        if self.smoke {
+            smoke
+        } else if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Result of [`max_scale_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleSearch<P> {
+    /// The outcome at the largest passing scale (the caller's `failed`
+    /// sentinel when no probed scale passed).
+    pub best: P,
+    /// The outcome at the *nominal* scale 1.0 — always the search's first
+    /// probe, returned so callers need not re-run that simulation.
+    pub nominal: P,
+}
+
+/// The trajectory benches' shared load-scale search: the largest scale at
+/// which `ok` holds, via [`parallel_doubling_search`] seeded at the
+/// *nominal* scale 1.0 (very light loads starve drift detectors of
+/// samples, so probing deep underload first would measure detector
+/// blindness, not capacity; failures bisect downward from nominal).
+///
+/// # Panics
+///
+/// Panics if `steps` is zero (the nominal point would never be probed).
+#[must_use]
+pub fn max_scale_search<P, M, O>(steps: usize, measure: M, ok: O, failed: P) -> ScaleSearch<P>
+where
+    P: Copy + Send,
+    M: Fn(f64) -> P + Sync,
+    O: Fn(&P) -> bool,
+{
+    assert!(
+        steps >= 1,
+        "the search must probe at least the nominal scale"
+    );
+    let result = parallel_doubling_search(1.0, steps, steps, true, measure, ok);
+    ScaleSearch {
+        best: result.best().map(|&(_, p)| p).unwrap_or(failed),
+        nominal: result.points[0].1,
+    }
+}
+
 /// Prints a fixed-width table with a header rule.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");

@@ -1,0 +1,566 @@
+//! The cluster: N shards behind a router, plus capacity loaning, inside
+//! one shared DES.
+
+use des_engine::{SimDuration, SimTime, Simulation};
+use inference_server::{
+    MultiModelServer, MultiRunReport, ReplanRequest, ReportDetail, ShardEngine, ShardEvent,
+};
+use inference_workload::{BatchDistribution, DriftDetector, TaggedQuerySpec};
+use server_metrics::LatencyHistogram;
+
+use crate::loan::{LoanEvent, LoanLedger, LoanPolicy};
+use crate::router::{RouterPolicy, RouterState};
+
+/// A multi-server inference cluster: each *shard* is a full
+/// [`MultiModelServer`] (its own GPC budget, PARIS-planned groups, per-model
+/// schedulers, optional drift re-planning), and the cluster stacks N of
+/// them behind a [`RouterPolicy`] inside **one** discrete-event simulation,
+/// optionally lending batch-pool GPUs to overloaded shards
+/// ([`LoanPolicy`]).
+///
+/// # Degeneration contract
+///
+/// A cluster of exactly **one** shard with no loan policy is *bit-for-bit*
+/// the shard's own [`MultiModelServer::run_stream`] — same records, same
+/// latency samples, same utilization, same reconfigurations — for every
+/// router policy (they all have one choice). The property suite enforces
+/// this, pinning the cluster layer to the server semantics the PR-2
+/// degeneration contract already pins to the single-model fast path.
+///
+/// # Conservation contract
+///
+/// No query is dropped or double-served across shard handoffs, loans or
+/// reclaims: routing assigns each arrival to exactly one shard, and within
+/// a shard the reconfiguration machinery drains quiesced instances and
+/// stashes dark-group arrivals. In particular a reclaim that removes a GPU
+/// mid-drain never strands a queued query. Unit and property tests enforce
+/// this.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_zoo::ModelKind;
+/// use inference_cluster::{Cluster, RouterPolicy};
+/// use inference_workload::{BatchDistribution, MultiTraceGenerator, PhaseSpec};
+/// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+/// use paris_core::{GpcBudget, ProfileTable};
+/// use inference_server::{ModelSpec, MultiModelConfig, MultiModelServer};
+///
+/// let perf = PerfModel::new(DeviceSpec::a100());
+/// let dist = BatchDistribution::paper_default();
+/// let table = ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32);
+/// let shard = |gpus: usize| {
+///     MultiModelServer::new(
+///         vec![ModelSpec::new("mobilenet", table.clone(), dist.clone())],
+///         GpcBudget::new(gpus * 7, gpus),
+///         MultiModelConfig::new(),
+///     )
+/// };
+/// let cluster = Cluster::new(vec![shard(2)?, shard(1)?], RouterPolicy::JoinShortestQueue);
+/// let trace = MultiTraceGenerator::new(vec![PhaseSpec::new(0.3, vec![(400.0, dist)])], 7);
+/// let report = cluster.run(&trace.generate());
+/// assert_eq!(report.completed(), report.routed.iter().sum::<u64>());
+/// assert_eq!(report.per_shard.len(), 2);
+/// # Ok::<(), paris_core::PlanError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    shards: Vec<MultiModelServer>,
+    router: RouterPolicy,
+    loan: Option<LoanPolicy>,
+}
+
+impl Cluster {
+    /// Creates a cluster over the given shards.
+    ///
+    /// Every shard must host the same *number* of models (arrivals are
+    /// tagged with a model index that must be meaningful on whichever
+    /// shard the router picks — shards are replicas of one deployment,
+    /// possibly with different capacities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or the shards disagree on model count.
+    #[must_use]
+    pub fn new(shards: Vec<MultiModelServer>, router: RouterPolicy) -> Self {
+        assert!(!shards.is_empty(), "cluster needs at least one shard");
+        let models = shards[0].models().len();
+        assert!(
+            shards.iter().all(|s| s.models().len() == models),
+            "every shard must host the same number of models"
+        );
+        Cluster {
+            shards,
+            router,
+            loan: None,
+        }
+    }
+
+    /// Enables Aryl-style capacity loaning from a batch pool.
+    #[must_use]
+    pub fn with_loan(mut self, loan: LoanPolicy) -> Self {
+        self.loan = Some(loan);
+        self
+    }
+
+    /// The hosted shards.
+    #[must_use]
+    pub fn shards(&self) -> &[MultiModelServer] {
+        &self.shards
+    }
+
+    /// The routing policy.
+    #[must_use]
+    pub fn router(&self) -> RouterPolicy {
+        self.router
+    }
+
+    /// The loan policy, if loaning is enabled.
+    #[must_use]
+    pub fn loan(&self) -> Option<&LoanPolicy> {
+        self.loan.as_ref()
+    }
+
+    /// Simulates the cluster over a materialized tagged trace at the first
+    /// shard's configured detail.
+    #[must_use]
+    pub fn run(&self, trace: &[TaggedQuerySpec]) -> ClusterReport {
+        self.run_stream(trace.iter().copied(), self.shards[0].config().detail)
+    }
+
+    /// Simulates the cluster over a *streamed* tagged arrival sequence
+    /// (ascending arrival times) until every accepted query completes.
+    #[must_use]
+    pub fn run_stream<I>(&self, arrivals: I, detail: ReportDetail) -> ClusterReport
+    where
+        I: IntoIterator<Item = TaggedQuerySpec>,
+    {
+        CEngine::new(self, detail, arrivals.into_iter()).run()
+    }
+}
+
+/// Everything measured during one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Each shard's full run report (records, per-model stats,
+    /// reconfigurations), shard order.
+    pub per_shard: Vec<MultiRunReport>,
+    /// Queries the router sent to each shard.
+    pub routed: Vec<u64>,
+    /// Fleet-wide latency histogram (union of the shard histograms).
+    pub histogram: LatencyHistogram,
+    /// Time from first arrival to the last completion on any shard.
+    pub makespan: SimDuration,
+    /// Completed queries across the fleet divided by the makespan.
+    pub achieved_qps: f64,
+    /// Every GPU transfer between the batch pool and the shards, in order.
+    pub loans: Vec<LoanEvent>,
+    /// Opportunity cost of loaning: the integral of loaned-out GPUs over
+    /// simulated time (GPU-seconds the batch pool could not use).
+    pub loaned_gpu_seconds: f64,
+    /// High-water mark of the shared DES event queue:
+    /// O(total partitions + peak frontend backlog). Unlike the
+    /// single-server engine (strictly O(partitions)), the cluster
+    /// materializes admitted-but-undispatched queries as pending events —
+    /// the price of routing every arrival against the fleet state at its
+    /// own arrival instant (see `CEvent::Route`'s notes in the source).
+    pub peak_pending_events: usize,
+}
+
+impl ClusterReport {
+    /// Total queries completed across the fleet.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.histogram.count()
+    }
+
+    /// Fleet-wide p95 tail latency, milliseconds (bucket-accurate).
+    #[must_use]
+    pub fn p95_ms(&self) -> f64 {
+        self.histogram.p95_ms()
+    }
+
+    /// The worst per-model exact SLA violation rate across every shard —
+    /// the metric a latency-bounded cluster throughput search constrains.
+    #[must_use]
+    pub fn worst_violation_rate(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .map(MultiRunReport::worst_violation_rate)
+            .fold(0.0, f64::max)
+    }
+
+    /// The worst p95/SLA ratio across every shard and model (≤ 1 means the
+    /// whole fleet met its SLAs).
+    #[must_use]
+    pub fn worst_p95_sla_ratio(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .flat_map(|r| &r.per_model)
+            .filter_map(|m| m.sla_ns.map(|sla| m.p95_ms() / (sla as f64 / 1e6)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mid-run reconfigurations across the fleet (drift re-plans plus
+    /// loan-triggered re-plans).
+    #[must_use]
+    pub fn total_reconfigs(&self) -> usize {
+        self.per_shard.iter().map(|r| r.reconfigs.len()).sum()
+    }
+}
+
+/// Events of the shared cluster simulation.
+#[derive(Debug, Clone, Copy)]
+enum CEvent {
+    /// One shard's event, stamped with its shard so the shared queue can
+    /// route it home. `(time, key)` ordering is the shard's own; equal
+    /// keys across shards fall back to the queue's deterministic
+    /// insertion order.
+    Shard { shard: u32, event: ShardEvent },
+    /// One arrival reaching the cluster gateway, fired at **its own
+    /// arrival timestamp** (handling it schedules the successor's
+    /// `Route`, so the iterator stays one-lookahead lazy). Routing, drift
+    /// observation and loan decisions all happen here — at the instant
+    /// the query physically exists — so the router can never read queue
+    /// state from the simulation's future and a loan can never be
+    /// decided before the window-closing arrival.
+    ///
+    /// The fidelity has a cost the single-server engine does not pay: a
+    /// routed query's `Dispatch` is scheduled immediately, so the shared
+    /// event queue holds the *frontend backlog* (queries admitted but not
+    /// yet dispatched) instead of staying O(partitions). That backlog is
+    /// the physical gateway queue — it is materialized here precisely
+    /// because each query's routing decision consumed the fleet state at
+    /// its own arrival instant.
+    Route(TaggedQuerySpec),
+}
+
+/// One cluster run's mutable state.
+struct CEngine<'a, I> {
+    cluster: &'a Cluster,
+    arrivals: I,
+    sim: Simulation<CEvent>,
+    engines: Vec<ShardEngine<'a>>,
+    router: RouterState,
+    /// Cluster-level drift detector: one lane per shard × model, fed at
+    /// routing time with the traffic each shard actually receives.
+    detector: Option<DriftDetector>,
+    ledger: Option<LoanLedger>,
+    loans: Vec<LoanEvent>,
+    /// Integral bookkeeping for the loaned-GPU opportunity cost.
+    loan_out_total: usize,
+    loan_since: SimTime,
+    loaned_gpu_ns: u128,
+    routed: Vec<u64>,
+    n_models: usize,
+    /// Tie-break key sequence for [`CEvent::Route`] events.
+    route_seq: u64,
+    /// Reused outstanding-load scratch so routing allocates nothing after
+    /// the first arrival.
+    scratch: Vec<u64>,
+}
+
+impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
+    fn new(cluster: &'a Cluster, detail: ReportDetail, arrivals: I) -> Self {
+        let n_models = cluster.shards[0].models().len();
+        let engines: Vec<ShardEngine<'a>> = cluster
+            .shards
+            .iter()
+            .map(|s| ShardEngine::new(s, detail))
+            .collect();
+        let total_partitions: usize = cluster
+            .shards
+            .iter()
+            .map(|s| s.groups().iter().map(Vec::len).sum::<usize>())
+            .sum();
+        let weights: Vec<f64> = cluster
+            .shards
+            .iter()
+            .map(MultiModelServer::capacity_hint_qps)
+            .collect();
+        let detector = cluster.loan.as_ref().map(|lp| {
+            let max_b = cluster
+                .shards
+                .iter()
+                .flat_map(|s| s.models())
+                .map(|m| m.table.max_batch())
+                .max()
+                .expect("at least one model");
+            DriftDetector::new(cluster.shards.len() * n_models, max_b, lp.detector)
+        });
+        let ledger = cluster.loan.as_ref().map(|lp| {
+            LoanLedger::new(
+                cluster.shards.iter().map(|s| s.budget()).collect(),
+                lp.pool_gpus,
+            )
+        });
+        CEngine {
+            cluster,
+            arrivals,
+            // Steady state: ≤ one completion per partition + one
+            // reconfiguration per shard + the next arrival's Route + the
+            // frontend backlog's pending dispatches (grows past this only
+            // under gateway saturation).
+            sim: Simulation::with_capacity(total_partitions + 2 * cluster.shards.len() + 2),
+            engines,
+            router: RouterState::new(cluster.router, weights),
+            detector,
+            ledger,
+            loans: Vec::new(),
+            loan_out_total: 0,
+            loan_since: SimTime::ZERO,
+            loaned_gpu_ns: 0,
+            routed: vec![0; cluster.shards.len()],
+            n_models,
+            route_seq: 0,
+            scratch: Vec::with_capacity(cluster.shards.len()),
+        }
+    }
+
+    /// Schedules `tq`'s [`CEvent::Route`] at its own arrival timestamp.
+    fn schedule_route(&mut self, tq: TaggedQuerySpec) {
+        let key = self.route_seq;
+        self.route_seq += 1;
+        self.sim.schedule_at_keyed(
+            SimTime::from_nanos(tq.spec.arrival_ns),
+            key,
+            CEvent::Route(tq),
+        );
+    }
+
+    /// Handles one arrival at its arrival instant: routes it to a shard,
+    /// feeds the loan controller's detector with the routed load, acts on
+    /// any drift it flags (causal — the window-closing arrival exists
+    /// *now*), and offers the query to the chosen shard's frontend.
+    fn offer(&mut self, tq: TaggedQuerySpec, now: SimTime) {
+        self.scratch.clear();
+        self.scratch
+            .extend(self.engines.iter().map(ShardEngine::outstanding_queries));
+        let s = self.router.pick(&self.scratch);
+        self.routed[s] += 1;
+        let report = self.detector.as_mut().and_then(|det| {
+            det.observe(
+                s * self.n_models + tq.model,
+                tq.spec.arrival_ns,
+                tq.spec.batch,
+            )
+        });
+        if report.is_some() {
+            self.rebalance(now);
+        }
+        let (engines, sim) = (&mut self.engines, &mut self.sim);
+        engines[s].offer(tq, &mut |t, k, e| {
+            sim.schedule_at_keyed(
+                t,
+                k,
+                CEvent::Shard {
+                    shard: s as u32,
+                    event: e,
+                },
+            );
+        });
+    }
+
+    /// Estimated demand of shard `s` in full-GPU equivalents **at planned
+    /// efficiency**: each model's observed rate divided by the throughput
+    /// one GPU's worth of its *initially planned* partition mix delivers at
+    /// the observed mean batch. A shard offered exactly its planned
+    /// capacity therefore estimates demand ≈ its GPU count — the scale the
+    /// [`LoanPolicy`] thresholds are written against. (Naive full-GPU
+    /// equivalents — rate × largest-partition latency — would be off by
+    /// the whole MIG packing gain, which exceeds 5× for the small models.)
+    fn shard_demand_gpus(&self, s: usize) -> f64 {
+        let detector = self.detector.as_ref().expect("demand needs the detector");
+        let rates = detector.observed_rates_qps();
+        let shard = &self.cluster.shards[s];
+        shard
+            .models()
+            .iter()
+            .enumerate()
+            .map(|(m, spec)| {
+                let lane = s * self.n_models + m;
+                let dist = detector
+                    .observed_distribution(lane)
+                    .unwrap_or_else(|| spec.dist.clone());
+                let group = &shard.groups()[m];
+                let group_qps = spec.table.capacity_qps(group, &dist);
+                let group_gpcs: usize = group.iter().map(|&size| size.gpcs()).sum();
+                let per_gpu_qps = group_qps * mig_gpu::COMPUTE_SLICES as f64 / group_gpcs as f64;
+                rates.get(lane).copied().unwrap_or(0.0) / per_gpu_qps
+            })
+            .sum()
+    }
+
+    /// Acts on the freshest trusted detector window: reclaims first
+    /// (freeing the pool), then lends to overloaded shards. Shards
+    /// mid-reconfiguration defer — the detector keeps its old baseline so
+    /// the next window re-triggers and the deferred transfer gets another
+    /// chance.
+    fn rebalance(&mut self, now: SimTime) {
+        let policy = self
+            .cluster
+            .loan
+            .as_ref()
+            .expect("rebalance requires a loan policy");
+        let n = self.engines.len();
+        let demand: Vec<f64> = (0..n).map(|s| self.shard_demand_gpus(s)).collect();
+        let mut deferred = false;
+        // Pass 0 executes returns, pass 1 borrows — so one window's
+        // reclaims can fund its loans.
+        for pass in 0..2 {
+            for (s, &shard_demand) in demand.iter().enumerate() {
+                let ledger = self.ledger.as_ref().expect("ledger exists with policy");
+                let base = ledger.base[s].num_gpus;
+                let current = base + ledger.loaned[s];
+                let target = policy.target_gpus(shard_demand, base, current, ledger.pool_free);
+                let delta = target as i64 - current as i64;
+                if (pass == 0 && delta >= 0) || (pass == 1 && delta <= 0) {
+                    continue;
+                }
+                if self.engines[s].reconfig_in_flight() {
+                    deferred = true;
+                    continue;
+                }
+                self.apply_transfer(s, delta, now);
+            }
+        }
+        if !deferred {
+            self.detector
+                .as_mut()
+                .expect("rebalance implies detector")
+                .rebaseline();
+        }
+    }
+
+    /// Moves `delta` GPUs between the pool and shard `s` and re-plans the
+    /// shard onto its new budget, charging the reslice plus the per-GPU
+    /// handover cost (a transfer the new plan ignores interrupts nothing
+    /// and charges nothing — the moved GPU just sits in the new pool).
+    fn apply_transfer(&mut self, s: usize, delta: i64, now: SimTime) {
+        // The caller (rebalance) skips shards mid-reconfiguration; a
+        // transfer applied to one would silently desynchronize the ledger
+        // from the shard's adopted budget.
+        debug_assert!(!self.engines[s].reconfig_in_flight());
+        let policy = self.cluster.loan.as_ref().expect("loan policy present");
+        let detector = self.detector.as_ref().expect("transfer implies detector");
+        let specs = self.cluster.shards[s].models();
+        // Budget shares from the observed traffic — the same
+        // `ModelSpec::demand_weight` the shard's own drift re-planner
+        // splits budgets with.
+        let mut weights = Vec::with_capacity(specs.len());
+        let mut dists: Vec<BatchDistribution> = Vec::with_capacity(specs.len());
+        for (m, spec) in specs.iter().enumerate() {
+            let lane = s * self.n_models + m;
+            let dist = detector
+                .observed_distribution(lane)
+                .unwrap_or_else(|| spec.dist.clone());
+            let rate = detector
+                .observed_rates_qps()
+                .get(lane)
+                .copied()
+                .unwrap_or(0.0);
+            weights.push(spec.demand_weight(&dist, rate));
+            dists.push(dist);
+        }
+
+        // Opportunity-cost integral: close the period at the old loan
+        // level before the transfer changes it.
+        self.loaned_gpu_ns +=
+            self.loan_out_total as u128 * u128::from((now - self.loan_since).as_nanos());
+        self.loan_since = now;
+        let moved = delta.unsigned_abs() as usize;
+        self.loan_out_total = if delta > 0 {
+            self.loan_out_total + moved
+        } else {
+            self.loan_out_total - moved
+        };
+
+        let ledger = self.ledger.as_mut().expect("ledger exists with policy");
+        let budget = ledger.transfer(s, delta);
+        let pool_free_after = ledger.pool_free;
+        let extra = SimDuration::from_nanos(policy.cost.gpu_handover_ns(moved));
+        let (engines, sim) = (&mut self.engines, &mut self.sim);
+        engines[s].force_replan(
+            &ReplanRequest {
+                budget,
+                weights: &weights,
+                dists: &dists,
+                cost: &policy.cost,
+                extra_downtime: extra,
+            },
+            now,
+            &mut |t, k, e| {
+                sim.schedule_at_keyed(
+                    t,
+                    k,
+                    CEvent::Shard {
+                        shard: s as u32,
+                        event: e,
+                    },
+                );
+            },
+        );
+        self.loans.push(LoanEvent {
+            at: now,
+            shard: s,
+            gpus_delta: delta,
+            pool_free_after,
+        });
+    }
+
+    fn run(mut self) -> ClusterReport {
+        if let Some(tq) = self.arrivals.next() {
+            self.schedule_route(tq);
+        }
+        while let Some((now, ev)) = self.sim.next_event() {
+            let (shard, event) = match ev {
+                CEvent::Route(tq) => {
+                    // One-lookahead laziness: learning of arrival k at its
+                    // own instant always happens before arrival k+1's
+                    // instant (the merged stream is sorted), so the
+                    // successor's Route is never scheduled in the past.
+                    if let Some(next) = self.arrivals.next() {
+                        self.schedule_route(next);
+                    }
+                    self.offer(tq, now);
+                    continue;
+                }
+                CEvent::Shard { shard, event } => (shard, event),
+            };
+            let s = shard as usize;
+            let (engines, sim) = (&mut self.engines, &mut self.sim);
+            engines[s].handle(now, event, &mut |t, k, e| {
+                sim.schedule_at_keyed(t, k, CEvent::Shard { shard, event: e });
+            });
+        }
+
+        let end = self.sim.now();
+        self.loaned_gpu_ns +=
+            self.loan_out_total as u128 * u128::from((end - self.loan_since).as_nanos());
+        let peak = self.sim.peak_pending();
+        let per_shard: Vec<MultiRunReport> =
+            self.engines.into_iter().map(|e| e.finish(peak)).collect();
+        let histogram = LatencyHistogram::merged(per_shard.iter().map(|r| &r.histogram));
+        let makespan = per_shard
+            .iter()
+            .map(|r| r.makespan)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let makespan_s = makespan.as_secs_f64();
+        let completed = histogram.count();
+        ClusterReport {
+            routed: self.routed,
+            histogram,
+            makespan,
+            achieved_qps: if makespan_s > 0.0 {
+                completed as f64 / makespan_s
+            } else {
+                0.0
+            },
+            loans: self.loans,
+            loaned_gpu_seconds: self.loaned_gpu_ns as f64 / 1e9,
+            peak_pending_events: peak,
+            per_shard,
+        }
+    }
+}

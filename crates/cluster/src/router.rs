@@ -1,0 +1,135 @@
+//! Routing tagged arrivals to shards.
+//!
+//! The cluster frontend sees one merged arrival stream; a [`RouterPolicy`]
+//! decides, per query and *before* the shard's serial frontend stamps it,
+//! which shard serves it. All three policies are deterministic — two runs
+//! of the same cluster over the same trace route identically.
+
+/// Which shard-selection policy the cluster frontend runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Static hash partitioning: shard = `hash(arrival index) % shards`.
+    /// Load-oblivious — the baseline every production gateway starts from.
+    StaticHash,
+    /// Join-shortest-queue: the shard with the fewest outstanding
+    /// (offered-but-uncompleted) queries takes the arrival; ties go to the
+    /// lowest shard index.
+    JoinShortestQueue,
+    /// Smooth weighted round-robin over each shard's *planned capacity*
+    /// (its [`capacity_hint_qps`]) — load-oblivious like [`StaticHash`],
+    /// but aware that a 6-GPU shard should take three times the traffic of
+    /// a 2-GPU shard.
+    ///
+    /// [`capacity_hint_qps`]: inference_server::MultiModelServer::capacity_hint_qps
+    /// [`StaticHash`]: Self::StaticHash
+    WeightedByCapacity,
+}
+
+/// One run's mutable routing state.
+#[derive(Debug, Clone)]
+pub(crate) struct RouterState {
+    policy: RouterPolicy,
+    /// Arrival counter feeding the static hash.
+    counter: u64,
+    /// Smooth-WRR credit accumulators.
+    credit: Vec<f64>,
+    weights: Vec<f64>,
+    weight_sum: f64,
+}
+
+/// SplitMix64 — the same cheap deterministic mixer the treap priorities
+/// use; avalanches the arrival counter so static hashing does not stripe.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RouterState {
+    pub(crate) fn new(policy: RouterPolicy, capacity_weights: Vec<f64>) -> Self {
+        debug_assert!(capacity_weights.iter().all(|w| w.is_finite() && *w > 0.0));
+        let weight_sum = capacity_weights.iter().sum();
+        RouterState {
+            policy,
+            counter: 0,
+            credit: vec![0.0; capacity_weights.len()],
+            weights: capacity_weights,
+            weight_sum,
+        }
+    }
+
+    /// Picks the shard for the next arrival. `outstanding[s]` is shard
+    /// `s`'s offered-but-uncompleted query count at this instant.
+    pub(crate) fn pick(&mut self, outstanding: &[u64]) -> usize {
+        let n = self.weights.len();
+        debug_assert_eq!(outstanding.len(), n);
+        match self.policy {
+            RouterPolicy::StaticHash => {
+                let h = splitmix64(self.counter);
+                self.counter += 1;
+                (h % n as u64) as usize
+            }
+            RouterPolicy::JoinShortestQueue => outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|&(s, &load)| (load, s))
+                .map(|(s, _)| s)
+                .expect("cluster has at least one shard"),
+            RouterPolicy::WeightedByCapacity => {
+                // Smooth WRR: every shard earns credit proportional to its
+                // weight; the richest shard serves and pays the pot back.
+                let mut winner = 0;
+                for s in 0..n {
+                    self.credit[s] += self.weights[s];
+                    if self.credit[s] > self.credit[winner] {
+                        winner = s;
+                    }
+                }
+                self.credit[winner] -= self.weight_sum;
+                winner
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_hash_spreads_and_reproduces() {
+        let mut a = RouterState::new(RouterPolicy::StaticHash, vec![1.0; 4]);
+        let mut b = RouterState::new(RouterPolicy::StaticHash, vec![1.0; 4]);
+        let outstanding = [0u64; 4];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let s = a.pick(&outstanding);
+            assert_eq!(s, b.pick(&outstanding), "deterministic");
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_lowest_index() {
+        let mut r = RouterState::new(RouterPolicy::JoinShortestQueue, vec![1.0; 3]);
+        assert_eq!(r.pick(&[5, 2, 9]), 1);
+        assert_eq!(r.pick(&[4, 4, 9]), 0, "ties go to the lowest index");
+        assert_eq!(r.pick(&[4, 3, 3]), 1);
+    }
+
+    #[test]
+    fn weighted_round_robin_tracks_capacity_ratio() {
+        let mut r = RouterState::new(RouterPolicy::WeightedByCapacity, vec![3.0, 1.0]);
+        let outstanding = [0u64; 2];
+        let picks: Vec<usize> = (0..8).map(|_| r.pick(&outstanding)).collect();
+        let to_heavy = picks.iter().filter(|&&s| s == 0).count();
+        assert_eq!(to_heavy, 6, "3:1 weights give 6 of 8 to shard 0: {picks:?}");
+        // Smooth: never more than a couple of consecutive repeats of the
+        // light shard.
+        assert!(picks.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use mig_gpu::ProfileSize;
+use mig_gpu::{ProfileSize, ResliceCostModel};
 
 /// The per-size multiset difference between a current and a target
 /// partition layout.
@@ -66,6 +66,52 @@ impl PlanDiff {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.removed.is_empty() && self.added.is_empty()
+    }
+
+    /// Folds `other` into this diff per size — how a multi-group (or
+    /// multi-shard) reconfiguration aggregates its per-group diffs into the
+    /// one transition the driver executes.
+    pub fn merge(&mut self, other: &PlanDiff) {
+        for (&size, &n) in &other.kept {
+            *self.kept.entry(size).or_insert(0) += n;
+        }
+        for (&size, &n) in &other.removed {
+            *self.removed.entry(size).or_insert(0) += n;
+        }
+        for (&size, &n) in &other.added {
+            *self.added.entry(size).or_insert(0) += n;
+        }
+    }
+
+    /// The driver-side downtime this transition costs under `cost`.
+    ///
+    /// An **empty diff charges nothing** — identical layouts mean no driver
+    /// call at all, so not even the fixed per-reconfiguration overhead
+    /// applies. Non-empty diffs price the destroyed/added instance counts
+    /// through [`ResliceCostModel::delay_ns`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mig_gpu::{ProfileSize, ResliceCostModel};
+    /// use paris_core::plan_diff;
+    ///
+    /// let cost = ResliceCostModel::a100_default();
+    /// let same = [ProfileSize::G2, ProfileSize::G3];
+    /// assert_eq!(plan_diff(&same, &same).downtime_ns(&cost), 0);
+    /// let grown = [ProfileSize::G2, ProfileSize::G3, ProfileSize::G1];
+    /// assert_eq!(
+    ///     plan_diff(&same, &grown).downtime_ns(&cost),
+    ///     cost.delay_ns(0, 1)
+    /// );
+    /// ```
+    #[must_use]
+    pub fn downtime_ns(&self, cost: &ResliceCostModel) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            cost.delay_ns(self.removed_count(), self.added_count())
+        }
     }
 }
 
@@ -121,6 +167,36 @@ mod tests {
         assert_eq!(d.kept_count() + d.added_count(), tgt.len());
         assert_eq!(d.removed.get(&ProfileSize::G1), Some(&3));
         assert_eq!(d.added.get(&ProfileSize::G2), Some(&2));
+    }
+
+    #[test]
+    fn identical_plans_cost_zero_downtime() {
+        // The reconfiguration edge case the online loop depends on: when
+        // drift moved the traffic but PARIS lands on the very same layout,
+        // the diff is empty and *no* downtime — not even the fixed driver
+        // overhead — may be charged.
+        let cost = ResliceCostModel::a100_default();
+        let p = [ProfileSize::G1, ProfileSize::G2, ProfileSize::G7];
+        let d = plan_diff(&p, &p);
+        assert!(d.is_empty());
+        assert_eq!(d.downtime_ns(&cost), 0);
+        // A non-empty diff pays the full affine charge.
+        let d = plan_diff(&p, &[ProfileSize::G7, ProfileSize::G7]);
+        assert_eq!(d.downtime_ns(&cost), cost.delay_ns(2, 1));
+    }
+
+    #[test]
+    fn merge_accumulates_per_size_counts() {
+        let mut a = plan_diff(&[ProfileSize::G1, ProfileSize::G2], &[ProfileSize::G2]);
+        let b = plan_diff(&[ProfileSize::G1], &[ProfileSize::G3]);
+        a.merge(&b);
+        assert_eq!(a.removed.get(&ProfileSize::G1), Some(&2));
+        assert_eq!(a.added.get(&ProfileSize::G3), Some(&1));
+        assert_eq!(a.kept_count(), 1);
+        // Merging an empty diff changes nothing.
+        let snapshot = a.clone();
+        a.merge(&PlanDiff::default());
+        assert_eq!(a, snapshot);
     }
 
     #[test]

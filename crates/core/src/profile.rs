@@ -13,6 +13,7 @@
 use std::fmt;
 
 use dnn_zoo::ModelGraph;
+use inference_workload::BatchDistribution;
 use mig_gpu::{PerfModel, ProfileSize};
 
 /// The `(partition size, batch size) → {latency, utilization}` lookup table.
@@ -195,6 +196,43 @@ impl ProfileTable {
     pub fn utilization(&self, size: ProfileSize, batch: usize) -> f64 {
         let row = self.size_idx(size);
         self.utilization[row * self.max_batch + batch.clamp(1, self.max_batch) - 1]
+    }
+
+    /// Back-of-envelope serving capacity of a set of instances of this
+    /// model: the summed reciprocal profiled latency at `dist`'s rounded
+    /// mean batch, queries/second.
+    ///
+    /// This is the shared estimate behind throughput-search seeds
+    /// (`capacity_hint_qps`), cluster router weights and the loan
+    /// controller's demand normalization — one formula, so the sites can
+    /// never silently diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size in `sizes` was not profiled.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnn_zoo::ModelKind;
+    /// use inference_workload::BatchDistribution;
+    /// use mig_gpu::{DeviceSpec, PerfModel, ProfileSize};
+    /// use paris_core::ProfileTable;
+    ///
+    /// let perf = PerfModel::new(DeviceSpec::a100());
+    /// let table = ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32);
+    /// let dist = BatchDistribution::paper_default();
+    /// let one = table.capacity_qps(&[ProfileSize::G2], &dist);
+    /// let two = table.capacity_qps(&[ProfileSize::G2, ProfileSize::G2], &dist);
+    /// assert!((two / one - 2.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn capacity_qps(&self, sizes: &[ProfileSize], dist: &BatchDistribution) -> f64 {
+        let mean_batch = dist.mean().round().max(1.0) as usize;
+        sizes
+            .iter()
+            .map(|&size| 1.0 / self.latency_s(size, mean_batch))
+            .sum()
     }
 
     /// The paper's SLA target construction (§V): `n_times` × the latency of

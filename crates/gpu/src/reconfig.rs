@@ -76,6 +76,24 @@ impl ResliceCostModel {
             .saturating_add(self.destroy_ns.saturating_mul(destroyed as u64))
             .saturating_add(self.create_ns.saturating_mul(created as u64))
     }
+
+    /// Extra driver-side cost of handing `gpus` whole GPUs between pools
+    /// (Aryl-style capacity loaning between a serving shard and a batch
+    /// pool), nanoseconds.
+    ///
+    /// Lending a GPU clears every instance the lender still holds on it and
+    /// re-enables MIG mode under the borrower's control — one destroy plus
+    /// one create worth of driver work per GPU, on top of whatever reslice
+    /// the borrower's new plan itself costs (priced separately through
+    /// [`delay_ns`](Self::delay_ns)). Zero GPUs cost nothing: the handover
+    /// has no fixed term because it only ever rides on a reconfiguration
+    /// that already paid [`fixed_ns`](Self::fixed_ns).
+    #[must_use]
+    pub fn gpu_handover_ns(&self, gpus: usize) -> u64 {
+        self.destroy_ns
+            .saturating_add(self.create_ns)
+            .saturating_mul(gpus as u64)
+    }
 }
 
 impl Default for ResliceCostModel {
@@ -109,6 +127,19 @@ mod tests {
         let m = ResliceCostModel::a100_default();
         let d = m.delay_ns(2, 2);
         assert!(d > 0 && d < 2_000_000_000, "delay {d} ns");
+    }
+
+    #[test]
+    fn gpu_handover_is_linear_with_no_fixed_term() {
+        let m = ResliceCostModel {
+            fixed_ns: 100,
+            destroy_ns: 10,
+            create_ns: 20,
+        };
+        assert_eq!(m.gpu_handover_ns(0), 0);
+        assert_eq!(m.gpu_handover_ns(1), 30);
+        assert_eq!(m.gpu_handover_ns(3), 90);
+        assert_eq!(ResliceCostModel::free().gpu_handover_ns(5), 0);
     }
 
     #[test]

@@ -232,6 +232,32 @@ impl LatencyHistogram {
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
+
+    /// Builds the union of several histograms — how a cluster report folds
+    /// its per-shard latency populations into one fleet-wide distribution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use server_metrics::LatencyHistogram;
+    ///
+    /// let a: LatencyHistogram = [1_000_000u64, 2_000_000].into_iter().collect();
+    /// let b: LatencyHistogram = [3_000_000u64].into_iter().collect();
+    /// let all = LatencyHistogram::merged([&a, &b]);
+    /// assert_eq!(all.count(), 3);
+    /// assert_eq!(all.max_ns(), 3_000_000);
+    /// ```
+    #[must_use]
+    pub fn merged<'a, I>(parts: I) -> LatencyHistogram
+    where
+        I: IntoIterator<Item = &'a LatencyHistogram>,
+    {
+        let mut out = LatencyHistogram::new();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
 }
 
 impl Default for LatencyHistogram {

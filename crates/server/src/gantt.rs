@@ -65,6 +65,15 @@ impl Gantt {
         self.spans.push(span);
     }
 
+    /// Appends a timeline row for a partition created mid-run (an online
+    /// reconfiguration or a cluster capacity loan brought a new instance
+    /// up) and returns its row index. Spans pushed for that instance must
+    /// use the returned index.
+    pub fn add_partition(&mut self, size: ProfileSize) -> usize {
+        self.partition_sizes.push(size);
+        self.partition_sizes.len() - 1
+    }
+
     /// All recorded spans, in completion order.
     #[must_use]
     pub fn spans(&self) -> &[Span] {
@@ -154,6 +163,18 @@ mod tests {
         let g = Gantt::new(vec![ProfileSize::G3]);
         let art = g.render_ascii(10);
         assert!(art.contains('\u{b7}'));
+    }
+
+    #[test]
+    fn partitions_added_mid_run_get_their_own_rows() {
+        let mut g = Gantt::new(vec![ProfileSize::G1]);
+        g.push(span(0, 1, 0, 100));
+        let row = g.add_partition(ProfileSize::G7);
+        assert_eq!(row, 1);
+        g.push(span(row, 2, 100, 300));
+        let art = g.render_ascii(30);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains("GPU(7)"));
     }
 
     #[test]

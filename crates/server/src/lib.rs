@@ -62,12 +62,12 @@ pub use designs::{paper_budgets, DesignPoint, Testbed};
 pub use gantt::{Gantt, Span};
 pub use multi::{
     split_budget, ModelReport, ModelSpec, MultiModelConfig, MultiModelServer, MultiRunReport,
-    ReconfigEvent, ReplanPolicy,
+    ReconfigEvent, ReplanPolicy, ReplanRequest, ShardEngine, ShardEvent,
 };
 pub use query::{Query, QueryId, QueryRecord};
 pub use server::{InferenceServer, ReportDetail, RunReport, SchedulerKind, ServerConfig};
 pub use sweep::{
-    capacity_hint_qps, measure_point, rate_sweep, search_latency_bounded_throughput, SweepConfig,
-    ThroughputSearch,
+    capacity_hint_qps, measure_point, parallel_doubling_search, parallel_map_indexed, rate_sweep,
+    search_latency_bounded_throughput, BracketSearch, SweepConfig, ThroughputSearch,
 };
 pub use worker::PartitionWorker;

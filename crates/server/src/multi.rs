@@ -47,11 +47,14 @@ use inference_workload::{
     BatchDistribution, DriftDetector, DriftDetectorConfig, DriftReport, TaggedQuerySpec,
 };
 use mig_gpu::{ProfileSize, ResliceCostModel};
-use paris_core::{plan_diff, Elsa, ElsaState, GpcBudget, LoadSet, Paris, PlanError, ProfileTable};
+use paris_core::{
+    plan_diff, Elsa, ElsaState, GpcBudget, LoadSet, Paris, PlanDiff, PlanError, ProfileTable,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use server_metrics::{LatencyHistogram, LatencyRecorder};
 
+use crate::gantt::{Gantt, Span};
 use crate::query::{Query, QueryId, QueryRecord};
 use crate::server::{noisy_service_duration, ReportDetail, SchedulerKind};
 use crate::worker::PartitionWorker;
@@ -119,6 +122,22 @@ impl ModelSpec {
         self.sla_ns = Some(sla_ns);
         self
     }
+
+    /// The budget-share weight this model's observed traffic demands:
+    /// `rate ×` its mean profiled latency on the largest partition under
+    /// `dist` (≈ full-GPU-seconds per second), floored at a tiny positive
+    /// value so a silent model still gets a sliver of budget.
+    ///
+    /// One formula shared by the drift re-planner and cluster loan
+    /// controllers, so their budget splits can never silently diverge.
+    #[must_use]
+    pub fn demand_weight(&self, dist: &BatchDistribution, rate_qps: f64) -> f64 {
+        let big = self.table.largest_size();
+        let mean_latency_s: f64 = (1..=self.table.max_batch())
+            .map(|b| dist.pmf(b) * self.table.latency_s(big, b))
+            .sum();
+        (rate_qps * mean_latency_s).max(1e-9)
+    }
 }
 
 /// When and how the server re-plans mid-run.
@@ -169,6 +188,10 @@ pub struct MultiModelConfig {
     pub noise_seed: u64,
     /// How much per-query material runs keep.
     pub detail: ReportDetail,
+    /// Record a per-instance execution Gantt trace (costs memory; off for
+    /// sweeps). Instances created by mid-run reconfigurations get their own
+    /// timeline rows.
+    pub record_gantt: bool,
     /// Online re-planning policy; `None` freezes the initial plan.
     pub replan: Option<ReplanPolicy>,
 }
@@ -183,8 +206,16 @@ impl MultiModelConfig {
             service_noise: 0.0,
             noise_seed: 0,
             detail: ReportDetail::Full,
+            record_gantt: false,
             replan: None,
         }
+    }
+
+    /// Enables Gantt-trace recording.
+    #[must_use]
+    pub fn with_gantt(mut self) -> Self {
+        self.record_gantt = true;
+        self
     }
 
     /// Overrides the frontend service time.
@@ -393,6 +424,11 @@ pub struct MultiRunReport {
     pub partition_models: Vec<usize>,
     /// Every completed mid-run reconfiguration, in order.
     pub reconfigs: Vec<ReconfigEvent>,
+    /// Per-instance execution trace, when requested via
+    /// [`MultiModelConfig::with_gantt`]. Rows index the same space as
+    /// [`partition_sizes`](Self::partition_sizes), including instances
+    /// created mid-run.
+    pub gantt: Option<Gantt>,
     /// High-water mark of the DES event queue (stays O(partitions)).
     pub peak_pending_events: usize,
 }
@@ -565,6 +601,19 @@ impl MultiModelServer {
         &self.config
     }
 
+    /// A back-of-envelope planned-capacity estimate: the sum over every
+    /// model of [`ProfileTable::capacity_qps`] for its planned group under
+    /// its declared distribution, queries/second. A cluster router
+    /// weighting shards by planned capacity reads this.
+    #[must_use]
+    pub fn capacity_hint_qps(&self) -> f64 {
+        self.models
+            .iter()
+            .zip(&self.groups)
+            .map(|(spec, group)| spec.table.capacity_qps(group, &spec.dist))
+            .sum()
+    }
+
     /// Simulates the server over a materialized tagged trace.
     #[must_use]
     pub fn run(&self, trace: &[TaggedQuerySpec]) -> MultiRunReport {
@@ -578,17 +627,46 @@ impl MultiModelServer {
     where
         I: IntoIterator<Item = TaggedQuerySpec>,
     {
-        MEngine::new(self, detail, arrivals.into_iter()).run()
+        let mut arrivals = arrivals.into_iter();
+        let n: usize = self.groups.iter().map(Vec::len).sum();
+        // Steady state: ≤ one completion per partition + the next streamed
+        // arrival + a possible reconfiguration event.
+        let mut sim: Simulation<ShardEvent> = Simulation::with_capacity(n + 3);
+        let mut engine = ShardEngine::new(self, detail);
+        if let Some(tq) = arrivals.next() {
+            engine.offer(tq, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        }
+        while let Some((now, event)) = sim.next_event() {
+            // Keep the pipeline primed: handling a dispatch is the moment
+            // its successor enters the queue, so pending stays O(P).
+            if matches!(event, ShardEvent::Dispatch(..)) {
+                if let Some(tq) = arrivals.next() {
+                    engine.offer(tq, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+                }
+            }
+            engine.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        }
+        engine.finish(sim.peak_pending())
     }
 }
 
-/// Events driving the multi-model simulation.
+/// Events driving one shard's simulation.
+///
+/// Public so an external driver can own the event loop: a cluster hosting
+/// many shards inside one DES wraps each shard's events with its shard
+/// index and routes them back to the owning [`ShardEngine`]. The
+/// single-shard driver is [`MultiModelServer::run_stream`].
 #[derive(Debug, Clone, Copy)]
-enum MEvent {
-    /// The frontend finished preparing a query for `model`.
+pub enum ShardEvent {
+    /// The frontend finished preparing a query for the model with this
+    /// index.
     Dispatch(Query, usize),
-    /// Partition `worker` finished its current query.
-    Complete { worker: usize },
+    /// A partition finished its current query.
+    Complete {
+        /// The worker-slot index within the shard (indexes the report's
+        /// partition vectors).
+        worker: usize,
+    },
     /// Drain + reslice finished: bring the new instances online.
     ReconfigReady,
 }
@@ -598,6 +676,26 @@ enum MEvent {
 /// completion goes last.
 const COMPLETE_KEY_BASE: u64 = 1 << 63;
 const RECONFIG_KEY: u64 = u64::MAX;
+
+/// Inputs of an externally imposed re-plan
+/// ([`ShardEngine::force_replan`]) — how a cluster loan controller tells a
+/// shard to re-plan onto a changed budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplanRequest<'a> {
+    /// The budget the shard must adopt and re-plan onto.
+    pub budget: GpcBudget,
+    /// Per-model budget-share weights (a loan controller passes shares
+    /// derived from its observed traffic, or the declared model weights).
+    pub weights: &'a [f64],
+    /// Per-model planning distributions (observed, or declared).
+    pub dists: &'a [BatchDistribution],
+    /// Prices the reslice of whatever `plan_diff` the transition implies.
+    pub cost: &'a ResliceCostModel,
+    /// Added on top of the reslice delay — e.g. the whole-GPU handover
+    /// charge of a capacity loan
+    /// ([`ResliceCostModel::gpu_handover_ns`]).
+    pub extra_downtime: SimDuration,
+}
 
 /// One partition's identity and lifecycle within a run.
 #[derive(Debug)]
@@ -645,12 +743,39 @@ struct ModelAccum {
     sla_violations: u64,
 }
 
-/// One multi-model run's mutable state.
-struct MEngine<'a, I> {
+/// One shard's mutable serving state, decoupled from the event loop.
+///
+/// This is the multi-model engine behind [`MultiModelServer::run_stream`],
+/// exposed so a *cluster* can host several shards inside one shared DES:
+/// the driver owns the `Simulation`, injects arrivals ([`offer`]) and feeds
+/// popped events back ([`handle`]) through a scheduling callback
+/// `(fire_time, tie_break_key, event)`. Everything else — per-model
+/// scheduler state, drift detection, quiesce/drain reconfiguration,
+/// accounting — lives here, so a one-shard cluster is *bit-for-bit* the
+/// single-server run.
+///
+/// Cluster-facing hooks beyond the event plumbing:
+///
+/// * [`outstanding_queries`] — offered-but-uncompleted load, the signal a
+///   join-shortest-queue router balances on;
+/// * [`force_replan`] — re-plan onto an externally imposed budget (an
+///   Aryl-style capacity loan or reclaim), with the transition priced
+///   through the same `plan_diff` + [`ResliceCostModel`] machinery as
+///   drift-triggered re-plans;
+/// * [`reconfig_in_flight`] — whether a transition is mid-drain (loans
+///   must wait, or they would compound two reconfigurations).
+///
+/// [`offer`]: Self::offer
+/// [`handle`]: Self::handle
+/// [`outstanding_queries`]: Self::outstanding_queries
+/// [`force_replan`]: Self::force_replan
+/// [`reconfig_in_flight`]: Self::reconfig_in_flight
+pub struct ShardEngine<'a> {
     server: &'a MultiModelServer,
     detail: ReportDetail,
-    arrivals: I,
-    sim: Simulation<MEvent>,
+    /// The budget the *next* re-plan splits. Starts at the server's budget;
+    /// capacity loans move it.
+    budget: GpcBudget,
     slots: Vec<WorkerSlot>,
     /// Borrowed latency row and max batch per slot (from the owning
     /// model's table) — one slice index per estimate, as in the
@@ -662,6 +787,7 @@ struct MEngine<'a, I> {
     reconfig: Option<ReconfigInFlight>,
     reconfigs: Vec<ReconfigEvent>,
     noise_rng: StdRng,
+    gantt: Option<Gantt>,
     records: Vec<QueryRecord>,
     record_models: Vec<usize>,
     latency: LatencyRecorder,
@@ -678,8 +804,10 @@ struct MEngine<'a, I> {
     next_complete_key: u64,
 }
 
-impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
-    fn new(server: &'a MultiModelServer, detail: ReportDetail, arrivals: I) -> Self {
+impl<'a> ShardEngine<'a> {
+    /// Builds the engine for one run of `server` at the given detail.
+    #[must_use]
+    pub fn new(server: &'a MultiModelServer, detail: ReportDetail) -> Self {
         let mut slots = Vec::new();
         let mut rows = Vec::new();
         let mut max_batch = Vec::new();
@@ -706,7 +834,6 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                 stash: VecDeque::new(),
             });
         }
-        let n = slots.len();
         let detector = server.config.replan.as_ref().map(|rp| {
             let max_b = server
                 .models
@@ -716,13 +843,14 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                 .expect("at least one model");
             DriftDetector::new(server.models.len(), max_b, rp.detector)
         });
-        let mut engine = MEngine {
+        let gantt = server
+            .config
+            .record_gantt
+            .then(|| Gantt::new(slots.iter().map(|s| s.worker.size()).collect()));
+        let mut engine = ShardEngine {
             server,
             detail,
-            arrivals,
-            // Steady state: ≤ one completion per partition + the next
-            // streamed arrival + a possible reconfiguration event.
-            sim: Simulation::with_capacity(n + 3),
+            budget: server.budget,
             slots,
             rows,
             max_batch,
@@ -731,6 +859,7 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             reconfig: None,
             reconfigs: Vec::new(),
             noise_rng: StdRng::seed_from_u64(server.config.noise_seed),
+            gantt,
             records: Vec::new(),
             record_models: Vec::new(),
             latency: LatencyRecorder::new(),
@@ -805,35 +934,77 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
         self.rows[w][batch.clamp(1, self.max_batch[w]) - 1]
     }
 
-    /// Pulls the next tagged arrival through the shared serial frontend.
-    fn inject_next_arrival(&mut self) {
-        if let Some(tq) = self.arrivals.next() {
-            let arrival = SimTime::from_nanos(tq.spec.arrival_ns);
-            let begin = arrival.max(self.frontend_free);
-            let dispatched = begin + self.server.config.frontend_overhead;
-            self.frontend_free = dispatched;
-            let id = self.next_query_id;
-            self.next_query_id += 1;
-            self.sim.schedule_at_keyed(
-                dispatched,
-                id,
-                MEvent::Dispatch(
-                    Query {
-                        id: QueryId(id),
-                        batch: tq.spec.batch,
-                        arrival,
-                        dispatched,
-                    },
-                    tq.model,
-                ),
-            );
+    /// Offers one tagged arrival to the shard's serial frontend, scheduling
+    /// its [`ShardEvent::Dispatch`] through `sched`. Arrivals must be
+    /// offered in non-decreasing arrival order.
+    pub fn offer(&mut self, tq: TaggedQuerySpec, sched: &mut impl FnMut(SimTime, u64, ShardEvent)) {
+        let arrival = SimTime::from_nanos(tq.spec.arrival_ns);
+        let begin = arrival.max(self.frontend_free);
+        let dispatched = begin + self.server.config.frontend_overhead;
+        self.frontend_free = dispatched;
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        sched(
+            dispatched,
+            id,
+            ShardEvent::Dispatch(
+                Query {
+                    id: QueryId(id),
+                    batch: tq.spec.batch,
+                    arrival,
+                    dispatched,
+                },
+                tq.model,
+            ),
+        );
+    }
+
+    /// Handles one popped event. The driver must pass every event this
+    /// engine scheduled (and only those) back in pop order.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        event: ShardEvent,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
+        match event {
+            ShardEvent::Dispatch(query, model) => self.on_dispatch(query, model, now, sched),
+            ShardEvent::Complete { worker } => self.on_complete(worker, now, sched),
+            ShardEvent::ReconfigReady => self.on_reconfig_ready(now, sched),
         }
+    }
+
+    /// Queries offered to the frontend but not yet completed — the
+    /// outstanding-load signal a join-shortest-queue cluster router
+    /// balances on.
+    #[must_use]
+    pub fn outstanding_queries(&self) -> u64 {
+        self.next_query_id - self.histogram.count()
+    }
+
+    /// Whether a reconfiguration (drift re-plan or capacity loan) is
+    /// currently draining or waiting out its reslice.
+    #[must_use]
+    pub fn reconfig_in_flight(&self) -> bool {
+        self.reconfig.is_some()
+    }
+
+    /// The budget the next re-plan will split (moves with capacity loans).
+    #[must_use]
+    pub fn budget(&self) -> GpcBudget {
+        self.budget
     }
 
     /// Starts `query` on slot `w` at `now` and schedules its completion.
     /// Active slots also update their group's scheduler state; retiring
     /// slots are outside every group and only drain.
-    fn begin(&mut self, w: usize, query: Query, now: SimTime) {
+    fn begin(
+        &mut self,
+        w: usize,
+        query: Query,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
         let base = self.estimate_ns(w, query.batch);
         let duration =
             noisy_service_duration(self.server.config.service_noise, base, &mut self.noise_rng);
@@ -846,13 +1017,18 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
         }
         let key = self.next_complete_key;
         self.next_complete_key += 1;
-        self.sim
-            .schedule_at_keyed(end, key, MEvent::Complete { worker: w });
+        sched(end, key, ShardEvent::Complete { worker: w });
     }
 
     /// Routes `query` to model `m`'s group — the same O(log P) decision
     /// path as the single-model engine, against per-model state.
-    fn route(&mut self, query: Query, m: usize, now: SimTime) {
+    fn route(
+        &mut self,
+        query: Query,
+        m: usize,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
         if self.groups[m].members.is_empty() {
             // Mid-reconfiguration with the whole group quiesced: hold the
             // query until the new instances come online.
@@ -868,7 +1044,7 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             };
             let w = self.groups[m].members[local];
             if self.slots[w].worker.is_idle() {
-                self.begin(w, query, now);
+                self.begin(w, query, now, sched);
             } else {
                 let est = self.estimate_ns(w, query.batch);
                 self.slots[w]
@@ -886,28 +1062,37 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                 Some((idle_since, local)) => {
                     self.groups[m].fifs_idle.remove((idle_since, local));
                     let w = self.groups[m].members[local as usize];
-                    self.begin(w, query, now);
+                    self.begin(w, query, now, sched);
                 }
                 None => self.groups[m].central.push_back(query),
             }
         }
     }
 
-    fn on_dispatch(&mut self, query: Query, m: usize, now: SimTime) {
-        // Keep the pipeline primed before handling this query.
-        self.inject_next_arrival();
+    fn on_dispatch(
+        &mut self,
+        query: Query,
+        m: usize,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
         if let Some(det) = &mut self.detector {
             let drift = det.observe(m, query.arrival.as_nanos(), query.batch);
             if self.reconfig.is_none() {
                 if let Some(report) = drift {
-                    self.try_replan(&report, now);
+                    self.try_replan(&report, now, sched);
                 }
             }
         }
-        self.route(query, m, now);
+        self.route(query, m, now, sched);
     }
 
-    fn on_complete(&mut self, w: usize, now: SimTime) {
+    fn on_complete(
+        &mut self,
+        w: usize,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
         self.last_completion = now;
         let m = self.slots[w].model;
         let (query, started) = self.slots[w].worker.finish(now);
@@ -932,12 +1117,21 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             });
             self.record_models.push(m);
         }
+        if let Some(g) = &mut self.gantt {
+            g.push(Span {
+                partition: w,
+                query: query.id,
+                batch: query.batch,
+                start: started,
+                end: now,
+            });
+        }
 
         if self.slots[w].retiring {
             // A quiesced partition serves out its own local queue, then
             // goes dark; the last drained partition starts the reslice.
             if let Some((q, _est)) = self.slots[w].worker.pop_next() {
-                self.begin(w, q, now);
+                self.begin(w, q, now, sched);
             } else {
                 let rc = self
                     .reconfig
@@ -946,8 +1140,7 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                 rc.draining -= 1;
                 if rc.draining == 0 {
                     let delay = rc.delay;
-                    self.sim
-                        .schedule_at_keyed(now + delay, RECONFIG_KEY, MEvent::ReconfigReady);
+                    sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
                 }
             }
             return;
@@ -968,11 +1161,11 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                     .expect("elsa mode")
                     .1
                     .dequeue(local, est.as_nanos());
-                self.begin(w, q, now);
+                self.begin(w, q, now, sched);
             }
         } else {
             match self.groups[m].central.pop_front() {
-                Some(q) => self.begin(w, q, now),
+                Some(q) => self.begin(w, q, now, sched),
                 None => self.groups[m]
                     .fifs_idle
                     .insert((now.as_nanos(), local as u32)),
@@ -983,32 +1176,111 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
     /// Acts on a drift report: re-plans every model from its observed
     /// traffic, quiesces the instances the new plan drops, and arms the
     /// reslice.
-    fn try_replan(&mut self, report: &DriftReport, now: SimTime) {
+    fn try_replan(
+        &mut self,
+        report: &DriftReport,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
         let detector = self.detector.as_ref().expect("replan needs a detector");
         let models = &self.server.models;
 
-        // Budget weights from observed demand: rate × mean profiled
-        // latency on the largest partition (≈ full-GPU-seconds per
-        // second the model needs).
+        // Budget weights from observed demand ([`ModelSpec::demand_weight`]).
         let mut weights = Vec::with_capacity(models.len());
         let mut dists: Vec<BatchDistribution> = Vec::with_capacity(models.len());
         for (m, spec) in models.iter().enumerate() {
             let dist = detector
                 .observed_distribution(m)
                 .unwrap_or_else(|| spec.dist.clone());
-            let big = spec.table.largest_size();
-            let mean_latency_s: f64 = (1..=spec.table.max_batch())
-                .map(|b| dist.pmf(b) * spec.table.latency_s(big, b))
-                .sum();
             let rate = report.rates_qps.get(m).copied().unwrap_or(0.0);
-            weights.push((rate * mean_latency_s).max(1e-9));
+            weights.push(spec.demand_weight(&dist, rate));
             dists.push(dist);
         }
 
-        // Re-plan each model's share against its observed distribution;
-        // fall back to the declared distribution, then to the current
-        // layout, so a degenerate window can never break serving.
-        let budgets = split_budget(self.server.budget, &weights);
+        let cost = self
+            .server
+            .config
+            .replan
+            .as_ref()
+            .expect("replan policy present")
+            .cost;
+        let started = self.transition_to(
+            &ReplanRequest {
+                budget: self.budget,
+                weights: &weights,
+                dists: &dists,
+                cost: &cost,
+                extra_downtime: SimDuration::ZERO,
+            },
+            now,
+            sched,
+        );
+        if !started {
+            // Traffic moved but the plan is already right: accept the new
+            // baseline and keep serving.
+            self.detector.as_mut().expect("checked above").rebaseline();
+        }
+    }
+
+    /// Re-plans the shard onto an externally imposed budget — the
+    /// cluster-loaning hook; see [`ReplanRequest`] for the inputs.
+    ///
+    /// Returns `true` if a reconfiguration actually started. Returns
+    /// `false` — leaving serving untouched — when a reconfiguration is
+    /// already in flight (the caller should retry after it completes) or
+    /// when the new budget plans to the very same layout (the budget is
+    /// still adopted for future re-plans, and no downtime is charged: an
+    /// empty [`plan_diff`] means no driver call at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's budget cannot be split across the shard's
+    /// models (fewer GPUs or GPCs than models) — loan controllers must
+    /// never shrink a shard below one GPU per model.
+    pub fn force_replan(
+        &mut self,
+        request: &ReplanRequest<'_>,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) -> bool {
+        if self.reconfig.is_some() {
+            return false;
+        }
+        let started = self.transition_to(request, now, sched);
+        if !started {
+            // The budget moved but the layout did not: let the shard's own
+            // detector accept current traffic so it does not immediately
+            // re-trigger against a stale baseline.
+            if let Some(det) = &mut self.detector {
+                det.rebaseline();
+            }
+        }
+        started
+    }
+
+    /// The shared transition core behind drift re-plans and capacity
+    /// loans: adopts the requested budget, plans every model's share
+    /// against the requested distributions (falling back to the declared
+    /// distribution, then to the current layout, so a degenerate input can
+    /// never break serving), diffs against the running layout, quiesces
+    /// removals and arms the reslice. Returns whether a reconfiguration
+    /// started.
+    fn transition_to(
+        &mut self,
+        request: &ReplanRequest<'_>,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) -> bool {
+        let ReplanRequest {
+            budget,
+            weights,
+            dists,
+            cost,
+            extra_downtime,
+        } = *request;
+        self.budget = budget;
+        let models = &self.server.models;
+        let budgets = split_budget(budget, weights);
         let current: Vec<Vec<ProfileSize>> = self
             .groups
             .iter()
@@ -1036,23 +1308,18 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             .zip(&targets)
             .map(|(c, t)| plan_diff(c, t))
             .collect();
-        if diffs.iter().all(paris_core::PlanDiff::is_empty) {
-            // Traffic moved but the plan is already right: accept the new
-            // baseline and keep serving.
-            self.detector.as_mut().expect("checked above").rebaseline();
-            return;
+        let mut merged = PlanDiff::default();
+        for d in &diffs {
+            merged.merge(d);
         }
-
-        let destroyed: usize = diffs.iter().map(paris_core::PlanDiff::removed_count).sum();
-        let created: usize = diffs.iter().map(paris_core::PlanDiff::added_count).sum();
-        let cost = self
-            .server
-            .config
-            .replan
-            .as_ref()
-            .expect("replan policy present")
-            .cost;
-        let delay = SimDuration::from_nanos(cost.delay_ns(destroyed, created));
+        if merged.is_empty() {
+            return false;
+        }
+        let delay = SimDuration::from_nanos(
+            merged
+                .downtime_ns(cost)
+                .saturating_add(extra_downtime.as_nanos()),
+        );
 
         // Quiesce: per model and size, retire the highest-indexed members
         // first (deterministic), removing them from the group.
@@ -1089,19 +1356,23 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             delay,
             draining,
             added,
-            destroyed,
-            created,
+            destroyed: merged.removed_count(),
+            created: merged.added_count(),
         });
         if draining == 0 {
-            self.sim
-                .schedule_at_keyed(now + delay, RECONFIG_KEY, MEvent::ReconfigReady);
+            sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
         }
+        true
     }
 
     /// The reslice finished: create the new instances, refresh scheduler
     /// state, serve anything that queued up during the outage, and accept
     /// the observed traffic as the new baseline.
-    fn on_reconfig_ready(&mut self, now: SimTime) {
+    fn on_reconfig_ready(
+        &mut self,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) {
         let rc = self.reconfig.take().expect("reconfig event without state");
         for &(m, size) in &rc.added {
             let w = self.slots.len();
@@ -1115,6 +1386,10 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                 .push(self.server.models[m].table.latency_row(size));
             self.max_batch.push(self.server.models[m].table.max_batch());
             self.groups[m].members.push(w);
+            if let Some(g) = &mut self.gantt {
+                let row = g.add_partition(size);
+                debug_assert_eq!(row, w, "gantt rows track worker slots");
+            }
         }
         for m in 0..self.groups.len() {
             self.rebuild_group(m);
@@ -1130,12 +1405,12 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
                     .central
                     .pop_front()
                     .expect("checked non-empty");
-                self.begin(w, q, now);
+                self.begin(w, q, now, sched);
             }
             // Queries that arrived while the group was dark re-enter the
             // normal dispatch path, in arrival order.
             while let Some(q) = self.groups[m].stash.pop_front() {
-                self.route(q, m, now);
+                self.route(q, m, now, sched);
             }
         }
         self.reconfigs.push(ReconfigEvent {
@@ -1145,22 +1420,17 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             created: rc.created,
             reslice_delay: rc.delay,
         });
-        self.detector
-            .as_mut()
-            .expect("replan implies detector")
-            .rebaseline();
+        // Loans reach here with no shard-level detector configured.
+        if let Some(det) = &mut self.detector {
+            det.rebaseline();
+        }
     }
 
-    fn run(mut self) -> MultiRunReport {
-        self.inject_next_arrival();
-        while let Some((now, event)) = self.sim.next_event() {
-            match event {
-                MEvent::Dispatch(query, model) => self.on_dispatch(query, model, now),
-                MEvent::Complete { worker } => self.on_complete(worker, now),
-                MEvent::ReconfigReady => self.on_reconfig_ready(now),
-            }
-        }
-
+    /// Consumes the engine into its run report. `peak_pending_events` is
+    /// the driver's event-queue high-water mark (a shared cluster DES
+    /// reports the same fleet-wide value to every shard).
+    #[must_use]
+    pub fn finish(self, peak_pending_events: usize) -> MultiRunReport {
         let makespan = self.last_completion.saturating_since(SimTime::ZERO);
         let makespan_s = makespan.as_secs_f64();
         let completed = self.histogram.count();
@@ -1206,7 +1476,8 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> MEngine<'a, I> {
             partition_sizes: self.slots.iter().map(|s| s.worker.size()).collect(),
             partition_models: self.slots.iter().map(|s| s.model).collect(),
             reconfigs: self.reconfigs,
-            peak_pending_events: self.sim.peak_pending(),
+            gantt: self.gantt,
+            peak_pending_events,
         }
     }
 }
@@ -1381,6 +1652,75 @@ mod tests {
             assert!(r.partition < report.partition_sizes.len());
             assert!(r.started < r.completed);
         }
+    }
+
+    #[test]
+    fn gantt_tracks_every_query_across_models_and_reconfigs() {
+        // The multi-model Gantt wiring: every completion leaves exactly one
+        // span, rows cover every instance that ever existed — including
+        // ones created by a mid-run re-plan — and span rows agree with the
+        // records' partition indices.
+        let dist = BatchDistribution::paper_default();
+        let policy = ReplanPolicy::new(0.25);
+        let server = MultiModelServer::new(
+            vec![
+                ModelSpec::new("mobilenet", table(ModelKind::MobileNet), dist.clone()),
+                ModelSpec::new("resnet50", table(ModelKind::ResNet50), dist),
+            ],
+            GpcBudget::new(48, 8),
+            MultiModelConfig::new().with_gantt().with_replan(policy),
+        )
+        .expect("plans build");
+        let trace = drifting_trace(1.5, 19).generate();
+        let report = server.run(&trace);
+        let g = report.gantt.as_ref().expect("gantt requested");
+        assert_eq!(g.spans().len(), trace.len());
+        assert_eq!(g.partition_sizes(), &report.partition_sizes[..]);
+        for (span, r) in g.spans().iter().zip(&report.records) {
+            assert_eq!(span.partition, r.partition);
+            assert_eq!(span.start, r.started);
+            assert_eq!(span.end, r.completed);
+        }
+        assert!(!g.render_ascii(60).is_empty());
+        // Without the flag, no gantt is kept.
+        let plain = two_model_server(None).run(&steady_trace(100.0, 50.0, 0.2, 3));
+        assert!(plain.gantt.is_none());
+    }
+
+    #[test]
+    fn replan_to_identical_layout_charges_no_downtime() {
+        // Reconfiguration edge case: a forced re-plan whose PARIS target
+        // equals the running layout must be a no-op — empty plan_diff, no
+        // ReconfigEvent, zero charged downtime, serving uninterrupted.
+        let dist = BatchDistribution::paper_default();
+        let t = table(ModelKind::MobileNet);
+        let server = MultiModelServer::new(
+            vec![ModelSpec::new("mobilenet", t, dist.clone())],
+            GpcBudget::new(14, 2),
+            MultiModelConfig::new(),
+        )
+        .expect("plan builds");
+        let mut engine = ShardEngine::new(&server, ReportDetail::Full);
+        let mut scheduled = Vec::new();
+        let cost = ResliceCostModel::a100_default();
+        // Same budget, declared weights/dists: PARIS lands on the same
+        // plan, so nothing may be scheduled and no reconfig armed.
+        let started = engine.force_replan(
+            &ReplanRequest {
+                budget: server.budget(),
+                weights: &[1.0],
+                dists: &[dist],
+                cost: &cost,
+                extra_downtime: SimDuration::ZERO,
+            },
+            SimTime::ZERO,
+            &mut |t, k, e| scheduled.push((t, k, format!("{e:?}"))),
+        );
+        assert!(!started, "identical plan must not start a reconfiguration");
+        assert!(scheduled.is_empty(), "no reslice event was armed");
+        assert!(!engine.reconfig_in_flight());
+        let report = engine.finish(0);
+        assert!(report.reconfigs.is_empty());
     }
 
     #[test]

@@ -97,40 +97,181 @@ pub fn rate_sweep(
     rates_qps: &[f64],
     cfg: &SweepConfig,
 ) -> Vec<ThroughputPoint> {
-    // A bounded worker pool: `available_parallelism` threads pull point
-    // indices from a shared counter, so a 200-point sweep spawns a handful
-    // of OS threads instead of 200.
+    parallel_map_indexed(rates_qps.len(), |i| {
+        let mut point_cfg = *cfg;
+        point_cfg.seed = cfg.seed.wrapping_add(i as u64);
+        measure_point(server, dist, rates_qps[i], &point_cfg)
+    })
+}
+
+/// Evaluates `f(0)..f(n-1)` across a bounded worker pool and returns the
+/// results in index order.
+///
+/// `available_parallelism` threads pull indices from a shared counter, so
+/// a 200-point sweep spawns a handful of OS threads instead of 200. This
+/// is the pool behind [`rate_sweep`] and the doubling phase of
+/// [`parallel_doubling_search`]; any embarrassingly parallel measurement
+/// (a bench binary's per-design loop, a scale search) can reuse it.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any index (the panic is propagated).
+pub fn parallel_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(rates_qps.len().max(1));
+        .min(n);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut points: Vec<(usize, ThroughputPoint)> = std::thread::scope(|scope| {
+    let mut out: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
+                let f = &f;
                 scope.spawn(move || {
-                    let mut measured = Vec::new();
+                    let mut acc = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= rates_qps.len() {
-                            return measured;
+                        if i >= n {
+                            return acc;
                         }
-                        let mut point_cfg = *cfg;
-                        point_cfg.seed = cfg.seed.wrapping_add(i as u64);
-                        measured.push((i, measure_point(server, dist, rates_qps[i], &point_cfg)));
+                        acc.push((i, f(i)));
                     }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .flat_map(|h| h.join().expect("pool worker panicked"))
             .collect()
     });
-    points.sort_by_key(|&(i, _)| i);
-    debug_assert_eq!(points.len(), rates_qps.len());
-    points.into_iter().map(|(_, p)| p).collect()
+    out.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(out.len(), n);
+    out.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Result of a generic [`parallel_doubling_search`].
+#[derive(Debug, Clone)]
+pub struct BracketSearch<T> {
+    /// Every `(operating point, outcome)` measured, in the order the
+    /// equivalent serial search would have measured them (speculative
+    /// doubling points past the first failure are discarded).
+    pub points: Vec<(f64, T)>,
+    /// Index into [`points`](Self::points) of the best passing point.
+    best: Option<usize>,
+}
+
+impl<T> BracketSearch<T> {
+    /// The highest passing operating point and its outcome, if any passed.
+    #[must_use]
+    pub fn best(&self) -> Option<&(f64, T)> {
+        self.best.map(|i| &self.points[i])
+    }
+
+    /// The highest passing operating point (0 when nothing passed).
+    #[must_use]
+    pub fn best_x(&self) -> f64 {
+        self.best().map_or(0.0, |&(x, _)| x)
+    }
+}
+
+/// Generic doubling + bisection bracket search with a **parallel doubling
+/// phase**: the largest operating point `x` (load scale, offered rate, …)
+/// at which `meets(&measure(x))` still holds.
+///
+/// The doubling phase's candidate points (`start·2^k`) are independent, so
+/// they are measured in speculative waves through the bounded worker pool
+/// [`parallel_map_indexed`] — the pool [`rate_sweep`] uses — instead of one
+/// at a time. Waves are capped at four points so a search that fails early
+/// never wastes more than three deep-overload measurements. Results are
+/// *identical* to the serial search: points past the first failure are
+/// discarded, and the bisection (inherently sequential — each probe depends
+/// on the last bracket) runs serially on the driving thread.
+///
+/// When the very first point fails, the bracket is `(0, start)`:
+/// `bisect_from_zero` chooses whether to bisect downward into it (a scale
+/// search that must localize capacity below its nominal point) or give up
+/// at zero (a rate search seeded well below saturation, where a failing
+/// seed means the measurement itself is degenerate).
+///
+/// `measure` must be deterministic and thread-safe; it runs concurrently
+/// during the doubling phase.
+///
+/// # Panics
+///
+/// Panics if `start` is not positive and finite.
+pub fn parallel_doubling_search<T, M, O>(
+    start: f64,
+    max_doublings: usize,
+    bisections: usize,
+    bisect_from_zero: bool,
+    measure: M,
+    meets: O,
+) -> BracketSearch<T>
+where
+    T: Send,
+    M: Fn(f64) -> T + Sync,
+    O: Fn(&T) -> bool,
+{
+    assert!(
+        start.is_finite() && start > 0.0,
+        "start point must be positive"
+    );
+    let wave = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 4);
+
+    let mut points: Vec<(f64, T)> = Vec::new();
+    let mut best: Option<usize> = None;
+    let mut lo = 0.0f64;
+    let mut next = start;
+    let mut measured = 0usize;
+    let mut failed_at: Option<f64> = None;
+    while measured < max_doublings && failed_at.is_none() {
+        let count = wave.min(max_doublings - measured);
+        let xs: Vec<f64> = (0..count).map(|j| next * (1u64 << j) as f64).collect();
+        let outcomes = parallel_map_indexed(count, |j| measure(xs[j]));
+        for (&x, t) in xs.iter().zip(outcomes) {
+            measured += 1;
+            let ok = meets(&t);
+            points.push((x, t));
+            if ok {
+                best = Some(points.len() - 1);
+                lo = x;
+            } else {
+                failed_at = Some(x);
+                break;
+            }
+        }
+        next = lo * 2.0;
+    }
+    // The bracket top: the first failing point, or (with every doubling
+    // passing) the unmeasured next candidate — exactly the serial bracket.
+    let mut hi = failed_at.unwrap_or(lo * 2.0);
+
+    if lo > 0.0 || (bisect_from_zero && failed_at.is_some()) {
+        for _ in 0..bisections {
+            let mid = 0.5 * (lo + hi);
+            let t = measure(mid);
+            let ok = meets(&t);
+            points.push((mid, t));
+            if ok {
+                best = Some(points.len() - 1);
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    BracketSearch { points, best }
 }
 
 /// Result of a latency-bounded-throughput search.
@@ -143,9 +284,10 @@ pub struct ThroughputSearch {
 }
 
 /// Finds the server's latency-bounded throughput: doubling to bracket the
-/// saturation rate, then bisecting. `start_qps` seeds the search (any value
-/// well below saturation works; capacity hints come from
-/// [`capacity_hint_qps`]).
+/// saturation rate (the independent doubling points run **in parallel**
+/// through the bounded worker pool, see [`parallel_doubling_search`]), then
+/// bisecting. `start_qps` seeds the search (any value well below saturation
+/// works; capacity hints come from [`capacity_hint_qps`]).
 ///
 /// # Panics
 ///
@@ -157,60 +299,29 @@ pub fn search_latency_bounded_throughput(
     cfg: &SweepConfig,
     start_qps: f64,
 ) -> ThroughputSearch {
-    assert!(
-        start_qps.is_finite() && start_qps > 0.0,
-        "start rate must be positive"
-    );
     let target_ms = cfg.sla_ms();
-    let mut points = Vec::new();
-
-    // Phase 1: double until the tail-latency target breaks (or 20 doublings).
-    let mut lo = 0.0f64;
-    let mut hi = start_qps;
-    for _ in 0..20 {
-        let p = measure_point(server, dist, hi, cfg);
-        let ok = p.meets_target(target_ms);
-        points.push(p);
-        if ok {
-            lo = hi;
-            hi *= 2.0;
-        } else {
-            break;
-        }
-    }
-
-    // Phase 2: bisect the bracket.
-    if lo > 0.0 {
-        for _ in 0..7 {
-            let mid = 0.5 * (lo + hi);
-            let p = measure_point(server, dist, mid, cfg);
-            let ok = p.meets_target(target_ms);
-            points.push(p);
-            if ok {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-    }
-
+    let search = parallel_doubling_search(
+        start_qps,
+        20,
+        7,
+        false,
+        |rate| measure_point(server, dist, rate, cfg),
+        |p: &ThroughputPoint| p.meets_target(target_ms),
+    );
+    let points: Vec<ThroughputPoint> = search.points.into_iter().map(|(_, p)| p).collect();
     ThroughputSearch {
         latency_bounded_qps: latency_bounded_throughput(&points, target_ms),
         points,
     }
 }
 
-/// A back-of-envelope capacity estimate: the sum over partitions of the
-/// reciprocal profiled latency at the distribution's mean batch. Useful as
-/// the `start_qps` seed for the throughput search.
+/// A back-of-envelope capacity estimate
+/// ([`ProfileTable::capacity_qps`](paris_core::ProfileTable::capacity_qps)
+/// over the server's partitions). Useful as the `start_qps` seed for the
+/// throughput search.
 #[must_use]
 pub fn capacity_hint_qps(server: &InferenceServer, dist: &BatchDistribution) -> f64 {
-    let mean_batch = dist.mean().round().max(1.0) as usize;
-    server
-        .partitions()
-        .iter()
-        .map(|&size| 1.0 / server.table().latency_s(size, mean_batch))
-        .sum()
+    server.table().capacity_qps(server.partitions(), dist)
 }
 
 #[cfg(test)]
@@ -280,6 +391,60 @@ mod tests {
         let a = search_latency_bounded_throughput(&small, &dist, &c, hint * 0.25);
         let b = search_latency_bounded_throughput(&big, &dist, &c, hint * 0.25);
         assert!(b.latency_bounded_qps > a.latency_bounded_qps);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map_indexed(100, |i| i * i);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        assert!(parallel_map_indexed(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_semantics() {
+        // A synthetic monotone criterion with a known threshold: the
+        // parallel doubling phase must localize it exactly like the serial
+        // loop — same measured points, same order, same bracket.
+        let threshold = 37.0;
+        let search = parallel_doubling_search(1.0, 20, 7, false, |x| x, |&x: &f64| x <= threshold);
+        // Serial reference.
+        let (mut lo, mut hi, mut serial) = (0.0f64, 1.0f64, Vec::new());
+        for _ in 0..20 {
+            serial.push(hi);
+            if hi <= threshold {
+                lo = hi;
+                hi *= 2.0;
+            } else {
+                break;
+            }
+        }
+        for _ in 0..7 {
+            let mid = 0.5 * (lo + hi);
+            serial.push(mid);
+            if mid <= threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let xs: Vec<f64> = search.points.iter().map(|&(x, _)| x).collect();
+        assert_eq!(xs, serial);
+        assert_eq!(search.best_x(), lo);
+        assert!(search.best_x() <= threshold);
+        assert!(threshold < search.best_x() * 1.02, "7 bisections localize");
+    }
+
+    #[test]
+    fn failing_start_gives_up_or_bisects_down() {
+        // Without bisect_from_zero a failing seed ends the search at zero.
+        let s = parallel_doubling_search(8.0, 6, 6, false, |x| x, |&x: &f64| x < 1.0);
+        assert_eq!(s.best_x(), 0.0);
+        assert!(s.best().is_none());
+        assert_eq!(s.points.len(), 1);
+        // With it, the search localizes the threshold inside (0, start).
+        let s = parallel_doubling_search(8.0, 6, 6, true, |x| x, |&x: &f64| x < 1.0);
+        assert!(s.best_x() > 0.0 && s.best_x() < 1.0);
     }
 
     #[test]

@@ -127,6 +127,48 @@ impl MultiTraceGenerator {
         &self.phases
     }
 
+    /// The same drifting schedule with every model's rate in every phase
+    /// multiplied by `scale` — the knob a latency-bounded *scale* search
+    /// turns: the shape of the drift is preserved while the offered load
+    /// sweeps. Batch mixes, phase lengths and the seed are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use inference_workload::{BatchDistribution, MultiTraceGenerator, PhaseSpec};
+    ///
+    /// let d = BatchDistribution::paper_default();
+    /// let gen = MultiTraceGenerator::new(vec![PhaseSpec::new(1.0, vec![(100.0, d)])], 3);
+    /// let heavy = gen.with_rate_scale(4.0);
+    /// assert!(heavy.generate().len() > 2 * gen.generate().len());
+    /// ```
+    #[must_use]
+    pub fn with_rate_scale(&self, scale: f64) -> MultiTraceGenerator {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "rate scale must be positive"
+        );
+        MultiTraceGenerator {
+            phases: self
+                .phases
+                .iter()
+                .map(|p| PhaseSpec {
+                    duration_s: p.duration_s,
+                    models: p
+                        .models
+                        .iter()
+                        .map(|(rate, dist)| (rate * scale, dist.clone()))
+                        .collect(),
+                })
+                .collect(),
+            seed: self.seed,
+        }
+    }
+
     /// Streams the merged arrival sequence (ascending `arrival_ns`,
     /// ties broken by model index) without materializing it.
     #[must_use]
@@ -294,6 +336,20 @@ mod tests {
         let specs: Vec<QuerySpec> = multi.iter().map(|q| q.spec).collect();
         assert_eq!(specs, single);
         assert!(multi.iter().all(|q| q.model == 0));
+    }
+
+    #[test]
+    fn rate_scale_preserves_shape_and_scales_counts() {
+        let gen = two_phase();
+        let base = gen.generate().len() as f64;
+        let scaled = gen.with_rate_scale(3.0);
+        assert_eq!(scaled.total_duration_s(), gen.total_duration_s());
+        assert_eq!(scaled.model_count(), gen.model_count());
+        let n = scaled.generate().len() as f64;
+        assert!(
+            (n / base - 3.0).abs() < 0.3,
+            "3x rates should triple arrivals (got {n} vs {base})"
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * [`metrics`] — latency/throughput/SLA statistics,
 //! * [`paris`] — the PARIS and ELSA algorithms themselves,
 //! * [`server`] — the simulated multi-GPU inference server and the
-//!   evaluation harness (design points, load sweeps).
+//!   evaluation harness (design points, load sweeps),
+//! * [`cluster`] — multi-server sharding: N server shards behind a router
+//!   in one DES, with Aryl-style batch-pool capacity loaning.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 
 pub use des_engine as des;
 pub use dnn_zoo as dnn;
+pub use inference_cluster as cluster;
 pub use inference_server as server;
 pub use inference_workload as workload;
 pub use mig_gpu as gpu;
@@ -51,6 +54,7 @@ pub use server_metrics as metrics;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterReport, LoanPolicy, RouterPolicy};
     pub use crate::des::{SimDuration, SimTime};
     pub use crate::dnn::{ModelGraph, ModelKind};
     pub use crate::gpu::{DeviceSpec, GpuLayout, PerfModel, ProfileSize};
@@ -60,7 +64,8 @@ pub mod prelude {
         ProfileTable,
     };
     pub use crate::server::{
-        rate_sweep, search_latency_bounded_throughput, DesignPoint, InferenceServer, ModelSpec,
+        parallel_doubling_search, parallel_map_indexed, rate_sweep,
+        search_latency_bounded_throughput, DesignPoint, InferenceServer, ModelSpec,
         MultiModelConfig, MultiModelServer, MultiRunReport, ReplanPolicy, ReportDetail, RunReport,
         SchedulerKind, ServerConfig, SweepConfig, Testbed,
     };

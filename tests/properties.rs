@@ -439,6 +439,72 @@ proptest! {
     }
 
     #[test]
+    fn one_shard_cluster_degenerates_to_multi_model_server(
+        rate in 50f64..1_200.0,
+        seed in 0u64..40,
+        scheduler in 0u64..2,
+        router in 0u64..3,
+        partitions in prop::collection::vec(profile_size_strategy(), 1..6)
+    ) {
+        // The cluster degeneration contract: a Cluster hosting exactly one
+        // shard (no loan policy) must reproduce the shard's own
+        // MultiModelServer run bit-for-bit — same records, same latency
+        // samples, same utilization — for every router policy, pinning the
+        // cluster layer to the server semantics (which the multi-model
+        // degeneration test in turn pins to the single-model fast path).
+        use paris_elsa::cluster::{Cluster, RouterPolicy};
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
+        use paris_elsa::workload::TaggedQuerySpec;
+
+        let table = resnet_table();
+        let sla = table.sla_target_ns(1.5);
+        let kind = if scheduler == 0 {
+            SchedulerKind::Fifs
+        } else {
+            SchedulerKind::Elsa(ElsaConfig::new(sla))
+        };
+        let dist = BatchDistribution::paper_default();
+        let server = MultiModelServer::with_groups(
+            vec![ModelSpec::new("only", table, dist.clone())
+                .with_scheduler(kind)
+                .with_sla_ns(sla)],
+            vec![partitions],
+            GpcBudget::new(56, 8),
+            MultiModelConfig::new(),
+        );
+        let policy = match router {
+            0 => RouterPolicy::StaticHash,
+            1 => RouterPolicy::JoinShortestQueue,
+            _ => RouterPolicy::WeightedByCapacity,
+        };
+        let cluster = Cluster::new(vec![server.clone()], policy);
+
+        let trace = TraceGenerator::new(rate, dist, seed).generate_for(0.2);
+        let tagged: Vec<TaggedQuerySpec> = trace
+            .iter()
+            .map(|&spec| TaggedQuerySpec { model: 0, spec })
+            .collect();
+        let expected = server.run(&tagged);
+        let got = cluster.run(&tagged);
+
+        prop_assert_eq!(got.per_shard.len(), 1);
+        prop_assert_eq!(&got.routed, &vec![tagged.len() as u64]);
+        let shard = &got.per_shard[0];
+        prop_assert_eq!(&shard.records, &expected.records);
+        prop_assert_eq!(&shard.latency, &expected.latency);
+        prop_assert_eq!(&shard.partition_utilization, &expected.partition_utilization);
+        prop_assert_eq!(shard.makespan, expected.makespan);
+        prop_assert_eq!(shard.achieved_qps, expected.achieved_qps);
+        prop_assert_eq!(
+            shard.per_model[0].sla_violations,
+            expected.per_model[0].sla_violations
+        );
+        prop_assert_eq!(got.completed(), expected.completed());
+        prop_assert!(got.loans.is_empty());
+        prop_assert_eq!(got.loaned_gpu_seconds, 0.0);
+    }
+
+    #[test]
     fn multi_model_replanning_conserves_queries(
         seed in 0u64..20,
         window_s in 0.1f64..0.4
