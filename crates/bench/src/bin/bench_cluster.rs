@@ -26,6 +26,7 @@ use std::fmt::Write as _;
 use paris_bench::print_table;
 use paris_elsa::cluster::{Cluster, LoanPolicy, RouterPolicy};
 use paris_elsa::dnn::ModelKind;
+use paris_elsa::paris::ReconfigMode;
 use paris_elsa::prelude::*;
 
 /// The SLA-attainment target: the worst shard × model p95 must stay
@@ -84,18 +85,18 @@ impl Scenario {
         )
     }
 
-    fn cluster(&self, router: RouterPolicy, loaning: bool) -> Cluster {
+    fn cluster(&self, router: RouterPolicy, loaning: Option<ReconfigMode>) -> Cluster {
         let shards = self
             .shard_gpus
             .iter()
             .map(|&g| Self::shard(&self.table, &self.dist, g).expect("shard plan builds"))
             .collect();
         let cluster = Cluster::new(shards, router);
-        if loaning {
+        if let Some(mode) = loaning {
             // Decide on half-second windows: several decisions fit into
             // each phase, and a window holds plenty of arrivals at every
             // scale the search probes.
-            cluster.with_loan(LoanPolicy::new(self.pool_gpus, 0.5))
+            cluster.with_loan(LoanPolicy::new(self.pool_gpus, 0.5).with_mode(mode))
         } else {
             cluster
         }
@@ -171,10 +172,14 @@ fn main() {
     let seed = opts.seed;
     let scenario = Scenario::new(phase_secs, seed);
 
-    let configs: [(&str, RouterPolicy, bool); 3] = [
-        ("static", RouterPolicy::StaticHash, false),
-        ("jsq", RouterPolicy::JoinShortestQueue, false),
-        ("jsq_loan", RouterPolicy::JoinShortestQueue, true),
+    let configs: [(&str, RouterPolicy, Option<ReconfigMode>); 3] = [
+        ("static", RouterPolicy::StaticHash, None),
+        ("jsq", RouterPolicy::JoinShortestQueue, None),
+        (
+            "jsq_loan",
+            RouterPolicy::JoinShortestQueue,
+            Some(ReconfigMode::AllAtOnce),
+        ),
     ];
     let mut results: Vec<(&str, Point, Point)> = Vec::new();
     for &(name, router, loaning) in &configs {
@@ -224,8 +229,54 @@ fn main() {
     println!("\njsq vs static latency-bounded throughput:      {jsq_vs_static:.2}x");
     println!("jsq+loan vs static latency-bounded throughput: {loan_vs_static:.2}x");
 
+    // Transition-dip comparison: worst tumbling-window p99 across the
+    // fleet over the queries completing *during a reconfiguration*
+    // (loan-triggered re-plans included), measured at the loaning config's
+    // own latency-bounded max scale — where capacity is binding and the
+    // handover outage is visible. Rolling staging bounds how much of the
+    // borrowing shard is offline at once.
+    let dip_window_ms = 250.0_f64;
+    let dip_scale = results[2].1.scale.max(0.25);
+    let dip = |mode: ReconfigMode| {
+        let cluster = scenario.cluster(RouterPolicy::JoinShortestQueue, Some(mode));
+        let report = cluster.run_stream(scenario.trace(dip_scale).stream(), ReportDetail::Full);
+        // Transition intervals are fleet-wide: while one shard reslices,
+        // the JSQ router shifts its load onto the others, so the spike
+        // can materialize on a shard that is not itself reconfiguring.
+        let transitions: Vec<(u64, u64)> = report
+            .per_shard
+            .iter()
+            .flat_map(|s| &s.reconfigs)
+            .map(|rc| (rc.triggered_at.as_nanos(), rc.completed_at.as_nanos()))
+            .collect();
+        paris_bench::transition_dip_p99_ms(
+            (dip_window_ms * 1e6) as u64,
+            &transitions,
+            report
+                .per_shard
+                .iter()
+                .flat_map(|s| &s.records)
+                .map(|r| (r.completed.as_nanos(), r.latency().as_nanos())),
+        )
+    };
+    let dip_all_at_once = dip(ReconfigMode::AllAtOnce);
+    let dip_rolling = dip(ReconfigMode::Rolling);
+    let dip_fallback = dip_all_at_once.fallback_whole_run || dip_rolling.fallback_whole_run;
+    let dip_ratio = dip_rolling.worst_p99_ms / dip_all_at_once.worst_p99_ms.max(1e-9);
+    println!(
+        "reconfig dip (worst {dip_window_ms:.0} ms-window p99 during re-plans @ {dip_scale:.2}x): \
+         all-at-once {:.2} ms, rolling {:.2} ms ({dip_ratio:.2}x{})",
+        dip_all_at_once.worst_p99_ms,
+        dip_rolling.worst_p99_ms,
+        if dip_fallback {
+            ", whole-run fallback"
+        } else {
+            ""
+        }
+    );
+
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_cluster/v1\",\n");
+    json.push_str("{\n  \"schema\": \"bench_cluster/v2\",\n");
     json.push_str("  \"model\": \"mobilenet_v1\",\n");
     let _ = writeln!(
         json,
@@ -259,7 +310,16 @@ fn main() {
     let _ = writeln!(json, "  \"jsq_vs_static_speedup\": {jsq_vs_static:.3},");
     let _ = writeln!(
         json,
-        "  \"jsq_loan_vs_static_speedup\": {loan_vs_static:.3}"
+        "  \"jsq_loan_vs_static_speedup\": {loan_vs_static:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"reconfig_dip\": {{\"window_ms\": {dip_window_ms}, \"scale\": {dip_scale:.4}, \
+         \"all_at_once_worst_p99_ms\": {:.3}, \
+         \"rolling_worst_p99_ms\": {:.3}, \
+         \"rolling_vs_all_at_once\": {dip_ratio:.4}, \
+         \"fallback_whole_run\": {dip_fallback}}}",
+        dip_all_at_once.worst_p99_ms, dip_rolling.worst_p99_ms
     );
     json.push_str("}\n");
     std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");

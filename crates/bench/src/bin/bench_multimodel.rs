@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 
 use paris_bench::print_table;
 use paris_elsa::dnn::ModelKind;
+use paris_elsa::paris::ReconfigMode;
 use paris_elsa::prelude::*;
 use paris_elsa::server::ModelReport;
 
@@ -54,7 +55,7 @@ impl Scenario {
         .with_rate_scale(scale)
     }
 
-    fn server(&self, replan: bool) -> MultiModelServer {
+    fn server(&self, replan: Option<ReconfigMode>) -> MultiModelServer {
         let dist = BatchDistribution::paper_default();
         let perf = PerfModel::new(DeviceSpec::a100());
         let spec = |kind: ModelKind, name: &str| {
@@ -62,11 +63,11 @@ impl Scenario {
             ModelSpec::new(name, table, dist.clone())
         };
         let mut config = MultiModelConfig::new().with_detail(ReportDetail::Summary);
-        if replan {
+        if let Some(mode) = replan {
             // A 0.5 s window keeps ~50+ arrivals per window down to ~0.4×
             // the nominal load (the detector's trust floor) while still
             // reacting well within one phase.
-            config = config.with_replan(ReplanPolicy::new(0.5));
+            config = config.with_replan(ReplanPolicy::new(0.5).with_mode(mode));
         }
         MultiModelServer::new(
             vec![
@@ -147,7 +148,7 @@ fn main() {
     let seed = opts.seed;
 
     let mut results: Vec<(&str, Point, Point)> = Vec::new();
-    for (name, replan) in [("static", false), ("replan", true)] {
+    for (name, replan) in [("static", None), ("replan", Some(ReconfigMode::AllAtOnce))] {
         let server = scenario.server(replan);
         // The nominal point (scale 1.0) shows what drift does to each
         // policy at the nominal load; the search probed it first.
@@ -191,16 +192,59 @@ fn main() {
     let speedup = replan_qps / static_qps.max(1e-9);
     println!("\nreplan vs static latency-bounded throughput: {speedup:.2}x");
 
+    // Transition-dip comparison: the worst tumbling-window p99 over the
+    // queries that complete *during a reconfiguration* (trigger →
+    // completion, plus one window of backlog drain). Whole-run
+    // percentiles average the outage away, and at light load the kept
+    // instances absorb it — so the dip is measured at the re-planning
+    // config's own latency-bounded max scale, where capacity is binding
+    // and the transition spike is visible. Rolling staging should shrink
+    // it: only one GPU's worth of capacity is ever offline.
+    let dip_window_ms = 250.0_f64;
+    let dip_scale = results[1].1.scale.max(0.25);
+    let dip = |mode: ReconfigMode| {
+        let server = scenario.server(Some(mode));
+        let report = server.run_stream(scenario.trace(dip_scale).stream(), ReportDetail::Full);
+        let transitions: Vec<(u64, u64)> = report
+            .reconfigs
+            .iter()
+            .map(|rc| (rc.triggered_at.as_nanos(), rc.completed_at.as_nanos()))
+            .collect();
+        paris_bench::transition_dip_p99_ms(
+            (dip_window_ms * 1e6) as u64,
+            &transitions,
+            report
+                .records
+                .iter()
+                .map(|r| (r.completed.as_nanos(), r.latency().as_nanos())),
+        )
+    };
+    let dip_all_at_once = dip(ReconfigMode::AllAtOnce);
+    let dip_rolling = dip(ReconfigMode::Rolling);
+    let dip_fallback = dip_all_at_once.fallback_whole_run || dip_rolling.fallback_whole_run;
+    let dip_ratio = dip_rolling.worst_p99_ms / dip_all_at_once.worst_p99_ms.max(1e-9);
+    println!(
+        "reconfig dip (worst {dip_window_ms:.0} ms-window p99 during re-plans @ {dip_scale:.2}x): \
+         all-at-once {:.2} ms, rolling {:.2} ms ({dip_ratio:.2}x{})",
+        dip_all_at_once.worst_p99_ms,
+        dip_rolling.worst_p99_ms,
+        if dip_fallback {
+            ", whole-run fallback"
+        } else {
+            ""
+        }
+    );
+
     // Per-model detail at the nominal load for the winning policy.
     let detail = scenario
-        .server(true)
+        .server(Some(ReconfigMode::AllAtOnce))
         .run_stream(scenario.trace(1.0).stream(), ReportDetail::Summary);
     for m in &detail.per_model {
         print_model(m);
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_multimodel/v1\",\n");
+    json.push_str("{\n  \"schema\": \"bench_multimodel/v2\",\n");
     json.push_str("  \"models\": [\"mobilenet_v1\", \"resnet50\"],\n");
     let _ = writeln!(
         json,
@@ -228,7 +272,16 @@ fn main() {
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
-    let _ = writeln!(json, "  \"replan_vs_static_speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  \"replan_vs_static_speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"reconfig_dip\": {{\"window_ms\": {dip_window_ms}, \"scale\": {dip_scale:.4}, \
+         \"all_at_once_worst_p99_ms\": {:.3}, \
+         \"rolling_worst_p99_ms\": {:.3}, \
+         \"rolling_vs_all_at_once\": {dip_ratio:.4}, \
+         \"fallback_whole_run\": {dip_fallback}}}",
+        dip_all_at_once.worst_p99_ms, dip_rolling.worst_p99_ms
+    );
     json.push_str("}\n");
     std::fs::write("BENCH_multimodel.json", &json).expect("write BENCH_multimodel.json");
     println!("\nwrote BENCH_multimodel.json");

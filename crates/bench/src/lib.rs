@@ -166,6 +166,63 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// One side of a transition-dip measurement: the spike statistic plus
+/// whether it had to fall back to whole-run windows.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionDip {
+    /// Worst tumbling-window p99, milliseconds.
+    pub worst_p99_ms: f64,
+    /// `true` when **no completion landed in a transition interval** (e.g.
+    /// a smoke run that never reconfigured) and the statistic is the whole
+    /// run's worst window instead. Benches must surface this flag next to
+    /// the number: a ratio of one fallback side against one transition
+    /// side compares incomparable statistics.
+    pub fallback_whole_run: bool,
+}
+
+/// The transition-dip spike statistic shared by `bench_multimodel` and
+/// `bench_cluster`: the worst `window_ns` tumbling-window p99 (in
+/// milliseconds) over the completions that land **during a
+/// reconfiguration** — inside any `[triggered_ns, completed_ns +
+/// window_ns]` interval — so the spike a drain/reslice outage causes is
+/// not averaged away by the calm rest of the run. One implementation for
+/// both benches, or their `reconfig_dip` JSON fields silently stop being
+/// comparable; the fallback case is flagged, not silent (see
+/// [`TransitionDip::fallback_whole_run`]).
+///
+/// `completions` yields `(completed_ns, latency_ns)` pairs;
+/// `transitions` holds each reconfiguration's
+/// `(triggered_ns, completed_ns)`.
+#[must_use]
+pub fn transition_dip_p99_ms(
+    window_ns: u64,
+    transitions: &[(u64, u64)],
+    completions: impl Iterator<Item = (u64, u64)>,
+) -> TransitionDip {
+    let mut tail = WindowedTail::new(window_ns);
+    let mut whole_run = WindowedTail::new(window_ns);
+    for (done, latency_ns) in completions {
+        whole_run.record(done, latency_ns);
+        let in_transition = transitions
+            .iter()
+            .any(|&(start, end)| done >= start && done <= end + window_ns);
+        if in_transition {
+            tail.record(done, latency_ns);
+        }
+    }
+    if tail.windows() == 0 {
+        TransitionDip {
+            worst_p99_ms: whole_run.worst_p99_ms(),
+            fallback_whole_run: true,
+        }
+    } else {
+        TransitionDip {
+            worst_p99_ms: tail.worst_p99_ms(),
+            fallback_whole_run: false,
+        }
+    }
+}
+
 /// The dispatch-path benchmark workload shared by the criterion
 /// microbench (`dispatch_path_20k_queries`) and the `bench_server` bin:
 /// both must measure the *same* configuration or `BENCH_server.json`

@@ -361,18 +361,26 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
         });
     }
 
-    /// Estimated demand of shard `s` in full-GPU equivalents **at planned
+    /// Estimated demand of shard `s` in full-GPU equivalents **at live
     /// efficiency**: each model's observed rate divided by the throughput
-    /// one GPU's worth of its *initially planned* partition mix delivers at
-    /// the observed mean batch. A shard offered exactly its planned
+    /// one GPU's worth of its *currently serving* partition mix delivers
+    /// at the observed mean batch. A shard offered exactly its current
     /// capacity therefore estimates demand ≈ its GPU count — the scale the
     /// [`LoanPolicy`] thresholds are written against. (Naive full-GPU
     /// equivalents — rate × largest-partition latency — would be off by
     /// the whole MIG packing gain, which exceeds 5× for the small models.)
+    ///
+    /// The efficiency reference is the engine's **live** group, not the
+    /// initial plan: after heavy re-planning the planned mix no longer
+    /// describes what is running, and normalizing against it would skew
+    /// borrow/reclaim decisions by the drift between the two mixes. A
+    /// group momentarily dark mid-reconfiguration (no live instances)
+    /// falls back to the initial plan rather than dividing by zero.
     fn shard_demand_gpus(&self, s: usize) -> f64 {
         let detector = self.detector.as_ref().expect("demand needs the detector");
         let rates = detector.observed_rates_qps();
         let shard = &self.cluster.shards[s];
+        let live = self.engines[s].live_groups();
         shard
             .models()
             .iter()
@@ -382,7 +390,11 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
                 let dist = detector
                     .observed_distribution(lane)
                     .unwrap_or_else(|| spec.dist.clone());
-                let group = &shard.groups()[m];
+                let group: &[mig_gpu::ProfileSize] = if live[m].is_empty() {
+                    &shard.groups()[m]
+                } else {
+                    &live[m]
+                };
                 let group_qps = spec.table.capacity_qps(group, &dist);
                 let group_gpcs: usize = group.iter().map(|&size| size.gpcs()).sum();
                 let per_gpu_qps = group_qps * mig_gpu::COMPUTE_SLICES as f64 / group_gpcs as f64;
@@ -487,6 +499,7 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
                 dists: &dists,
                 cost: &policy.cost,
                 extra_downtime: extra,
+                mode: policy.mode,
             },
             now,
             &mut |t, k, e| {

@@ -228,6 +228,36 @@ mod tests {
     }
 
     #[test]
+    fn rolling_loans_conserve_queries_and_still_engage() {
+        // The loan path consumes the same ReconfigSchedule machinery as
+        // drift re-plans: with rolling staging, borrowed GPUs still engage
+        // on the surge, reclaims still return them, and conservation holds
+        // across every partial step.
+        use paris_core::ReconfigMode;
+        let (_, loaning, trace) = surge_cluster_and_trace(2);
+        let policy = loaning
+            .loan()
+            .expect("loaning cluster")
+            .clone()
+            .with_mode(ReconfigMode::Rolling);
+        let rolling = Cluster::new(loaning.shards().to_vec(), loaning.router()).with_loan(policy);
+        let report = rolling.run_stream(trace.iter().copied(), ReportDetail::Full);
+        assert_conserved(&report, &trace);
+        assert!(
+            report.loans.iter().any(|l| l.gpus_delta > 0),
+            "the surge must still trigger a loan under rolling staging"
+        );
+        for r in report.per_shard.iter().flat_map(|r| &r.records) {
+            assert!(r.arrival <= r.dispatched);
+            assert!(r.dispatched <= r.started);
+            assert!(r.started < r.completed);
+        }
+        for rc in report.per_shard.iter().flat_map(|r| &r.reconfigs) {
+            assert!(rc.steps >= 1);
+        }
+    }
+
+    #[test]
     fn reclaim_mid_drain_strands_no_query() {
         // The reclaim path shrinks a shard's budget while its queues are
         // still busy: the removed instances must drain (serving every

@@ -18,7 +18,7 @@
 use des_engine::SimTime;
 use inference_workload::DriftDetectorConfig;
 use mig_gpu::ResliceCostModel;
-use paris_core::GpcBudget;
+use paris_core::{GpcBudget, ReconfigMode};
 
 /// When and how the cluster moves whole GPUs between the batch pool and
 /// serving shards.
@@ -45,6 +45,11 @@ pub struct LoanPolicy {
     /// nothing: the moved GPU is not used by any serving instance, so
     /// handing it over interrupts nothing.
     pub cost: ResliceCostModel,
+    /// How each loan-triggered re-plan stages its edits: one combined
+    /// outage ([`ReconfigMode::AllAtOnce`], the default) or one GPU at a
+    /// time ([`ReconfigMode::Rolling`], bounding the shard's capacity dip
+    /// during the handover).
+    pub mode: ReconfigMode,
 }
 
 impl LoanPolicy {
@@ -63,6 +68,7 @@ impl LoanPolicy {
             overload_ratio: 0.8,
             underload_ratio: 0.4,
             cost: ResliceCostModel::a100_default(),
+            mode: ReconfigMode::AllAtOnce,
         }
     }
 
@@ -96,6 +102,14 @@ impl LoanPolicy {
     #[must_use]
     pub fn with_cost(mut self, cost: ResliceCostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Overrides the reconfiguration staging mode of loan-triggered
+    /// re-plans.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReconfigMode) -> Self {
+        self.mode = mode;
         self
     }
 

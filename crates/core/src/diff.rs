@@ -10,9 +10,9 @@
 //! downtime this implies is priced by
 //! `mig_gpu::ResliceCostModel::delay_ns(removed, added)`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use mig_gpu::{ProfileSize, ResliceCostModel};
+use mig_gpu::{ProfileSize, ResliceCostModel, COMPUTE_SLICES};
 
 /// The per-size multiset difference between a current and a target
 /// partition layout.
@@ -146,6 +146,258 @@ pub fn plan_diff(current: &[ProfileSize], target: &[ProfileSize]) -> PlanDiff {
     diff
 }
 
+/// How a reconfiguration's edits are staged in time.
+///
+/// The *content* of a transition is a set of per-group [`PlanDiff`]s; the
+/// mode decides how those edits are cut into [`ReconfigStep`]s that execute
+/// sequentially (each step: quiesce + drain its removals, charge its
+/// downtime, bring its additions online).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconfigMode {
+    /// Every removal quiesces at once and every addition comes online
+    /// together after one combined reslice — the historical behavior, kept
+    /// bit-for-bit for the existing benches and property suites.
+    #[default]
+    AllAtOnce,
+    /// One GPU's worth of edits at a time (ParvaGPU-style decoupled
+    /// per-GPU repartitioning): each step removes and adds at most
+    /// [`COMPUTE_SLICES`] GPCs of instances, so the capacity offline at
+    /// any instant is bounded by one GPU while the rest of the pool keeps
+    /// serving. Each step is its own driver call and pays its own fixed
+    /// reslice overhead — rolling trades a larger *total* downtime for a
+    /// much smaller worst-instant capacity dip.
+    Rolling,
+}
+
+/// One sequential stage of a reconfiguration: the per-group edits it
+/// applies and the driver downtime it charges once its removals drained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigStep {
+    /// `(group index, sub-diff)` — what this step removes/adds for each
+    /// affected group. `kept` is not meaningful on a step.
+    pub diffs: Vec<(usize, PlanDiff)>,
+    /// Driver-side downtime charged between this step's drain completing
+    /// and its additions coming online, nanoseconds.
+    pub downtime_ns: u64,
+}
+
+impl ReconfigStep {
+    /// Instances this step destroys.
+    #[must_use]
+    pub fn removed_count(&self) -> usize {
+        self.diffs.iter().map(|(_, d)| d.removed_count()).sum()
+    }
+
+    /// Instances this step creates.
+    #[must_use]
+    pub fn added_count(&self) -> usize {
+        self.diffs.iter().map(|(_, d)| d.added_count()).sum()
+    }
+}
+
+/// The execution plan of one reconfiguration: an iterator of
+/// [`ReconfigStep`]s cut from per-group [`PlanDiff`]s by a
+/// [`ReconfigMode`].
+///
+/// Both the drift re-planner (`ReplanPolicy`) and the cluster loan
+/// controller (`LoanPolicy`) build one of these and feed it to the dispatch
+/// core, which executes the steps strictly in order: a step's removals are
+/// quiesced only after the previous step completed, so at most one step's
+/// capacity is ever offline.
+///
+/// # Examples
+///
+/// ```
+/// use mig_gpu::{ProfileSize, ResliceCostModel};
+/// use paris_core::{plan_diff, ReconfigMode, ReconfigSchedule};
+///
+/// let cost = ResliceCostModel::a100_default();
+/// let diff = plan_diff(&[ProfileSize::G7; 2], &[ProfileSize::G3; 4]);
+/// let all = ReconfigSchedule::new(
+///     std::slice::from_ref(&diff), ReconfigMode::AllAtOnce, &cost, 0);
+/// assert_eq!(all.len(), 1);
+/// let rolling = ReconfigSchedule::new(&[diff], ReconfigMode::Rolling, &cost, 0);
+/// assert!(rolling.len() > 1, "a two-GPU edit rolls out in stages");
+/// assert_eq!(rolling.destroyed(), all.destroyed());
+/// assert_eq!(rolling.created(), all.created());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigSchedule {
+    steps: VecDeque<ReconfigStep>,
+    destroyed: usize,
+    created: usize,
+    total_downtime_ns: u64,
+}
+
+impl ReconfigSchedule {
+    /// Cuts the per-group diffs (`diffs[g]` is group `g`'s transition) into
+    /// sequential steps under `mode`. `extra_downtime_ns` (e.g. the
+    /// whole-GPU handover charge of a capacity loan) is folded into the
+    /// single step in all-at-once mode and spread evenly across the steps
+    /// (remainder on the first) in rolling mode.
+    ///
+    /// Identical layouts produce an **empty schedule** — no step, no
+    /// downtime, not even `extra_downtime_ns` (nothing moves, so there is
+    /// no driver call to ride on).
+    #[must_use]
+    pub fn new(
+        diffs: &[PlanDiff],
+        mode: ReconfigMode,
+        cost: &ResliceCostModel,
+        extra_downtime_ns: u64,
+    ) -> Self {
+        let mut merged = PlanDiff::default();
+        for d in diffs {
+            merged.merge(d);
+        }
+        if merged.is_empty() {
+            return ReconfigSchedule {
+                steps: VecDeque::new(),
+                destroyed: 0,
+                created: 0,
+                total_downtime_ns: 0,
+            };
+        }
+        let mut steps: VecDeque<ReconfigStep> = match mode {
+            ReconfigMode::AllAtOnce => {
+                let per_group: Vec<(usize, PlanDiff)> = diffs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| !d.is_empty())
+                    .map(|(g, d)| {
+                        (
+                            g,
+                            PlanDiff {
+                                kept: BTreeMap::new(),
+                                removed: d.removed.clone(),
+                                added: d.added.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                let downtime_ns = merged.downtime_ns(cost).saturating_add(extra_downtime_ns);
+                VecDeque::from(vec![ReconfigStep {
+                    diffs: per_group,
+                    downtime_ns,
+                }])
+            }
+            ReconfigMode::Rolling => {
+                // Bins are paired *within* each group — group g's k-th
+                // removal bin reslices alongside its own k-th addition bin
+                // — and groups' step runs concatenate in group order, so a
+                // step never spans two groups (model groups live on
+                // disjoint GPUs) even when a group's removal and addition
+                // bin counts differ.
+                let mut steps: Vec<ReconfigStep> = Vec::new();
+                for (g, diff) in diffs.iter().enumerate() {
+                    let removed_bins = gpu_bins(&diff.removed);
+                    let added_bins = gpu_bins(&diff.added);
+                    for k in 0..removed_bins.len().max(added_bins.len()) {
+                        let mut step = PlanDiff::default();
+                        for &size in removed_bins.get(k).into_iter().flatten() {
+                            *step.removed.entry(size).or_insert(0) += 1;
+                        }
+                        for &size in added_bins.get(k).into_iter().flatten() {
+                            *step.added.entry(size).or_insert(0) += 1;
+                        }
+                        let downtime_ns = cost.delay_ns(step.removed_count(), step.added_count());
+                        steps.push(ReconfigStep {
+                            diffs: vec![(g, step)],
+                            downtime_ns,
+                        });
+                    }
+                }
+                let n = steps.len() as u64;
+                let extra_each = extra_downtime_ns / n;
+                let extra_rem = extra_downtime_ns % n;
+                for (k, step) in steps.iter_mut().enumerate() {
+                    step.downtime_ns = step
+                        .downtime_ns
+                        .saturating_add(extra_each)
+                        .saturating_add(if k == 0 { extra_rem } else { 0 });
+                }
+                steps.into()
+            }
+        };
+        steps.retain(|s| !s.diffs.is_empty());
+        let destroyed = steps.iter().map(ReconfigStep::removed_count).sum();
+        let created = steps.iter().map(ReconfigStep::added_count).sum();
+        let total_downtime_ns = steps
+            .iter()
+            .fold(0u64, |a, s| a.saturating_add(s.downtime_ns));
+        ReconfigSchedule {
+            steps,
+            destroyed,
+            created,
+            total_downtime_ns,
+        }
+    }
+
+    /// Whether there is nothing to execute (identical layouts).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Remaining steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total instances the whole schedule destroys.
+    #[must_use]
+    pub fn destroyed(&self) -> usize {
+        self.destroyed
+    }
+
+    /// Total instances the whole schedule creates.
+    #[must_use]
+    pub fn created(&self) -> usize {
+        self.created
+    }
+
+    /// Summed driver downtime across every step, nanoseconds.
+    #[must_use]
+    pub fn total_downtime_ns(&self) -> u64 {
+        self.total_downtime_ns
+    }
+}
+
+impl Iterator for ReconfigSchedule {
+    type Item = ReconfigStep;
+
+    fn next(&mut self) -> Option<ReconfigStep> {
+        self.steps.pop_front()
+    }
+}
+
+/// Packs one side of one group's diff (its removals or additions) into
+/// GPU-sized bins: each bin holds at most [`COMPUTE_SLICES`] GPCs of
+/// instances. Deterministic first-fit-descending — every open bin is
+/// scanned for room before a new one is opened, and larger sizes go
+/// first so big instances anchor their own bins — which keeps the step
+/// count (and with it the summed per-step fixed reslice overhead) at the
+/// packing minimum for mixes like `{G4:2, G3:2}` → `[G4,G3] [G4,G3]`.
+fn gpu_bins(side: &BTreeMap<ProfileSize, usize>) -> Vec<Vec<ProfileSize>> {
+    let mut bins: Vec<(Vec<ProfileSize>, usize)> = Vec::new();
+    for (&size, &count) in side.iter().rev() {
+        for _ in 0..count {
+            match bins
+                .iter_mut()
+                .find(|(_, gpcs)| gpcs + size.gpcs() <= COMPUTE_SLICES)
+            {
+                Some((bin, gpcs)) => {
+                    bin.push(size);
+                    *gpcs += size.gpcs();
+                }
+                None => bins.push((vec![size], size.gpcs())),
+            }
+        }
+    }
+    bins.into_iter().map(|(bin, _)| bin).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +458,149 @@ mod tests {
         let d = plan_diff(&[], &[ProfileSize::G7]);
         assert_eq!(d.added_count(), 1);
         assert_eq!(d.kept_count(), 0);
+    }
+
+    #[test]
+    fn all_at_once_schedule_is_one_step_matching_downtime_ns() {
+        let cost = ResliceCostModel::a100_default();
+        let a = plan_diff(&[ProfileSize::G1, ProfileSize::G2], &[ProfileSize::G3]);
+        let b = plan_diff(&[ProfileSize::G7], &[ProfileSize::G7, ProfileSize::G1]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let sched = ReconfigSchedule::new(
+            &[a.clone(), b.clone()],
+            ReconfigMode::AllAtOnce,
+            &cost,
+            1_234,
+        );
+        assert_eq!(sched.len(), 1);
+        assert_eq!(sched.destroyed(), merged.removed_count());
+        assert_eq!(sched.created(), merged.added_count());
+        assert_eq!(sched.total_downtime_ns(), merged.downtime_ns(&cost) + 1_234);
+        let steps: Vec<_> = sched.collect();
+        assert_eq!(steps[0].diffs.len(), 2, "both groups edited in the step");
+        assert_eq!(steps[0].diffs[0].0, 0);
+        assert_eq!(steps[0].diffs[1].0, 1);
+    }
+
+    #[test]
+    fn rolling_schedule_bounds_each_step_to_one_gpu() {
+        let cost = ResliceCostModel::a100_default();
+        let diff = plan_diff(
+            &[ProfileSize::G7, ProfileSize::G7, ProfileSize::G3],
+            &[ProfileSize::G2; 8],
+        );
+        let sched =
+            ReconfigSchedule::new(std::slice::from_ref(&diff), ReconfigMode::Rolling, &cost, 0);
+        assert!(sched.len() > 1);
+        assert_eq!(sched.destroyed(), diff.removed_count());
+        assert_eq!(sched.created(), diff.added_count());
+        let mut removed = 0usize;
+        let mut added = 0usize;
+        for step in sched {
+            let step_removed_gpcs: usize = step
+                .diffs
+                .iter()
+                .flat_map(|(_, d)| d.removed.iter().map(|(s, n)| s.gpcs() * n))
+                .sum();
+            let step_added_gpcs: usize = step
+                .diffs
+                .iter()
+                .flat_map(|(_, d)| d.added.iter().map(|(s, n)| s.gpcs() * n))
+                .sum();
+            assert!(step_removed_gpcs <= COMPUTE_SLICES, "{step_removed_gpcs}");
+            assert!(step_added_gpcs <= COMPUTE_SLICES, "{step_added_gpcs}");
+            assert!(
+                step.downtime_ns >= cost.fixed_ns,
+                "each step is a driver call"
+            );
+            removed += step.removed_count();
+            added += step.added_count();
+        }
+        assert_eq!(removed, diff.removed_count());
+        assert_eq!(added, diff.added_count());
+    }
+
+    #[test]
+    fn rolling_steps_never_mix_groups() {
+        let cost = ResliceCostModel::free();
+        let a = plan_diff(&[ProfileSize::G1], &[ProfileSize::G2]);
+        let b = plan_diff(&[ProfileSize::G1], &[ProfileSize::G2]);
+        let sched = ReconfigSchedule::new(&[a, b], ReconfigMode::Rolling, &cost, 0);
+        for step in sched {
+            assert_eq!(step.diffs.len(), 1, "one group per GPU-sized step");
+        }
+    }
+
+    #[test]
+    fn rolling_steps_never_mix_groups_with_asymmetric_bin_counts() {
+        // Group 0 needs 2 removal bins but 1 addition bin; group 1 needs
+        // 1 of each. Positional bin pairing would splice group 1's
+        // addition into group 0's second removal step — bins must pair
+        // within their own group instead.
+        let cost = ResliceCostModel::free();
+        let a = plan_diff(
+            &[ProfileSize::G7, ProfileSize::G7],
+            &[ProfileSize::G3, ProfileSize::G3],
+        );
+        let b = plan_diff(&[ProfileSize::G3], &[ProfileSize::G7]);
+        let sched = ReconfigSchedule::new(&[a.clone(), b.clone()], ReconfigMode::Rolling, &cost, 0);
+        assert_eq!(sched.destroyed(), a.removed_count() + b.removed_count());
+        assert_eq!(sched.created(), a.added_count() + b.added_count());
+        let steps: Vec<_> = sched.collect();
+        for step in &steps {
+            assert_eq!(step.diffs.len(), 1, "one group per step: {step:?}");
+        }
+        // Group order is preserved: group 0's steps strictly before
+        // group 1's.
+        let groups: Vec<usize> = steps.iter().map(|s| s.diffs[0].0).collect();
+        assert!(groups.windows(2).all(|w| w[0] <= w[1]), "{groups:?}");
+    }
+
+    #[test]
+    fn rolling_bins_pack_first_fit_descending() {
+        // {G4:2, G3:2} is exactly two GPUs' worth; next-fit would open a
+        // third bin ([G4] [G4,G3] [G3]), first-fit-descending must not.
+        let cost = ResliceCostModel::free();
+        let diff = plan_diff(
+            &[
+                ProfileSize::G4,
+                ProfileSize::G4,
+                ProfileSize::G3,
+                ProfileSize::G3,
+            ],
+            &[],
+        );
+        let sched =
+            ReconfigSchedule::new(std::slice::from_ref(&diff), ReconfigMode::Rolling, &cost, 0);
+        assert_eq!(sched.len(), 2, "two full GPUs pack into two steps");
+        assert_eq!(sched.destroyed(), 4);
+    }
+
+    #[test]
+    fn rolling_spreads_extra_downtime_exactly() {
+        let cost = ResliceCostModel::free();
+        let diff = plan_diff(&[ProfileSize::G7; 3], &[]);
+        let extra = 1_000_003;
+        let sched = ReconfigSchedule::new(
+            std::slice::from_ref(&diff),
+            ReconfigMode::Rolling,
+            &cost,
+            extra,
+        );
+        assert_eq!(sched.len(), 3);
+        assert_eq!(sched.total_downtime_ns(), extra, "nothing lost to rounding");
+    }
+
+    #[test]
+    fn empty_diffs_make_an_empty_schedule_even_with_extra_downtime() {
+        let cost = ResliceCostModel::a100_default();
+        let same = [ProfileSize::G2, ProfileSize::G3];
+        let diff = plan_diff(&same, &same);
+        for mode in [ReconfigMode::AllAtOnce, ReconfigMode::Rolling] {
+            let sched = ReconfigSchedule::new(std::slice::from_ref(&diff), mode, &cost, 777);
+            assert!(sched.is_empty());
+            assert_eq!(sched.total_downtime_ns(), 0);
+        }
     }
 }

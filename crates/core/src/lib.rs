@@ -40,7 +40,7 @@ mod paris;
 mod placement;
 mod profile;
 
-pub use diff::{plan_diff, PlanDiff};
+pub use diff::{plan_diff, PlanDiff, ReconfigMode, ReconfigSchedule, ReconfigStep};
 pub use elsa::{Decision, Elsa, ElsaConfig, FallbackPolicy, PartitionSnapshot, ScanOrder};
 pub use knee::{
     find_knee, find_knees, KneeRule, MaxBatchKnee, DEFAULT_KNEE_THRESHOLD, DEFAULT_TAKEOFF_FACTOR,

@@ -8,7 +8,9 @@
 //!   O(1)-memory sweeps (≤ 1.6 % percentile error),
 //! * [`BusyTracker`] — time-weighted busy/idle accounting for partitions,
 //! * [`ThroughputPoint`] / [`latency_bounded_throughput`] — the
-//!   latency-bounded throughput metric of §VI-B.
+//!   latency-bounded throughput metric of §VI-B,
+//! * [`WindowedTail`] — tumbling-window worst-case tail latency, the spike
+//!   statistic behind the benches' `reconfig_dip`.
 //!
 //! ```
 //! use server_metrics::LatencyRecorder;
@@ -21,8 +23,10 @@ mod busy;
 mod histogram;
 mod latency;
 mod throughput;
+mod windowed;
 
 pub use busy::BusyTracker;
 pub use histogram::LatencyHistogram;
 pub use latency::LatencyRecorder;
 pub use throughput::{latency_bounded_throughput, ThroughputPoint};
+pub use windowed::WindowedTail;

@@ -23,7 +23,18 @@ pub struct Span {
     pub end: SimTime,
 }
 
+/// Spans per arena chunk. Chunks are fixed-size and never reallocated, so
+/// pushing a span never moves previously recorded spans and a long traced
+/// run costs one allocation per `CHUNK` completions instead of the
+/// amortized-doubling copies of a flat `Vec`.
+const CHUNK: usize = 1024;
+
 /// A complete execution trace of a run, renderable as an ASCII timeline.
+///
+/// Spans live in a **chunked arena**: fixed-capacity chunks appended as
+/// they fill. Long traced runs therefore stay allocation-free between
+/// chunk boundaries (no doubling copies), and span storage is
+/// cache-friendly for the linear scans rendering performs.
 ///
 /// # Examples
 ///
@@ -41,13 +52,17 @@ pub struct Span {
 ///     start: SimTime::from_nanos(0),
 ///     end: SimTime::from_nanos(500),
 /// });
+/// assert_eq!(gantt.len(), 1);
 /// let art = gantt.render_ascii(40);
 /// assert!(art.contains("GPU(1)"));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Gantt {
     partition_sizes: Vec<ProfileSize>,
-    spans: Vec<Span>,
+    /// Arena chunks: every chunk but the last holds exactly [`CHUNK`]
+    /// spans, so `chunks` comparison/indexing is well-defined.
+    chunks: Vec<Vec<Span>>,
+    len: usize,
 }
 
 impl Gantt {
@@ -56,13 +71,21 @@ impl Gantt {
     pub fn new(partition_sizes: Vec<ProfileSize>) -> Self {
         Gantt {
             partition_sizes,
-            spans: Vec::new(),
+            chunks: Vec::new(),
+            len: 0,
         }
     }
 
     /// Records one execution span.
     pub fn push(&mut self, span: Span) {
-        self.spans.push(span);
+        if self.len % CHUNK == 0 {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.chunks
+            .last_mut()
+            .expect("chunk ensured above")
+            .push(span);
+        self.len += 1;
     }
 
     /// Appends a timeline row for a partition created mid-run (an online
@@ -74,10 +97,28 @@ impl Gantt {
         self.partition_sizes.len() - 1
     }
 
-    /// All recorded spans, in completion order.
+    /// Number of recorded spans.
     #[must_use]
-    pub fn spans(&self) -> &[Span] {
-        &self.spans
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no span has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All recorded spans, in completion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.chunks.iter().flatten()
+    }
+
+    /// The `i`-th recorded span (completion order), if it exists. O(1) —
+    /// the arena's chunk geometry is fixed.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Span> {
+        self.chunks.get(i / CHUNK)?.get(i % CHUNK)
     }
 
     /// The partition profile behind each timeline row.
@@ -93,7 +134,6 @@ impl Gantt {
     pub fn render_ascii(&self, width: usize) -> String {
         let width = width.max(10);
         let horizon = self
-            .spans
             .iter()
             .map(|s| s.end.as_nanos())
             .max()
@@ -101,10 +141,8 @@ impl Gantt {
             .max(1);
         let mut out = String::new();
         for (p, size) in self.partition_sizes.iter().enumerate() {
-            let mut row = vec![b'\xb7'; 0];
-            row.clear();
             let mut cells = vec!['\u{b7}'; width];
-            for span in self.spans.iter().filter(|s| s.partition == p) {
+            for span in self.iter().filter(|s| s.partition == p) {
                 let lo = (span.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
                 let hi = (span.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
                 let hi = hi.clamp(lo + 1, width);
@@ -118,6 +156,15 @@ impl Gantt {
             out.push('\n');
         }
         out
+    }
+}
+
+impl<'a> IntoIterator for &'a Gantt {
+    type Item = &'a Span;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Vec<Span>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flatten()
     }
 }
 
@@ -182,7 +229,38 @@ mod tests {
         let mut g = Gantt::new(vec![ProfileSize::G1]);
         g.push(span(0, 1, 0, 10));
         g.push(span(0, 2, 10, 30));
-        assert_eq!(g.spans().len(), 2);
-        assert_eq!(g.spans()[1].query, QueryId(2));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.get(1).unwrap().query, QueryId(2));
+        assert!(g.get(2).is_none());
+    }
+
+    #[test]
+    fn arena_preserves_order_and_indexing_across_chunks() {
+        // Push well past one chunk: every span stays reachable in order,
+        // both through the iterator and through O(1) indexing.
+        let mut g = Gantt::new(vec![ProfileSize::G1]);
+        let n = 3 * CHUNK + 17;
+        for i in 0..n {
+            g.push(span(0, i as u64, i as u64 * 10, i as u64 * 10 + 5));
+        }
+        assert_eq!(g.len(), n);
+        assert!(!g.is_empty());
+        for (i, s) in g.iter().enumerate() {
+            assert_eq!(s.query, QueryId(i as u64));
+        }
+        assert_eq!(g.get(CHUNK).unwrap().query, QueryId(CHUNK as u64));
+        assert_eq!(g.get(n - 1).unwrap().query, QueryId(n as u64 - 1));
+        assert!(g.get(n).is_none());
+        assert!((&g).into_iter().count() == n);
+        // The arena property itself: every chunk but the last holds
+        // exactly CHUNK spans and never grew past its fixed capacity —
+        // a regression to one doubling Vec would fail here.
+        assert_eq!(g.chunks.len(), n.div_ceil(CHUNK));
+        for (i, chunk) in g.chunks.iter().enumerate() {
+            assert_eq!(chunk.capacity(), CHUNK, "chunk {i} reallocated");
+            if i + 1 < g.chunks.len() {
+                assert_eq!(chunk.len(), CHUNK, "interior chunk {i} not full");
+            }
+        }
     }
 }

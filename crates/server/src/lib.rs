@@ -4,6 +4,10 @@
 //! serial frontend feeding MIG partitions through either the FIFS baseline
 //! or ELSA, with the profiled latency table as ground-truth service time.
 //!
+//! * [`DispatchCore`] — the **one** dispatch/complete/drain engine every
+//!   layer instantiates (single-model = one identity group; multi-model =
+//!   one group per model; cluster = many cores in one DES), including the
+//!   step-wise executor for rolling reconfiguration schedules,
 //! * [`InferenceServer`] / [`ServerConfig`] / [`RunReport`] — run query
 //!   traces through a partitioned server,
 //! * [`MultiModelServer`] / [`ModelSpec`] / [`ReplanPolicy`] — many
@@ -51,6 +55,7 @@
 //! ```
 
 mod designs;
+mod dispatch;
 mod gantt;
 mod multi;
 mod query;
@@ -59,10 +64,11 @@ mod sweep;
 mod worker;
 
 pub use designs::{paper_budgets, DesignPoint, Testbed};
+pub use dispatch::{CoreConfig, DispatchCore, GroupSpec, ShardEvent};
 pub use gantt::{Gantt, Span};
 pub use multi::{
     split_budget, ModelReport, ModelSpec, MultiModelConfig, MultiModelServer, MultiRunReport,
-    ReconfigEvent, ReplanPolicy, ReplanRequest, ShardEngine, ShardEvent,
+    ReconfigEvent, ReplanPolicy, ReplanRequest, ShardEngine,
 };
 pub use query::{Query, QueryId, QueryRecord};
 pub use server::{InferenceServer, ReportDetail, RunReport, SchedulerKind, ServerConfig};

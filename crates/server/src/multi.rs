@@ -40,24 +40,20 @@
 //! completes, and every accepted query completes exactly once. Unit tests
 //! below and the property suite enforce this.
 
-use std::collections::VecDeque;
-
 use des_engine::{SimDuration, SimTime, Simulation};
 use inference_workload::{
     BatchDistribution, DriftDetector, DriftDetectorConfig, DriftReport, TaggedQuerySpec,
 };
 use mig_gpu::{ProfileSize, ResliceCostModel};
 use paris_core::{
-    plan_diff, Elsa, ElsaState, GpcBudget, LoadSet, Paris, PlanDiff, PlanError, ProfileTable,
+    plan_diff, GpcBudget, Paris, PlanDiff, PlanError, ProfileTable, ReconfigMode, ReconfigSchedule,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use server_metrics::{LatencyHistogram, LatencyRecorder};
 
-use crate::gantt::{Gantt, Span};
-use crate::query::{Query, QueryId, QueryRecord};
-use crate::server::{noisy_service_duration, ReportDetail, SchedulerKind};
-use crate::worker::PartitionWorker;
+use crate::dispatch::{CoreConfig, DispatchCore, GroupSpec, ShardEvent};
+use crate::gantt::Gantt;
+use crate::query::QueryRecord;
+use crate::server::{ReportDetail, SchedulerKind};
 
 /// Everything the server needs to host one model.
 #[derive(Debug, Clone)]
@@ -147,16 +143,22 @@ pub struct ReplanPolicy {
     pub detector: DriftDetectorConfig,
     /// The MIG reslice downtime model the DES charges per reconfiguration.
     pub cost: ResliceCostModel,
+    /// How a re-plan's edits are staged: one combined outage
+    /// ([`ReconfigMode::AllAtOnce`], the default) or one GPU at a time
+    /// ([`ReconfigMode::Rolling`], bounding the capacity dip).
+    pub mode: ReconfigMode,
 }
 
 impl ReplanPolicy {
     /// A policy with the given detection window (seconds), the default
-    /// ±50 % drift threshold and the A100 reslice cost model.
+    /// ±50 % drift threshold, the A100 reslice cost model and all-at-once
+    /// staging.
     #[must_use]
     pub fn new(window_s: f64) -> Self {
         ReplanPolicy {
             detector: DriftDetectorConfig::new(window_s),
             cost: ResliceCostModel::a100_default(),
+            mode: ReconfigMode::AllAtOnce,
         }
     }
 
@@ -171,6 +173,13 @@ impl ReplanPolicy {
     #[must_use]
     pub fn with_cost(mut self, cost: ResliceCostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Overrides the reconfiguration staging mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ReconfigMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -354,9 +363,12 @@ pub struct ReconfigEvent {
     pub destroyed: usize,
     /// Instances created.
     pub created: usize,
-    /// The charged driver-side reslice downtime (excludes drain, which
-    /// plays out in simulated time).
+    /// The charged driver-side reslice downtime, summed over every step
+    /// (excludes drain, which plays out in simulated time).
     pub reslice_delay: SimDuration,
+    /// Sequential steps the transition executed: 1 for an all-at-once
+    /// reconfiguration, one per affected GPU for a rolling one.
+    pub steps: usize,
 }
 
 /// Per-model results of a multi-model run.
@@ -650,33 +662,6 @@ impl MultiModelServer {
     }
 }
 
-/// Events driving one shard's simulation.
-///
-/// Public so an external driver can own the event loop: a cluster hosting
-/// many shards inside one DES wraps each shard's events with its shard
-/// index and routes them back to the owning [`ShardEngine`]. The
-/// single-shard driver is [`MultiModelServer::run_stream`].
-#[derive(Debug, Clone, Copy)]
-pub enum ShardEvent {
-    /// The frontend finished preparing a query for the model with this
-    /// index.
-    Dispatch(Query, usize),
-    /// A partition finished its current query.
-    Complete {
-        /// The worker-slot index within the shard (indexes the report's
-        /// partition vectors).
-        worker: usize,
-    },
-    /// Drain + reslice finished: bring the new instances online.
-    ReconfigReady,
-}
-
-/// Same-instant ordering mirrors the single-model engine: dispatches (by
-/// query id) before completions (by scheduling order); a reconfiguration
-/// completion goes last.
-const COMPLETE_KEY_BASE: u64 = 1 << 63;
-const RECONFIG_KEY: u64 = u64::MAX;
-
 /// Inputs of an externally imposed re-plan
 /// ([`ShardEngine::force_replan`]) — how a cluster loan controller tells a
 /// shard to re-plan onto a changed budget.
@@ -695,64 +680,22 @@ pub struct ReplanRequest<'a> {
     /// charge of a capacity loan
     /// ([`ResliceCostModel::gpu_handover_ns`]).
     pub extra_downtime: SimDuration,
+    /// How the transition's edits are staged (all-at-once or rolling, see
+    /// [`ReconfigMode`]).
+    pub mode: ReconfigMode,
 }
 
-/// One partition's identity and lifecycle within a run.
-#[derive(Debug)]
-struct WorkerSlot {
-    worker: PartitionWorker,
-    model: usize,
-    /// Index within the owning group's member list (meaningless while
-    /// retiring/retired).
-    local: usize,
-    /// Quiesced by a re-plan: finishes in-flight work, accepts nothing.
-    retiring: bool,
-}
-
-/// Per-model scheduler runtime over the group's member partitions.
-struct GroupRuntime {
-    /// Global worker indices of the active members.
-    members: Vec<usize>,
-    /// ELSA runtime (decision core + incremental state over *local*
-    /// member indices), when the model schedules with ELSA.
-    elsa: Option<(Elsa, ElsaState)>,
-    /// FIFS idle set, keyed `(idle_since, local index)`.
-    fifs_idle: LoadSet,
-    /// FIFS central queue.
-    central: VecDeque<Query>,
-    /// Queries that arrived while the group had no active members
-    /// (mid-reconfiguration); dispatched when the new instances come
-    /// online.
-    stash: VecDeque<Query>,
-}
-
-/// An in-flight reconfiguration: quiescing until `draining` hits zero,
-/// then a reslice of `delay`, then `added` comes online.
-struct ReconfigInFlight {
-    triggered_at: SimTime,
-    delay: SimDuration,
-    draining: usize,
-    added: Vec<(usize, ProfileSize)>,
-    destroyed: usize,
-    created: usize,
-}
-
-struct ModelAccum {
-    completed: u64,
-    histogram: LatencyHistogram,
-    sla_violations: u64,
-}
-
-/// One shard's mutable serving state, decoupled from the event loop.
+/// One shard's serving state, decoupled from the event loop: a thin policy
+/// layer over the unified [`DispatchCore`].
 ///
 /// This is the multi-model engine behind [`MultiModelServer::run_stream`],
 /// exposed so a *cluster* can host several shards inside one shared DES:
 /// the driver owns the `Simulation`, injects arrivals ([`offer`]) and feeds
 /// popped events back ([`handle`]) through a scheduling callback
-/// `(fire_time, tie_break_key, event)`. Everything else — per-model
-/// scheduler state, drift detection, quiesce/drain reconfiguration,
-/// accounting — lives here, so a one-shard cluster is *bit-for-bit* the
-/// single-server run.
+/// `(fire_time, tie_break_key, event)`. The dispatch/complete/drain bodies
+/// live in the core (one group per model); what this layer adds is
+/// *policy* — drift detection, PARIS re-planning from observed
+/// distributions, and the budget a cluster loan controller moves.
 ///
 /// Cluster-facing hooks beyond the event plumbing:
 ///
@@ -760,80 +703,54 @@ struct ModelAccum {
 ///   join-shortest-queue router balances on;
 /// * [`force_replan`] — re-plan onto an externally imposed budget (an
 ///   Aryl-style capacity loan or reclaim), with the transition priced
-///   through the same `plan_diff` + [`ResliceCostModel`] machinery as
-///   drift-triggered re-plans;
-/// * [`reconfig_in_flight`] — whether a transition is mid-drain (loans
-///   must wait, or they would compound two reconfigurations).
+///   through the same [`ReconfigSchedule`] machinery as drift-triggered
+///   re-plans;
+/// * [`reconfig_in_flight`] — whether a transition is mid-schedule (loans
+///   must wait, or they would compound two reconfigurations);
+/// * [`live_groups`] — the instances actually serving right now, the
+///   efficiency reference a loan demand estimator should normalize
+///   against.
 ///
 /// [`offer`]: Self::offer
 /// [`handle`]: Self::handle
 /// [`outstanding_queries`]: Self::outstanding_queries
 /// [`force_replan`]: Self::force_replan
 /// [`reconfig_in_flight`]: Self::reconfig_in_flight
+/// [`live_groups`]: Self::live_groups
 pub struct ShardEngine<'a> {
     server: &'a MultiModelServer,
-    detail: ReportDetail,
+    core: DispatchCore<'a>,
     /// The budget the *next* re-plan splits. Starts at the server's budget;
     /// capacity loans move it.
     budget: GpcBudget,
-    slots: Vec<WorkerSlot>,
-    /// Borrowed latency row and max batch per slot (from the owning
-    /// model's table) — one slice index per estimate, as in the
-    /// single-model engine.
-    rows: Vec<&'a [u64]>,
-    max_batch: Vec<usize>,
-    groups: Vec<GroupRuntime>,
     detector: Option<DriftDetector>,
-    reconfig: Option<ReconfigInFlight>,
-    reconfigs: Vec<ReconfigEvent>,
-    noise_rng: StdRng,
-    gantt: Option<Gantt>,
-    records: Vec<QueryRecord>,
-    record_models: Vec<usize>,
-    latency: LatencyRecorder,
-    histogram: LatencyHistogram,
-    per_model: Vec<ModelAccum>,
-    /// Instant of the most recent completion — the makespan endpoint. The
-    /// DES clock itself can outlive it (a trailing `ReconfigReady` fires
-    /// one reslice delay after the last drain), and charging that idle
-    /// tail to the makespan would bias throughput/utilization against
-    /// re-planning runs.
-    last_completion: SimTime,
-    frontend_free: SimTime,
-    next_query_id: u64,
-    next_complete_key: u64,
 }
 
 impl<'a> ShardEngine<'a> {
     /// Builds the engine for one run of `server` at the given detail.
     #[must_use]
     pub fn new(server: &'a MultiModelServer, detail: ReportDetail) -> Self {
-        let mut slots = Vec::new();
-        let mut rows = Vec::new();
-        let mut max_batch = Vec::new();
-        let mut groups = Vec::new();
-        for (m, sizes) in server.groups.iter().enumerate() {
-            let table = &server.models[m].table;
-            let mut members = Vec::with_capacity(sizes.len());
-            for &size in sizes {
-                members.push(slots.len());
-                slots.push(WorkerSlot {
-                    worker: PartitionWorker::new(size),
-                    model: m,
-                    local: 0,
-                    retiring: false,
-                });
-                rows.push(table.latency_row(size));
-                max_batch.push(table.max_batch());
-            }
-            groups.push(GroupRuntime {
-                members,
-                elsa: None,
-                fifs_idle: LoadSet::new(),
-                central: VecDeque::new(),
-                stash: VecDeque::new(),
-            });
-        }
+        let specs: Vec<GroupSpec<'a>> = server
+            .models
+            .iter()
+            .map(|m| GroupSpec {
+                name: &m.name,
+                table: &m.table,
+                scheduler: m.scheduler.clone(),
+                sla_ns: m.sla_ns,
+            })
+            .collect();
+        let core = DispatchCore::new(
+            specs,
+            &server.groups,
+            CoreConfig {
+                frontend_overhead: server.config.frontend_overhead,
+                service_noise: server.config.service_noise,
+                noise_seed: server.config.noise_seed,
+                detail,
+                record_gantt: server.config.record_gantt,
+            },
+        );
         let detector = server.config.replan.as_ref().map(|rp| {
             let max_b = server
                 .models
@@ -843,120 +760,19 @@ impl<'a> ShardEngine<'a> {
                 .expect("at least one model");
             DriftDetector::new(server.models.len(), max_b, rp.detector)
         });
-        let gantt = server
-            .config
-            .record_gantt
-            .then(|| Gantt::new(slots.iter().map(|s| s.worker.size()).collect()));
-        let mut engine = ShardEngine {
+        ShardEngine {
             server,
-            detail,
+            core,
             budget: server.budget,
-            slots,
-            rows,
-            max_batch,
-            groups,
             detector,
-            reconfig: None,
-            reconfigs: Vec::new(),
-            noise_rng: StdRng::seed_from_u64(server.config.noise_seed),
-            gantt,
-            records: Vec::new(),
-            record_models: Vec::new(),
-            latency: LatencyRecorder::new(),
-            histogram: LatencyHistogram::new(),
-            per_model: server
-                .models
-                .iter()
-                .map(|_| ModelAccum {
-                    completed: 0,
-                    histogram: LatencyHistogram::new(),
-                    sla_violations: 0,
-                })
-                .collect(),
-            last_completion: SimTime::ZERO,
-            frontend_free: SimTime::ZERO,
-            next_query_id: 0,
-            next_complete_key: COMPLETE_KEY_BASE,
-        };
-        for m in 0..engine.groups.len() {
-            engine.rebuild_group(m);
         }
-        engine
-    }
-
-    /// Rebuilds group `m`'s scheduler state from its current members'
-    /// worker occupancy. O(group · log group); called only at construction
-    /// and at reconfiguration edges, never on the per-query path.
-    ///
-    /// `ElsaState` is pure derived state — replaying each member's current
-    /// execution (`begin`) and queued estimates (`enqueue`) reconstructs
-    /// it exactly, so surviving partitions keep serving across a re-plan
-    /// with their queues intact.
-    fn rebuild_group(&mut self, m: usize) {
-        let members = self.groups[m].members.clone();
-        for (local, &w) in members.iter().enumerate() {
-            self.slots[w].local = local;
-        }
-        let sizes: Vec<ProfileSize> = members
-            .iter()
-            .map(|&w| self.slots[w].worker.size())
-            .collect();
-        match &self.server.models[m].scheduler {
-            SchedulerKind::Elsa(cfg) => {
-                let mut state = ElsaState::new(&sizes);
-                for (local, &w) in members.iter().enumerate() {
-                    let worker = &self.slots[w].worker;
-                    if let Some(end) = worker.busy_until() {
-                        state.begin(local, end.as_nanos());
-                        for est in worker.queued_estimates() {
-                            state.enqueue(local, est.as_nanos());
-                        }
-                    }
-                }
-                self.groups[m].elsa = Some((Elsa::new(*cfg), state));
-            }
-            SchedulerKind::Fifs => {
-                let mut idle = LoadSet::with_capacity(members.len());
-                for (local, &w) in members.iter().enumerate() {
-                    let worker = &self.slots[w].worker;
-                    if worker.is_idle() {
-                        idle.insert((worker.idle_since().as_nanos(), local as u32));
-                    }
-                }
-                self.groups[m].fifs_idle = idle;
-            }
-        }
-    }
-
-    /// Profiled execution estimate for `batch` on slot `w`.
-    #[inline]
-    fn estimate_ns(&self, w: usize, batch: usize) -> u64 {
-        self.rows[w][batch.clamp(1, self.max_batch[w]) - 1]
     }
 
     /// Offers one tagged arrival to the shard's serial frontend, scheduling
     /// its [`ShardEvent::Dispatch`] through `sched`. Arrivals must be
     /// offered in non-decreasing arrival order.
     pub fn offer(&mut self, tq: TaggedQuerySpec, sched: &mut impl FnMut(SimTime, u64, ShardEvent)) {
-        let arrival = SimTime::from_nanos(tq.spec.arrival_ns);
-        let begin = arrival.max(self.frontend_free);
-        let dispatched = begin + self.server.config.frontend_overhead;
-        self.frontend_free = dispatched;
-        let id = self.next_query_id;
-        self.next_query_id += 1;
-        sched(
-            dispatched,
-            id,
-            ShardEvent::Dispatch(
-                Query {
-                    id: QueryId(id),
-                    batch: tq.spec.batch,
-                    arrival,
-                    dispatched,
-                },
-                tq.model,
-            ),
-        );
+        self.core.offer(tq.model, tq.spec, sched);
     }
 
     /// Handles one popped event. The driver must pass every event this
@@ -967,10 +783,28 @@ impl<'a> ShardEngine<'a> {
         event: ShardEvent,
         sched: &mut impl FnMut(SimTime, u64, ShardEvent),
     ) {
-        match event {
-            ShardEvent::Dispatch(query, model) => self.on_dispatch(query, model, now, sched),
-            ShardEvent::Complete { worker } => self.on_complete(worker, now, sched),
-            ShardEvent::ReconfigReady => self.on_reconfig_ready(now, sched),
+        // Policy first, dispatch second: a drift trigger quiesces before
+        // the triggering query routes, exactly as the pre-unification
+        // engine did.
+        if let ShardEvent::Dispatch(query, m) = event {
+            if let Some(det) = &mut self.detector {
+                let drift = det.observe(m, query.arrival.as_nanos(), query.batch);
+                if !self.core.reconfig_in_flight() {
+                    if let Some(report) = drift {
+                        self.try_replan(&report, now, sched);
+                    }
+                }
+            }
+        }
+        let was_reconfiguring = self.core.reconfig_in_flight();
+        self.core.handle(now, event, sched);
+        if was_reconfiguring && !self.core.reconfig_in_flight() {
+            // The whole schedule completed: accept the observed traffic as
+            // the new baseline. (Loans reach here with no shard-level
+            // detector configured.)
+            if let Some(det) = &mut self.detector {
+                det.rebaseline();
+            }
         }
     }
 
@@ -979,14 +813,14 @@ impl<'a> ShardEngine<'a> {
     /// balances on.
     #[must_use]
     pub fn outstanding_queries(&self) -> u64 {
-        self.next_query_id - self.histogram.count()
+        self.core.outstanding_queries()
     }
 
     /// Whether a reconfiguration (drift re-plan or capacity loan) is
-    /// currently draining or waiting out its reslice.
+    /// currently mid-schedule (draining a step or waiting out a reslice).
     #[must_use]
     pub fn reconfig_in_flight(&self) -> bool {
-        self.reconfig.is_some()
+        self.core.reconfig_in_flight()
     }
 
     /// The budget the next re-plan will split (moves with capacity loans).
@@ -995,187 +829,17 @@ impl<'a> ShardEngine<'a> {
         self.budget
     }
 
-    /// Starts `query` on slot `w` at `now` and schedules its completion.
-    /// Active slots also update their group's scheduler state; retiring
-    /// slots are outside every group and only drain.
-    fn begin(
-        &mut self,
-        w: usize,
-        query: Query,
-        now: SimTime,
-        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
-    ) {
-        let base = self.estimate_ns(w, query.batch);
-        let duration =
-            noisy_service_duration(self.server.config.service_noise, base, &mut self.noise_rng);
-        let end = self.slots[w].worker.begin(query, now, duration);
-        if !self.slots[w].retiring {
-            let (m, local) = (self.slots[w].model, self.slots[w].local);
-            if let Some((_, state)) = &mut self.groups[m].elsa {
-                state.begin(local, end.as_nanos());
-            }
-        }
-        let key = self.next_complete_key;
-        self.next_complete_key += 1;
-        sched(end, key, ShardEvent::Complete { worker: w });
-    }
-
-    /// Routes `query` to model `m`'s group — the same O(log P) decision
-    /// path as the single-model engine, against per-model state.
-    fn route(
-        &mut self,
-        query: Query,
-        m: usize,
-        now: SimTime,
-        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
-    ) {
-        if self.groups[m].members.is_empty() {
-            // Mid-reconfiguration with the whole group quiesced: hold the
-            // query until the new instances come online.
-            self.groups[m].stash.push_back(query);
-            return;
-        }
-        if self.groups[m].elsa.is_some() {
-            let local = {
-                let table = &self.server.models[m].table;
-                let (elsa, state) = self.groups[m].elsa.as_mut().expect("elsa mode");
-                elsa.place_mut(query.batch, table, state, now.as_nanos())
-                    .partition()
-            };
-            let w = self.groups[m].members[local];
-            if self.slots[w].worker.is_idle() {
-                self.begin(w, query, now, sched);
-            } else {
-                let est = self.estimate_ns(w, query.batch);
-                self.slots[w]
-                    .worker
-                    .enqueue(query, SimDuration::from_nanos(est));
-                self.groups[m]
-                    .elsa
-                    .as_mut()
-                    .expect("elsa mode")
-                    .1
-                    .enqueue(local, est);
-            }
-        } else {
-            match self.groups[m].fifs_idle.first() {
-                Some((idle_since, local)) => {
-                    self.groups[m].fifs_idle.remove((idle_since, local));
-                    let w = self.groups[m].members[local as usize];
-                    self.begin(w, query, now, sched);
-                }
-                None => self.groups[m].central.push_back(query),
-            }
-        }
-    }
-
-    fn on_dispatch(
-        &mut self,
-        query: Query,
-        m: usize,
-        now: SimTime,
-        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
-    ) {
-        if let Some(det) = &mut self.detector {
-            let drift = det.observe(m, query.arrival.as_nanos(), query.batch);
-            if self.reconfig.is_none() {
-                if let Some(report) = drift {
-                    self.try_replan(&report, now, sched);
-                }
-            }
-        }
-        self.route(query, m, now, sched);
-    }
-
-    fn on_complete(
-        &mut self,
-        w: usize,
-        now: SimTime,
-        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
-    ) {
-        self.last_completion = now;
-        let m = self.slots[w].model;
-        let (query, started) = self.slots[w].worker.finish(now);
-        let latency_ns = (now - query.arrival).as_nanos();
-        self.histogram.record(latency_ns);
-        let accum = &mut self.per_model[m];
-        accum.completed += 1;
-        accum.histogram.record(latency_ns);
-        if let Some(sla) = self.server.models[m].sla_ns {
-            accum.sla_violations += u64::from(latency_ns > sla);
-        }
-        if self.detail == ReportDetail::Full {
-            self.latency.record(latency_ns);
-            self.records.push(QueryRecord {
-                id: query.id,
-                batch: query.batch,
-                arrival: query.arrival,
-                dispatched: query.dispatched,
-                started,
-                completed: now,
-                partition: w,
-            });
-            self.record_models.push(m);
-        }
-        if let Some(g) = &mut self.gantt {
-            g.push(Span {
-                partition: w,
-                query: query.id,
-                batch: query.batch,
-                start: started,
-                end: now,
-            });
-        }
-
-        if self.slots[w].retiring {
-            // A quiesced partition serves out its own local queue, then
-            // goes dark; the last drained partition starts the reslice.
-            if let Some((q, _est)) = self.slots[w].worker.pop_next() {
-                self.begin(w, q, now, sched);
-            } else {
-                let rc = self
-                    .reconfig
-                    .as_mut()
-                    .expect("retiring implies a reconfig in flight");
-                rc.draining -= 1;
-                if rc.draining == 0 {
-                    let delay = rc.delay;
-                    sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
-                }
-            }
-            return;
-        }
-
-        let local = self.slots[w].local;
-        if self.groups[m].elsa.is_some() {
-            self.groups[m]
-                .elsa
-                .as_mut()
-                .expect("elsa mode")
-                .1
-                .finish(local);
-            if let Some((q, est)) = self.slots[w].worker.pop_next() {
-                self.groups[m]
-                    .elsa
-                    .as_mut()
-                    .expect("elsa mode")
-                    .1
-                    .dequeue(local, est.as_nanos());
-                self.begin(w, q, now, sched);
-            }
-        } else {
-            match self.groups[m].central.pop_front() {
-                Some(q) => self.begin(w, q, now, sched),
-                None => self.groups[m]
-                    .fifs_idle
-                    .insert((now.as_nanos(), local as u32)),
-            }
-        }
+    /// The live per-model layouts: sizes of the instances actually serving
+    /// right now (quiesced instances excluded). Differs from
+    /// [`MultiModelServer::groups`] after any re-plan.
+    #[must_use]
+    pub fn live_groups(&self) -> Vec<Vec<ProfileSize>> {
+        self.core.live_groups()
     }
 
     /// Acts on a drift report: re-plans every model from its observed
     /// traffic, quiesces the instances the new plan drops, and arms the
-    /// reslice.
+    /// reslice schedule.
     fn try_replan(
         &mut self,
         report: &DriftReport,
@@ -1197,13 +861,13 @@ impl<'a> ShardEngine<'a> {
             dists.push(dist);
         }
 
-        let cost = self
+        let policy = self
             .server
             .config
             .replan
             .as_ref()
-            .expect("replan policy present")
-            .cost;
+            .expect("replan policy present");
+        let (cost, mode) = (policy.cost, policy.mode);
         let started = self.transition_to(
             &ReplanRequest {
                 budget: self.budget,
@@ -1211,6 +875,7 @@ impl<'a> ShardEngine<'a> {
                 dists: &dists,
                 cost: &cost,
                 extra_downtime: SimDuration::ZERO,
+                mode,
             },
             now,
             sched,
@@ -1243,7 +908,7 @@ impl<'a> ShardEngine<'a> {
         now: SimTime,
         sched: &mut impl FnMut(SimTime, u64, ShardEvent),
     ) -> bool {
-        if self.reconfig.is_some() {
+        if self.core.reconfig_in_flight() {
             return false;
         }
         let started = self.transition_to(request, now, sched);
@@ -1262,9 +927,9 @@ impl<'a> ShardEngine<'a> {
     /// loans: adopts the requested budget, plans every model's share
     /// against the requested distributions (falling back to the declared
     /// distribution, then to the current layout, so a degenerate input can
-    /// never break serving), diffs against the running layout, quiesces
-    /// removals and arms the reslice. Returns whether a reconfiguration
-    /// started.
+    /// never break serving), diffs against the live layout, cuts the diffs
+    /// into a [`ReconfigSchedule`] under the requested mode, and hands the
+    /// schedule to the core. Returns whether a reconfiguration started.
     fn transition_to(
         &mut self,
         request: &ReplanRequest<'_>,
@@ -1277,20 +942,12 @@ impl<'a> ShardEngine<'a> {
             dists,
             cost,
             extra_downtime,
+            mode,
         } = *request;
         self.budget = budget;
         let models = &self.server.models;
         let budgets = split_budget(budget, weights);
-        let current: Vec<Vec<ProfileSize>> = self
-            .groups
-            .iter()
-            .map(|g| {
-                g.members
-                    .iter()
-                    .map(|&w| self.slots[w].worker.size())
-                    .collect()
-            })
-            .collect();
+        let current = self.core.live_groups();
         let targets: Vec<Vec<ProfileSize>> = models
             .iter()
             .enumerate()
@@ -1303,127 +960,13 @@ impl<'a> ShardEngine<'a> {
             })
             .collect();
 
-        let diffs: Vec<_> = current
+        let diffs: Vec<PlanDiff> = current
             .iter()
             .zip(&targets)
             .map(|(c, t)| plan_diff(c, t))
             .collect();
-        let mut merged = PlanDiff::default();
-        for d in &diffs {
-            merged.merge(d);
-        }
-        if merged.is_empty() {
-            return false;
-        }
-        let delay = SimDuration::from_nanos(
-            merged
-                .downtime_ns(cost)
-                .saturating_add(extra_downtime.as_nanos()),
-        );
-
-        // Quiesce: per model and size, retire the highest-indexed members
-        // first (deterministic), removing them from the group.
-        let mut draining = 0usize;
-        let mut added: Vec<(usize, ProfileSize)> = Vec::new();
-        for (m, diff) in diffs.iter().enumerate() {
-            for (&size, &count) in &diff.removed {
-                let mut to_retire = count;
-                let members = self.groups[m].members.clone();
-                for &w in members.iter().rev() {
-                    if to_retire == 0 {
-                        break;
-                    }
-                    if self.slots[w].worker.size() == size {
-                        self.slots[w].retiring = true;
-                        self.groups[m].members.retain(|&x| x != w);
-                        if self.slots[w].worker.is_idle() {
-                            // Nothing in flight: drained on the spot.
-                        } else {
-                            draining += 1;
-                        }
-                        to_retire -= 1;
-                    }
-                }
-            }
-            for (&size, &count) in &diff.added {
-                added.extend(std::iter::repeat_n((m, size), count));
-            }
-            self.rebuild_group(m);
-        }
-
-        self.reconfig = Some(ReconfigInFlight {
-            triggered_at: now,
-            delay,
-            draining,
-            added,
-            destroyed: merged.removed_count(),
-            created: merged.added_count(),
-        });
-        if draining == 0 {
-            sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
-        }
-        true
-    }
-
-    /// The reslice finished: create the new instances, refresh scheduler
-    /// state, serve anything that queued up during the outage, and accept
-    /// the observed traffic as the new baseline.
-    fn on_reconfig_ready(
-        &mut self,
-        now: SimTime,
-        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
-    ) {
-        let rc = self.reconfig.take().expect("reconfig event without state");
-        for &(m, size) in &rc.added {
-            let w = self.slots.len();
-            self.slots.push(WorkerSlot {
-                worker: PartitionWorker::new(size),
-                model: m,
-                local: 0,
-                retiring: false,
-            });
-            self.rows
-                .push(self.server.models[m].table.latency_row(size));
-            self.max_batch.push(self.server.models[m].table.max_batch());
-            self.groups[m].members.push(w);
-            if let Some(g) = &mut self.gantt {
-                let row = g.add_partition(size);
-                debug_assert_eq!(row, w, "gantt rows track worker slots");
-            }
-        }
-        for m in 0..self.groups.len() {
-            self.rebuild_group(m);
-            // FIFS groups may have central backlog and fresh idle
-            // instances: work-conservation demands they meet.
-            while !self.groups[m].central.is_empty() {
-                let Some((idle_since, local)) = self.groups[m].fifs_idle.first() else {
-                    break;
-                };
-                self.groups[m].fifs_idle.remove((idle_since, local));
-                let w = self.groups[m].members[local as usize];
-                let q = self.groups[m]
-                    .central
-                    .pop_front()
-                    .expect("checked non-empty");
-                self.begin(w, q, now, sched);
-            }
-            // Queries that arrived while the group was dark re-enter the
-            // normal dispatch path, in arrival order.
-            while let Some(q) = self.groups[m].stash.pop_front() {
-                self.route(q, m, now, sched);
-            }
-        }
-        self.reconfigs.push(ReconfigEvent {
-            triggered_at: rc.triggered_at,
-            completed_at: now,
-            destroyed: rc.destroyed,
-            created: rc.created,
-            reslice_delay: rc.delay,
-        });
-        // Loans reach here with no shard-level detector configured.
-        if let Some(det) = &mut self.detector {
-            det.rebaseline();
-        }
+        let schedule = ReconfigSchedule::new(&diffs, mode, cost, extra_downtime.as_nanos());
+        self.core.begin_transition(schedule, now, sched)
     }
 
     /// Consumes the engine into its run report. `peak_pending_events` is
@@ -1431,54 +974,7 @@ impl<'a> ShardEngine<'a> {
     /// reports the same fleet-wide value to every shard).
     #[must_use]
     pub fn finish(self, peak_pending_events: usize) -> MultiRunReport {
-        let makespan = self.last_completion.saturating_since(SimTime::ZERO);
-        let makespan_s = makespan.as_secs_f64();
-        let completed = self.histogram.count();
-        let achieved_qps = if makespan_s > 0.0 {
-            completed as f64 / makespan_s
-        } else {
-            0.0
-        };
-        let partition_utilization: Vec<f64> = self
-            .slots
-            .iter()
-            .map(|s| {
-                if makespan.as_nanos() == 0 {
-                    0.0
-                } else {
-                    (s.worker.busy_ns() as f64 / makespan.as_nanos() as f64).min(1.0)
-                }
-            })
-            .collect();
-
-        MultiRunReport {
-            detail: self.detail,
-            records: self.records,
-            record_models: self.record_models,
-            latency: self.latency,
-            histogram: self.histogram,
-            per_model: self
-                .server
-                .models
-                .iter()
-                .zip(self.per_model)
-                .map(|(spec, acc)| ModelReport {
-                    name: spec.name.clone(),
-                    completed: acc.completed,
-                    histogram: acc.histogram,
-                    sla_ns: spec.sla_ns,
-                    sla_violations: acc.sla_violations,
-                })
-                .collect(),
-            makespan,
-            achieved_qps,
-            partition_utilization,
-            partition_sizes: self.slots.iter().map(|s| s.worker.size()).collect(),
-            partition_models: self.slots.iter().map(|s| s.model).collect(),
-            reconfigs: self.reconfigs,
-            gantt: self.gantt,
-            peak_pending_events,
-        }
+        self.core.finish(peak_pending_events)
     }
 }
 
@@ -1674,9 +1170,9 @@ mod tests {
         let trace = drifting_trace(1.5, 19).generate();
         let report = server.run(&trace);
         let g = report.gantt.as_ref().expect("gantt requested");
-        assert_eq!(g.spans().len(), trace.len());
+        assert_eq!(g.len(), trace.len());
         assert_eq!(g.partition_sizes(), &report.partition_sizes[..]);
-        for (span, r) in g.spans().iter().zip(&report.records) {
+        for (span, r) in g.iter().zip(&report.records) {
             assert_eq!(span.partition, r.partition);
             assert_eq!(span.start, r.started);
             assert_eq!(span.end, r.completed);
@@ -1685,6 +1181,32 @@ mod tests {
         // Without the flag, no gantt is kept.
         let plain = two_model_server(None).run(&steady_trace(100.0, 50.0, 0.2, 3));
         assert!(plain.gantt.is_none());
+    }
+
+    #[test]
+    fn rolling_drift_replan_stages_the_transition() {
+        // Same drifting workload as the all-at-once conservation test, but
+        // staged one GPU at a time: conservation still holds, and at least
+        // one reconfiguration needs more than one step (the mix flip moves
+        // more than one GPU's worth of instances).
+        let policy = ReplanPolicy::new(0.25).with_mode(ReconfigMode::Rolling);
+        let server = two_model_server(Some(policy));
+        let trace = drifting_trace(2.0, 11).generate();
+        let report = server.run(&trace);
+        assert!(!report.reconfigs.is_empty());
+        assert_eq!(report.records.len(), trace.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.len());
+        assert!(
+            report.reconfigs.iter().any(|rc| rc.steps > 1),
+            "a multi-GPU re-plan must roll out in stages: {:?}",
+            report.reconfigs
+        );
+        for rc in &report.reconfigs {
+            assert!(rc.completed_at >= rc.triggered_at + rc.reslice_delay);
+        }
     }
 
     #[test]
@@ -1712,6 +1234,7 @@ mod tests {
                 dists: &[dist],
                 cost: &cost,
                 extra_downtime: SimDuration::ZERO,
+                mode: ReconfigMode::AllAtOnce,
             },
             SimTime::ZERO,
             &mut |t, k, e| scheduled.push((t, k, format!("{e:?}"))),

@@ -42,11 +42,12 @@
 use des_engine::{SimDuration, SimTime, Simulation};
 use inference_workload::QuerySpec;
 use mig_gpu::ProfileSize;
-use paris_core::{Elsa, ElsaConfig, ElsaState, LoadSet, PartitionPlan, ProfileTable};
+use paris_core::{Elsa, ElsaConfig, PartitionPlan, ProfileTable};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use server_metrics::{LatencyHistogram, LatencyRecorder};
 
+use crate::dispatch::{noisy_service_duration, CoreConfig, DispatchCore, GroupSpec, ShardEvent};
 use crate::gantt::{Gantt, Span};
 use crate::query::{Query, QueryId, QueryRecord};
 use crate::worker::PartitionWorker;
@@ -245,7 +246,10 @@ impl RunReport {
     }
 }
 
-/// Events driving the server simulation.
+/// Events driving the pre-loaded reference simulation
+/// ([`InferenceServer::run_reference`]). The fast path shares
+/// [`ShardEvent`] with every other layer through the unified
+/// [`DispatchCore`].
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// The frontend finished preparing a query; the scheduler places it.
@@ -253,11 +257,6 @@ enum Event {
     /// A partition finished its current query.
     Complete { partition: usize },
 }
-
-/// Same-instant ordering: all dispatches (by query id) strictly before all
-/// completions (by scheduling order) — the order the pre-loaded seed
-/// implementation produced through its FIFO sequence numbers.
-const COMPLETE_KEY_BASE: u64 = 1 << 63;
 
 /// A simulated multi-GPU inference server: a set of MIG partitions, a
 /// profiled latency table and a scheduling policy.
@@ -394,6 +393,14 @@ impl InferenceServer {
     /// exact violation counting, overriding [`ServerConfig::sla_ns`]. This
     /// is how sweeps get exact violation rates out of
     /// [`ReportDetail::Summary`] runs without a per-point server rebuild.
+    ///
+    /// The run is the **identity instantiation** of the unified
+    /// [`DispatchCore`]: one group holding every partition, driven by the
+    /// same streamed event loop as the multi-model and cluster layers, so
+    /// there is exactly one dispatch/complete/drain implementation in the
+    /// codebase. Bit-for-bit equality with
+    /// [`run_reference`](Self::run_reference) is still enforced by the
+    /// unit and property suites.
     #[must_use]
     pub fn run_stream_sla<I>(
         &self,
@@ -404,7 +411,41 @@ impl InferenceServer {
     where
         I: IntoIterator<Item = QuerySpec>,
     {
-        Engine::new(self, detail, arrivals.into_iter(), sla_ns).run()
+        let mut arrivals = arrivals.into_iter();
+        let n = self.partitions.len();
+        // Steady state: ≤ one completion per partition + the next
+        // streamed arrival.
+        let mut sim: Simulation<ShardEvent> = Simulation::with_capacity(n + 2);
+        let mut core = DispatchCore::new(
+            vec![GroupSpec {
+                name: "server",
+                table: &self.table,
+                scheduler: self.config.scheduler.clone(),
+                sla_ns,
+            }],
+            std::slice::from_ref(&self.partitions),
+            CoreConfig {
+                frontend_overhead: self.config.frontend_overhead,
+                service_noise: self.config.service_noise,
+                noise_seed: self.config.noise_seed,
+                detail,
+                record_gantt: self.config.record_gantt,
+            },
+        );
+        if let Some(spec) = arrivals.next() {
+            core.offer(0, spec, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        }
+        while let Some((now, event)) = sim.next_event() {
+            // Keep the pipeline primed: handling a dispatch is the moment
+            // its successor enters the queue, so pending stays O(P).
+            if matches!(event, ShardEvent::Dispatch(..)) {
+                if let Some(spec) = arrivals.next() {
+                    core.offer(0, spec, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+                }
+            }
+            core.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        }
+        core.finish_single(sim.peak_pending())
     }
 
     /// The pre-rearchitecture implementation, kept as the semantic
@@ -604,276 +645,6 @@ impl InferenceServer {
         let duration = self.service_duration(base, noise_rng);
         let end = worker.begin(query, now, duration);
         sim.schedule_at(end, Event::Complete { partition: p });
-    }
-}
-
-/// Turns a profiled latency of `base_ns` nanoseconds into a service time
-/// under multiplicative normal noise of relative stddev `noise`. One
-/// shared implementation keeps the noise stream aligned draw-for-draw
-/// across the fast path, `run_reference`, and the multi-model engine.
-pub(crate) fn noisy_service_duration(
-    noise: f64,
-    base_ns: u64,
-    noise_rng: &mut StdRng,
-) -> SimDuration {
-    if noise > 0.0 {
-        // Box–Muller: two uniforms → one standard normal draw. The
-        // second uniform is always consumed so the stream stays aligned
-        // across implementations.
-        let u1: f64 = noise_rng.gen();
-        let u2: f64 = noise_rng.gen();
-        let z = (-2.0 * (1.0 - u1).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        let factor = (1.0 + noise * z).max(0.1);
-        SimDuration::from_nanos((base_ns as f64 * factor).round() as u64)
-    } else {
-        SimDuration::from_nanos(base_ns)
-    }
-}
-
-/// One run's mutable state, wired for the allocation-free fast path.
-struct Engine<'a, I> {
-    server: &'a InferenceServer,
-    detail: ReportDetail,
-    arrivals: I,
-    sim: Simulation<Event>,
-    workers: Vec<PartitionWorker>,
-    /// Borrowed per-partition latency rows: `rows[p][batch - 1]`.
-    rows: Vec<&'a [u64]>,
-    max_batch: usize,
-    /// ELSA runtime: the decision core plus its incremental load state.
-    elsa: Option<(Elsa, ElsaState)>,
-    /// FIFS runtime: idle partitions ordered by `(idle_since, index)`.
-    fifs_idle: LoadSet,
-    central: std::collections::VecDeque<Query>,
-    noise_rng: StdRng,
-    gantt: Option<Gantt>,
-    records: Vec<QueryRecord>,
-    latency: LatencyRecorder,
-    histogram: LatencyHistogram,
-    sla_ns: Option<u64>,
-    sla_violations: u64,
-    frontend_free: SimTime,
-    next_query_id: u64,
-    next_complete_key: u64,
-}
-
-impl<'a, I: Iterator<Item = QuerySpec>> Engine<'a, I> {
-    fn new(
-        server: &'a InferenceServer,
-        detail: ReportDetail,
-        arrivals: I,
-        sla_ns: Option<u64>,
-    ) -> Self {
-        let n = server.partitions.len();
-        let workers: Vec<PartitionWorker> = server
-            .partitions
-            .iter()
-            .map(|&size| PartitionWorker::new(size))
-            .collect();
-        let rows: Vec<&[u64]> = server
-            .partitions
-            .iter()
-            .map(|&size| server.table.latency_row(size))
-            .collect();
-        let elsa = match &server.config.scheduler {
-            SchedulerKind::Fifs => None,
-            SchedulerKind::Elsa(cfg) => Some((Elsa::new(*cfg), ElsaState::new(&server.partitions))),
-        };
-        let mut fifs_idle = LoadSet::with_capacity(n);
-        if elsa.is_none() {
-            for p in 0..n {
-                fifs_idle.insert((0, p as u32));
-            }
-        }
-        Engine {
-            server,
-            detail,
-            arrivals,
-            // Steady state: ≤ one completion per partition + the next
-            // streamed arrival.
-            sim: Simulation::with_capacity(n + 2),
-            workers,
-            rows,
-            max_batch: server.table.max_batch(),
-            elsa,
-            fifs_idle,
-            central: std::collections::VecDeque::new(),
-            noise_rng: StdRng::seed_from_u64(server.config.noise_seed),
-            gantt: server
-                .config
-                .record_gantt
-                .then(|| Gantt::new(server.partitions.clone())),
-            records: Vec::new(),
-            latency: LatencyRecorder::new(),
-            histogram: LatencyHistogram::new(),
-            sla_ns,
-            sla_violations: 0,
-            frontend_free: SimTime::ZERO,
-            next_query_id: 0,
-            next_complete_key: COMPLETE_KEY_BASE,
-        }
-    }
-
-    /// Profiled execution estimate for `batch` on partition `p`.
-    #[inline]
-    fn estimate_ns(&self, p: usize, batch: usize) -> u64 {
-        self.rows[p][batch.clamp(1, self.max_batch) - 1]
-    }
-
-    /// Pulls the next arrival (if any) through the serial frontend and
-    /// schedules its dispatch. Dispatch times are non-decreasing, so the
-    /// successor is always injected before the queue could pop past it.
-    fn inject_next_arrival(&mut self) {
-        if let Some(spec) = self.arrivals.next() {
-            let arrival = SimTime::from_nanos(spec.arrival_ns);
-            let begin = arrival.max(self.frontend_free);
-            let dispatched = begin + self.server.config.frontend_overhead;
-            self.frontend_free = dispatched;
-            let id = self.next_query_id;
-            self.next_query_id += 1;
-            self.sim.schedule_at_keyed(
-                dispatched,
-                id,
-                Event::Dispatch(Query {
-                    id: QueryId(id),
-                    batch: spec.batch,
-                    arrival,
-                    dispatched,
-                }),
-            );
-        }
-    }
-
-    /// Starts `query` on partition `p` at `now` and schedules completion.
-    fn begin(&mut self, p: usize, query: Query, now: SimTime) {
-        let base = self.estimate_ns(p, query.batch);
-        let duration = self.server.service_duration(base, &mut self.noise_rng);
-        let end = self.workers[p].begin(query, now, duration);
-        if let Some((_, state)) = &mut self.elsa {
-            state.begin(p, end.as_nanos());
-        }
-        let key = self.next_complete_key;
-        self.next_complete_key += 1;
-        self.sim
-            .schedule_at_keyed(end, key, Event::Complete { partition: p });
-    }
-
-    fn on_dispatch(&mut self, query: Query, now: SimTime) {
-        // Keep the pipeline primed before handling this query.
-        self.inject_next_arrival();
-        if self.elsa.is_some() {
-            let p = {
-                let (elsa, state) = self.elsa.as_mut().expect("elsa mode");
-                elsa.place_mut(query.batch, &self.server.table, state, now.as_nanos())
-                    .partition()
-            };
-            if self.workers[p].is_idle() {
-                self.begin(p, query, now);
-            } else {
-                let est = self.estimate_ns(p, query.batch);
-                self.workers[p].enqueue(query, SimDuration::from_nanos(est));
-                self.elsa.as_mut().expect("elsa mode").1.enqueue(p, est);
-            }
-        } else {
-            match self.fifs_idle.first() {
-                Some((idle_since, p)) => {
-                    self.fifs_idle.remove((idle_since, p));
-                    self.begin(p as usize, query, now);
-                }
-                None => self.central.push_back(query),
-            }
-        }
-    }
-
-    fn on_complete(&mut self, partition: usize, now: SimTime) {
-        let (query, started) = self.workers[partition].finish(now);
-        let latency_ns = (now - query.arrival).as_nanos();
-        self.histogram.record(latency_ns);
-        if let Some(sla) = self.sla_ns {
-            self.sla_violations += u64::from(latency_ns > sla);
-        }
-        if self.detail == ReportDetail::Full {
-            self.latency.record(latency_ns);
-            self.records.push(QueryRecord {
-                id: query.id,
-                batch: query.batch,
-                arrival: query.arrival,
-                dispatched: query.dispatched,
-                started,
-                completed: now,
-                partition,
-            });
-        }
-        if let Some(g) = &mut self.gantt {
-            g.push(Span {
-                partition,
-                query: query.id,
-                batch: query.batch,
-                start: started,
-                end: now,
-            });
-        }
-
-        if self.elsa.is_some() {
-            self.elsa.as_mut().expect("elsa mode").1.finish(partition);
-            if let Some((q, est)) = self.workers[partition].pop_next() {
-                self.elsa
-                    .as_mut()
-                    .expect("elsa mode")
-                    .1
-                    .dequeue(partition, est.as_nanos());
-                self.begin(partition, q, now);
-            }
-        } else {
-            match self.central.pop_front() {
-                Some(q) => self.begin(partition, q, now),
-                None => self.fifs_idle.insert((now.as_nanos(), partition as u32)),
-            }
-        }
-    }
-
-    fn run(mut self) -> RunReport {
-        self.inject_next_arrival();
-        while let Some((now, event)) = self.sim.next_event() {
-            match event {
-                Event::Dispatch(query) => self.on_dispatch(query, now),
-                Event::Complete { partition } => self.on_complete(partition, now),
-            }
-        }
-
-        let makespan = self.sim.now().saturating_since(SimTime::ZERO);
-        let makespan_s = makespan.as_secs_f64();
-        let completed = self.histogram.count();
-        let achieved_qps = if makespan_s > 0.0 {
-            completed as f64 / makespan_s
-        } else {
-            0.0
-        };
-        let partition_utilization = self
-            .workers
-            .iter()
-            .map(|w| {
-                if makespan.as_nanos() == 0 {
-                    0.0
-                } else {
-                    (w.busy_ns() as f64 / makespan.as_nanos() as f64).min(1.0)
-                }
-            })
-            .collect();
-
-        RunReport {
-            detail: self.detail,
-            records: self.records,
-            latency: self.latency,
-            histogram: self.histogram,
-            makespan,
-            achieved_qps,
-            partition_utilization,
-            gantt: self.gantt,
-            peak_pending_events: self.sim.peak_pending(),
-            sla_ns: self.sla_ns,
-            sla_violations: self.sla_violations,
-        }
     }
 }
 
@@ -1206,7 +977,7 @@ mod tests {
         let tr = trace(200.0, 13, 0.2);
         let report = server.run(&tr);
         let g = report.gantt.expect("gantt requested");
-        assert_eq!(g.spans().len(), tr.len());
+        assert_eq!(g.len(), tr.len());
     }
 
     #[test]

@@ -58,10 +58,12 @@ pub mod prelude {
     pub use crate::des::{SimDuration, SimTime};
     pub use crate::dnn::{ModelGraph, ModelKind};
     pub use crate::gpu::{DeviceSpec, GpuLayout, PerfModel, ProfileSize};
-    pub use crate::metrics::{latency_bounded_throughput, LatencyRecorder, ThroughputPoint};
+    pub use crate::metrics::{
+        latency_bounded_throughput, LatencyRecorder, ThroughputPoint, WindowedTail,
+    };
     pub use crate::paris::{
         homogeneous_plan, random_plan, Elsa, ElsaConfig, GpcBudget, Paris, PartitionPlan,
-        ProfileTable,
+        ProfileTable, ReconfigMode,
     };
     pub use crate::server::{
         parallel_doubling_search, parallel_map_indexed, rate_sweep,
