@@ -1,15 +1,38 @@
 //! The cluster: N shards behind a router, plus capacity loaning, inside
 //! one shared DES.
 
+use std::collections::VecDeque;
+
 use des_engine::{SimDuration, SimTime, Simulation};
 use inference_server::{
     MultiModelServer, MultiRunReport, ReplanRequest, ReportDetail, ShardEngine, ShardEvent,
 };
 use inference_workload::{BatchDistribution, DriftDetector, TaggedQuerySpec};
+use mig_gpu::{ProfileSize, COMPUTE_SLICES};
+use paris_core::{pack_gpus, GpcBudget};
 use server_metrics::LatencyHistogram;
 
-use crate::loan::{LoanEvent, LoanLedger, LoanPolicy};
+use crate::faults::{FaultEvent, FaultTimeline};
+use crate::loan::{LoanDemandModel, LoanEvent, LoanLedger, LoanPolicy};
 use crate::router::{RouterPolicy, RouterState};
+
+/// One arrival with an optional shard pin: `Some(shard)` queries go to
+/// that shard while it is alive (shard-tagged skewed traces, per-query
+/// affinity) and fall back to the router when it is not; `None` queries
+/// are routed by the [`RouterPolicy`] as always.
+pub type PinnedQuery = (Option<usize>, TaggedQuerySpec);
+
+/// One fault event a run applied, with what it ripped loose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// When the event fired.
+    pub at: SimTime,
+    /// What happened.
+    pub event: FaultEvent,
+    /// Queries the event pulled off killed instances and requeued
+    /// (non-zero only for [`FaultEvent::GpuFail`] hitting busy instances).
+    pub requeued: u64,
+}
 
 /// A multi-server inference cluster: each *shard* is a full
 /// [`MultiModelServer`] (its own GPC budget, PARIS-planned groups, per-model
@@ -135,7 +158,36 @@ impl Cluster {
     where
         I: IntoIterator<Item = TaggedQuerySpec>,
     {
-        CEngine::new(self, detail, arrivals.into_iter()).run()
+        self.run_scenario(
+            arrivals.into_iter().map(|tq| (None, tq)),
+            detail,
+            &FaultTimeline::empty(),
+        )
+    }
+
+    /// Simulates the cluster under a fault scenario: a (possibly
+    /// shard-pinned, see [`PinnedQuery`]) arrival stream plus a
+    /// [`FaultTimeline`] injected into the same DES. GPU failures kill
+    /// the instances packed on the failing GPU (their work requeues) and
+    /// the shard re-plans onto the survivor budget; shard failures drop
+    /// the shard from the routing rotation until repair; with a
+    /// [`LoanPolicy`], every fault also triggers an immediate loan
+    /// rebalance so the batch pool can backfill lost capacity.
+    ///
+    /// An **empty timeline with no pins is bit-for-bit
+    /// [`run_stream`](Self::run_stream)** — the fault machinery costs
+    /// nothing until an event fires; the unit suite pins this.
+    #[must_use]
+    pub fn run_scenario<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+    ) -> ClusterReport
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
+        CEngine::new(self, detail, arrivals.into_iter(), faults).run()
     }
 }
 
@@ -155,6 +207,9 @@ pub struct ClusterReport {
     pub achieved_qps: f64,
     /// Every GPU transfer between the batch pool and the shards, in order.
     pub loans: Vec<LoanEvent>,
+    /// Every fault event the run applied, in order (empty without a
+    /// [`FaultTimeline`]).
+    pub faults: Vec<FaultRecord>,
     /// Opportunity cost of loaning: the integral of loaned-out GPUs over
     /// simulated time (GPU-seconds the batch pool could not use).
     pub loaned_gpu_seconds: f64,
@@ -232,7 +287,9 @@ enum CEvent {
     /// the physical gateway queue — it is materialized here precisely
     /// because each query's routing decision consumed the fleet state at
     /// its own arrival instant.
-    Route(TaggedQuerySpec),
+    Route(PinnedQuery),
+    /// One fault-timeline event firing at its scheduled instant.
+    Fault(FaultEvent),
 }
 
 /// One cluster run's mutable state.
@@ -258,10 +315,43 @@ struct CEngine<'a, I> {
     /// Reused outstanding-load scratch so routing allocates nothing after
     /// the first arrival.
     scratch: Vec<u64>,
+    /// Shard liveness: failed shards leave the routing rotation.
+    alive: Vec<bool>,
+    /// Per shard, which of its base-budget GPU slots are currently failed.
+    failed_gpus: Vec<Vec<bool>>,
+    /// Shards owing a recovery re-plan that could not run yet (a
+    /// reconfiguration was in flight, or the survivor budget cannot host
+    /// one GPU per model until a repair); retried after every event of
+    /// that shard.
+    pending_recovery: Vec<bool>,
+    /// Remaining fault events, time order; the head is scheduled into the
+    /// DES, the rest wait.
+    fault_queue: VecDeque<(SimTime, FaultEvent)>,
+    fault_cost: mig_gpu::ResliceCostModel,
+    fault_mode: paris_core::ReconfigMode,
+    fault_log: Vec<FaultRecord>,
+    /// Tie-break key sequence for [`CEvent::Fault`] events.
+    fault_seq: u64,
+    /// Measured-demand state ([`LoanDemandModel::MeasuredBusy`]): the
+    /// measurement window width (the loan detector's window), the next
+    /// window boundary on the detector's fixed grid, per-shard
+    /// `busy_gpc_ns` snapshots with the instant they were taken, and the
+    /// last completed window's measured rates (GPU equivalents).
+    /// `window = 0` disables the bookkeeping entirely.
+    busy_window_ns: u64,
+    busy_window_end_ns: u64,
+    busy_snap: Vec<u128>,
+    busy_snap_at: SimTime,
+    busy_rate: Vec<f64>,
 }
 
-impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
-    fn new(cluster: &'a Cluster, detail: ReportDetail, arrivals: I) -> Self {
+impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
+    fn new(
+        cluster: &'a Cluster,
+        detail: ReportDetail,
+        arrivals: I,
+        faults: &FaultTimeline,
+    ) -> Self {
         let n_models = cluster.shards[0].models().len();
         let engines: Vec<ShardEngine<'a>> = cluster
             .shards
@@ -294,6 +384,11 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
                 lp.pool_gpus,
             )
         });
+        let busy_window_ns = cluster
+            .loan
+            .as_ref()
+            .filter(|lp| lp.demand_model == LoanDemandModel::MeasuredBusy)
+            .map_or(0, |lp| lp.detector.window_ns);
         CEngine {
             cluster,
             arrivals,
@@ -314,29 +409,88 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
             n_models,
             route_seq: 0,
             scratch: Vec::with_capacity(cluster.shards.len()),
+            alive: vec![true; cluster.shards.len()],
+            failed_gpus: cluster
+                .shards
+                .iter()
+                .map(|s| vec![false; s.budget().num_gpus])
+                .collect(),
+            pending_recovery: vec![false; cluster.shards.len()],
+            fault_queue: faults.events().iter().copied().collect(),
+            fault_cost: faults.cost,
+            fault_mode: faults.mode,
+            fault_log: Vec::new(),
+            fault_seq: 0,
+            busy_window_ns,
+            busy_window_end_ns: busy_window_ns,
+            busy_snap: vec![0; cluster.shards.len()],
+            busy_snap_at: SimTime::ZERO,
+            busy_rate: vec![0.0; cluster.shards.len()],
+        }
+    }
+
+    /// Rolls the measured-busy window forward when `now` crosses a window
+    /// boundary: the completed span's GPC-weighted busy fractions become
+    /// the current measured demand rates. Called per arrival (a cheap
+    /// comparison when the measured model is off). Boundaries sit on the
+    /// **drift detector's fixed tumbling grid**, so at the very arrival
+    /// that closes a detector window — the only instant a loan decision
+    /// can fire — the measurement describes that same window, not a stale
+    /// drifted one.
+    fn roll_busy_window(&mut self, now: SimTime) {
+        if self.busy_window_ns == 0 || now.as_nanos() < self.busy_window_end_ns {
+            return;
+        }
+        let dt = (now - self.busy_snap_at).as_nanos();
+        for s in 0..self.engines.len() {
+            let busy = self.engines[s].busy_gpc_ns();
+            let delta = busy.saturating_sub(self.busy_snap[s]);
+            self.busy_rate[s] = delta as f64 / dt as f64 / COMPUTE_SLICES as f64;
+            self.busy_snap[s] = busy;
+        }
+        self.busy_snap_at = now;
+        while self.busy_window_end_ns <= now.as_nanos() {
+            self.busy_window_end_ns += self.busy_window_ns;
         }
     }
 
     /// Schedules `tq`'s [`CEvent::Route`] at its own arrival timestamp.
-    fn schedule_route(&mut self, tq: TaggedQuerySpec) {
+    fn schedule_route(&mut self, tq: PinnedQuery) {
         let key = self.route_seq;
         self.route_seq += 1;
         self.sim.schedule_at_keyed(
-            SimTime::from_nanos(tq.spec.arrival_ns),
+            SimTime::from_nanos(tq.1.spec.arrival_ns),
             key,
             CEvent::Route(tq),
         );
     }
 
-    /// Handles one arrival at its arrival instant: routes it to a shard,
-    /// feeds the loan controller's detector with the routed load, acts on
-    /// any drift it flags (causal — the window-closing arrival exists
-    /// *now*), and offers the query to the chosen shard's frontend.
-    fn offer(&mut self, tq: TaggedQuerySpec, now: SimTime) {
-        self.scratch.clear();
-        self.scratch
-            .extend(self.engines.iter().map(ShardEngine::outstanding_queries));
-        let s = self.router.pick(&self.scratch);
+    /// Schedules the fault queue's head event into the DES (the next one
+    /// is armed when this one fires, keeping the pending count at one).
+    fn schedule_next_fault(&mut self) {
+        if let Some((at, ev)) = self.fault_queue.pop_front() {
+            let key = self.fault_seq;
+            self.fault_seq += 1;
+            self.sim.schedule_at_keyed(at, key, CEvent::Fault(ev));
+        }
+    }
+
+    /// Handles one arrival at its arrival instant: routes it to a shard
+    /// (its pinned shard if alive, the router otherwise), feeds the loan
+    /// controller's detector with the routed load, acts on any drift it
+    /// flags (causal — the window-closing arrival exists *now*), and
+    /// offers the query to the chosen shard's frontend.
+    fn offer(&mut self, pin: Option<usize>, tq: TaggedQuerySpec, now: SimTime) {
+        self.roll_busy_window(now);
+        let s = match pin {
+            Some(p) if p < self.engines.len() && self.alive[p] => p,
+            _ => {
+                self.scratch.clear();
+                self.scratch
+                    .extend(self.engines.iter().map(ShardEngine::outstanding_queries));
+                self.router.pick(&self.scratch, &self.alive)
+            }
+        };
         self.routed[s] += 1;
         let report = self.detector.as_mut().and_then(|det| {
             det.observe(
@@ -403,26 +557,82 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
             .sum()
     }
 
+    /// Number of shard `s`'s base-budget GPUs currently failed.
+    fn failed_count(&self, s: usize) -> usize {
+        self.failed_gpus[s].iter().filter(|&&f| f).count()
+    }
+
+    /// `budget` with shard `s`'s failed GPUs removed (whole GPUs at
+    /// [`COMPUTE_SLICES`] GPCs each). `None` when no whole GPU survives.
+    fn minus_failed(&self, s: usize, budget: GpcBudget) -> Option<GpcBudget> {
+        let failed = self.failed_count(s);
+        if failed == 0 {
+            return Some(budget);
+        }
+        if budget.num_gpus <= failed {
+            return None;
+        }
+        let gpus = budget.num_gpus - failed;
+        let gpcs = budget
+            .total_gpcs
+            .saturating_sub(failed * COMPUTE_SLICES)
+            .clamp(1, gpus * COMPUTE_SLICES);
+        Some(GpcBudget::new(gpcs, gpus))
+    }
+
+    /// The budget shard `s` actually serves with right now: its base share
+    /// plus held loans, minus failed GPUs. `None` when every GPU is down.
+    fn effective_budget(&self, s: usize) -> Option<GpcBudget> {
+        let held = match &self.ledger {
+            Some(l) => l.budget_with_loans(s, l.loaned[s]),
+            None => self.cluster.shards[s].budget(),
+        };
+        self.minus_failed(s, held)
+    }
+
+    /// Per-shard demand in full-GPU equivalents under the policy's
+    /// [`LoanDemandModel`]: the analytical live-efficiency estimate, or
+    /// the last completed measurement window's busy fractions (kept fresh
+    /// by [`roll_busy_window`](Self::roll_busy_window)).
+    fn demand_estimates(&mut self, now: SimTime) -> Vec<f64> {
+        let policy = self.cluster.loan.as_ref().expect("demand needs a policy");
+        let n = self.engines.len();
+        match policy.demand_model {
+            LoanDemandModel::PlannedEfficiency => {
+                (0..n).map(|s| self.shard_demand_gpus(s)).collect()
+            }
+            LoanDemandModel::MeasuredBusy => {
+                self.roll_busy_window(now);
+                self.busy_rate.clone()
+            }
+        }
+    }
+
     /// Acts on the freshest trusted detector window: reclaims first
     /// (freeing the pool), then lends to overloaded shards. Shards
     /// mid-reconfiguration defer — the detector keeps its old baseline so
     /// the next window re-triggers and the deferred transfer gets another
-    /// chance.
+    /// chance. Dead shards are skipped (they drain until repair), and a
+    /// shard's owned/held GPU counts are failure-adjusted so lost capacity
+    /// reads as a genuine shortfall the pool can backfill.
     fn rebalance(&mut self, now: SimTime) {
+        let demand = self.demand_estimates(now);
         let policy = self
             .cluster
             .loan
             .as_ref()
             .expect("rebalance requires a loan policy");
-        let n = self.engines.len();
-        let demand: Vec<f64> = (0..n).map(|s| self.shard_demand_gpus(s)).collect();
         let mut deferred = false;
         // Pass 0 executes returns, pass 1 borrows — so one window's
         // reclaims can fund its loans.
         for pass in 0..2 {
             for (s, &shard_demand) in demand.iter().enumerate() {
+                if !self.alive[s] {
+                    continue;
+                }
+                let failed = self.failed_count(s);
                 let ledger = self.ledger.as_ref().expect("ledger exists with policy");
-                let base = ledger.base[s].num_gpus;
+                let base = ledger.base[s].num_gpus - failed;
                 let current = base + ledger.loaned[s];
                 let target = policy.target_gpus(shard_demand, base, current, ledger.pool_free);
                 let delta = target as i64 - current as i64;
@@ -448,11 +658,27 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
     /// shard onto its new budget, charging the reslice plus the per-GPU
     /// handover cost (a transfer the new plan ignores interrupts nothing
     /// and charges nothing — the moved GPU just sits in the new pool).
+    /// Declined — no ledger mutation, no re-plan — when the
+    /// failure-adjusted result could not host one GPU and one GPC per
+    /// model.
     fn apply_transfer(&mut self, s: usize, delta: i64, now: SimTime) {
         // The caller (rebalance) skips shards mid-reconfiguration; a
         // transfer applied to one would silently desynchronize the ledger
         // from the shard's adopted budget.
         debug_assert!(!self.engines[s].reconfig_in_flight());
+        {
+            let ledger = self.ledger.as_ref().expect("ledger exists with policy");
+            let held = ledger.budget_with_loans(
+                s,
+                (ledger.loaned[s] as i64 + delta)
+                    .try_into()
+                    .expect("loans never go negative"),
+            );
+            match self.minus_failed(s, held) {
+                Some(b) if b.num_gpus >= self.n_models && b.total_gpcs >= self.n_models => {}
+                _ => return,
+            }
+        }
         let policy = self.cluster.loan.as_ref().expect("loan policy present");
         let detector = self.detector.as_ref().expect("transfer implies detector");
         let specs = self.cluster.shards[s].models();
@@ -488,8 +714,11 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
         };
 
         let ledger = self.ledger.as_mut().expect("ledger exists with policy");
-        let budget = ledger.transfer(s, delta);
+        let held = ledger.transfer(s, delta);
         let pool_free_after = ledger.pool_free;
+        let budget = self
+            .minus_failed(s, held)
+            .expect("feasibility was checked before the transfer");
         let extra = SimDuration::from_nanos(policy.cost.gpu_handover_ns(moved));
         let (engines, sim) = (&mut self.engines, &mut self.sim);
         engines[s].force_replan(
@@ -521,13 +750,198 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
         });
     }
 
+    /// Applies one fault-timeline event. A capacity event is also a loan
+    /// trigger in its own right: with a loan policy the controller
+    /// rebalances immediately — the batch pool backfills a failure without
+    /// waiting for statistical drift (steady traffic routed around a dead
+    /// GPU may never drift enough to re-trigger the detector). The
+    /// rebalance runs **before** the shard's own recovery re-plan so a
+    /// backfill borrow and the recovery land in one transition; the
+    /// recovery poke afterwards is then a no-op (or the fallback when no
+    /// transfer engaged).
+    fn on_fault(&mut self, event: FaultEvent, now: SimTime) {
+        let rebalance = |this: &mut Self, now| {
+            if this.cluster.loan.is_some() {
+                this.rebalance(now);
+            }
+        };
+        let requeued = match event {
+            FaultEvent::GpuFail { shard, gpu } => match self.gpu_kill(shard, gpu, now) {
+                Some(requeued) => {
+                    rebalance(self, now);
+                    self.request_recovery(shard, now);
+                    requeued
+                }
+                // Double-fail or unknown slot: a genuine no-op — no
+                // rebalance, no re-plan, no divergence from the
+                // single-fail run.
+                None => 0,
+            },
+            FaultEvent::GpuRepair { shard, gpu } => {
+                if self.gpu_unfail(shard, gpu) {
+                    rebalance(self, now);
+                    self.request_recovery(shard, now);
+                }
+                0
+            }
+            FaultEvent::ShardFail { shard } => {
+                // A drain, not a kill: the router stops sending traffic
+                // and the shard serves out what it already holds.
+                if shard < self.alive.len() {
+                    self.alive[shard] = false;
+                }
+                rebalance(self, now);
+                0
+            }
+            FaultEvent::ShardRepair { shard } => {
+                if shard < self.alive.len() && !self.alive[shard] {
+                    self.alive[shard] = true;
+                    rebalance(self, now);
+                    // Rejoin with a fresh plan for the traffic observed
+                    // during the outage (a no-op if PARIS lands on the
+                    // running layout).
+                    self.request_recovery(shard, now);
+                }
+                0
+            }
+        };
+        self.fault_log.push(FaultRecord {
+            at: now,
+            event,
+            requeued,
+        });
+    }
+
+    /// An abrupt GPU loss on shard `s`: marks the slot failed and kills
+    /// the instances packed on the failing GPU (their in-flight and
+    /// queued work requeues through the dispatch path), returning how
+    /// many queries that requeued. The recovery re-plan is the caller's
+    /// next step. Unknown slots and double-fails return `None` — nothing
+    /// changed, so the caller must not react either.
+    fn gpu_kill(&mut self, s: usize, gpu: usize, now: SimTime) -> Option<u64> {
+        if s >= self.engines.len() || gpu >= self.failed_gpus[s].len() || self.failed_gpus[s][gpu] {
+            return None;
+        }
+        self.failed_gpus[s][gpu] = true;
+        // Identify the physical GPU with one bin of the deterministic
+        // first-fit-descending packing of the live layout, packed per
+        // model group (groups never share a GPU). An index past the
+        // packing is an idle GPU: capacity shrinks, nothing dies.
+        let mut bins: Vec<Vec<usize>> = Vec::new();
+        for group in self.engines[s].live_members() {
+            let sizes: Vec<ProfileSize> = group.iter().map(|&(_, size)| size).collect();
+            for bin in pack_gpus(&sizes) {
+                bins.push(bin.into_iter().map(|i| group[i].0).collect());
+            }
+        }
+        Some(match bins.get(gpu) {
+            Some(victims) => {
+                let (engines, sim) = (&mut self.engines, &mut self.sim);
+                engines[s].kill_instances(victims, now, &mut |t, k, e| {
+                    sim.schedule_at_keyed(
+                        t,
+                        k,
+                        CEvent::Shard {
+                            shard: s as u32,
+                            event: e,
+                        },
+                    );
+                })
+            }
+            None => 0,
+        })
+    }
+
+    /// The failed GPU returns: restores the budget slot (the caller
+    /// re-plans next). Repairs of healthy slots are no-ops (`false`).
+    fn gpu_unfail(&mut self, s: usize, gpu: usize) -> bool {
+        if s >= self.engines.len() || gpu >= self.failed_gpus[s].len() || !self.failed_gpus[s][gpu]
+        {
+            return false;
+        }
+        self.failed_gpus[s][gpu] = false;
+        true
+    }
+
+    /// Marks shard `s` as owing a recovery re-plan and attempts it now;
+    /// if it cannot run yet it is retried after every later event of the
+    /// shard.
+    fn request_recovery(&mut self, s: usize, now: SimTime) {
+        self.pending_recovery[s] = true;
+        self.poke_recovery(s, now);
+    }
+
+    /// Runs a pending recovery re-plan when possible: no reconfiguration
+    /// in flight and the effective budget (base + loans − failures) hosts
+    /// one GPU and one GPC per model — until a repair makes that true the
+    /// re-plan stays pending (survivor instances keep serving; a fully
+    /// dark group stashes arrivals, which is why a never-repaired fail
+    /// must not outlive the scenario). Plans from the loan detector's
+    /// observed traffic when one exists, the declared specs otherwise.
+    fn poke_recovery(&mut self, s: usize, now: SimTime) {
+        if !self.pending_recovery[s] || self.engines[s].reconfig_in_flight() {
+            return;
+        }
+        let Some(budget) = self.effective_budget(s) else {
+            return;
+        };
+        if budget.num_gpus < self.n_models || budget.total_gpcs < self.n_models {
+            return;
+        }
+        self.pending_recovery[s] = false;
+        let specs = self.cluster.shards[s].models();
+        let mut weights = Vec::with_capacity(specs.len());
+        let mut dists: Vec<BatchDistribution> = Vec::with_capacity(specs.len());
+        for (m, spec) in specs.iter().enumerate() {
+            match &self.detector {
+                Some(det) => {
+                    let lane = s * self.n_models + m;
+                    let dist = det
+                        .observed_distribution(lane)
+                        .unwrap_or_else(|| spec.dist.clone());
+                    let rate = det.observed_rates_qps().get(lane).copied().unwrap_or(0.0);
+                    weights.push(spec.demand_weight(&dist, rate));
+                    dists.push(dist);
+                }
+                None => {
+                    weights.push(spec.weight);
+                    dists.push(spec.dist.clone());
+                }
+            }
+        }
+        let (cost, mode) = (self.fault_cost, self.fault_mode);
+        let (engines, sim) = (&mut self.engines, &mut self.sim);
+        engines[s].force_replan(
+            &ReplanRequest {
+                budget,
+                weights: &weights,
+                dists: &dists,
+                cost: &cost,
+                extra_downtime: SimDuration::ZERO,
+                mode,
+            },
+            now,
+            &mut |t, k, e| {
+                sim.schedule_at_keyed(
+                    t,
+                    k,
+                    CEvent::Shard {
+                        shard: s as u32,
+                        event: e,
+                    },
+                );
+            },
+        );
+    }
+
     fn run(mut self) -> ClusterReport {
         if let Some(tq) = self.arrivals.next() {
             self.schedule_route(tq);
         }
+        self.schedule_next_fault();
         while let Some((now, ev)) = self.sim.next_event() {
             let (shard, event) = match ev {
-                CEvent::Route(tq) => {
+                CEvent::Route((pin, tq)) => {
                     // One-lookahead laziness: learning of arrival k at its
                     // own instant always happens before arrival k+1's
                     // instant (the merged stream is sorted), so the
@@ -535,7 +949,12 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
                     if let Some(next) = self.arrivals.next() {
                         self.schedule_route(next);
                     }
-                    self.offer(tq, now);
+                    self.offer(pin, tq, now);
+                    continue;
+                }
+                CEvent::Fault(fault) => {
+                    self.on_fault(fault, now);
+                    self.schedule_next_fault();
                     continue;
                 }
                 CEvent::Shard { shard, event } => (shard, event),
@@ -545,6 +964,9 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
             engines[s].handle(now, event, &mut |t, k, e| {
                 sim.schedule_at_keyed(t, k, CEvent::Shard { shard, event: e });
             });
+            if self.pending_recovery[s] && !self.engines[s].reconfig_in_flight() {
+                self.poke_recovery(s, now);
+            }
         }
 
         let end = self.sim.now();
@@ -571,6 +993,7 @@ impl<'a, I: Iterator<Item = TaggedQuerySpec>> CEngine<'a, I> {
                 0.0
             },
             loans: self.loans,
+            faults: self.fault_log,
             loaned_gpu_seconds: self.loaned_gpu_ns as f64 / 1e9,
             peak_pending_events: peak,
             per_shard,

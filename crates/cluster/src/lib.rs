@@ -25,11 +25,13 @@
 //! completes exactly once.
 
 mod cluster;
+mod faults;
 mod loan;
 mod router;
 
-pub use cluster::{Cluster, ClusterReport};
-pub use loan::{LoanEvent, LoanPolicy};
+pub use cluster::{Cluster, ClusterReport, FaultRecord, PinnedQuery};
+pub use faults::{FaultEvent, FaultTimeline};
+pub use loan::{LoanDemandModel, LoanEvent, LoanPolicy};
 pub use router::RouterPolicy;
 
 #[cfg(test)]
@@ -302,6 +304,229 @@ mod tests {
             report.peak_pending_events
         );
         assert!(report.peak_pending_events < trace.len() / 10);
+    }
+
+    #[test]
+    fn empty_fault_timeline_degenerates_to_run_stream_bit_for_bit() {
+        // The fault subsystem's ground rule: with no fault events and no
+        // pins, run_scenario must be byte-identical to run_stream — the
+        // machinery costs nothing until an event fires. This is what keeps
+        // BENCH_cluster.json reproducible under an empty FaultPlan.
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let cluster = Cluster::new(
+            vec![shard(2, &t, &dist), shard(1, &t, &dist)],
+            RouterPolicy::JoinShortestQueue,
+        )
+        .with_loan(
+            LoanPolicy::new(1, 0.25)
+                .with_detector(DriftDetectorConfig::new(0.25).with_min_observations(20)),
+        );
+        let rate = 0.8
+            * cluster
+                .shards()
+                .iter()
+                .map(MultiModelServer::capacity_hint_qps)
+                .sum::<f64>();
+        let trace = MultiTraceGenerator::new(
+            vec![
+                PhaseSpec::new(0.6, vec![(0.5 * rate, dist.clone())]),
+                PhaseSpec::new(0.8, vec![(rate, dist)]),
+            ],
+            31,
+        )
+        .generate();
+        let plain = cluster.run_stream(trace.iter().copied(), ReportDetail::Full);
+        let faulted = cluster.run_scenario(
+            trace.iter().copied().map(|tq| (None, tq)),
+            ReportDetail::Full,
+            &FaultTimeline::empty(),
+        );
+        assert!(faulted.faults.is_empty());
+        assert_eq!(faulted.routed, plain.routed);
+        assert_eq!(faulted.loans, plain.loans);
+        assert_eq!(faulted.makespan, plain.makespan);
+        assert_eq!(faulted.peak_pending_events, plain.peak_pending_events);
+        for (a, b) in faulted.per_shard.iter().zip(&plain.per_shard) {
+            assert_shard_reports_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn gpu_fail_requeues_work_and_recovery_replans() {
+        use des_engine::SimTime;
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let serving = shard(2, &t, &dist);
+        let rate = rate_for_demand(&serving, 1.6);
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(3.0, vec![(rate, dist)])], 41).generate();
+        let cluster = Cluster::new(vec![serving], RouterPolicy::JoinShortestQueue);
+        let timeline = FaultTimeline::new(vec![
+            (
+                SimTime::from_nanos(500_000_000),
+                FaultEvent::GpuFail { shard: 0, gpu: 0 },
+            ),
+            (
+                SimTime::from_nanos(1_500_000_000),
+                FaultEvent::GpuRepair { shard: 0, gpu: 0 },
+            ),
+        ]);
+        let report = cluster.run_scenario(
+            trace.iter().copied().map(|tq| (None, tq)),
+            ReportDetail::Full,
+            &timeline,
+        );
+        assert_conserved(&report, &trace);
+        assert_eq!(report.faults.len(), 2);
+        assert!(
+            report.faults[0].requeued > 0,
+            "a loaded GPU must have had work to requeue: {:?}",
+            report.faults
+        );
+        // Fail and repair each re-plan the shard (fail shrinks to the
+        // survivor GPU, repair grows back).
+        assert!(
+            report.total_reconfigs() >= 2,
+            "expected recovery re-plans, got {:?}",
+            report.per_shard[0].reconfigs
+        );
+        // Lifecycle stays ordered across the kill/requeue path.
+        for r in report.per_shard.iter().flat_map(|r| &r.records) {
+            assert!(r.arrival <= r.dispatched);
+            assert!(r.dispatched <= r.started);
+            assert!(r.started < r.completed);
+        }
+    }
+
+    #[test]
+    fn shard_fail_drains_excludes_and_rejoins() {
+        use des_engine::SimTime;
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let shards = vec![shard(2, &t, &dist), shard(2, &t, &dist)];
+        let rate = 0.6
+            * shards
+                .iter()
+                .map(MultiModelServer::capacity_hint_qps)
+                .sum::<f64>();
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(3.0, vec![(rate, dist)])], 43).generate();
+        let cluster = Cluster::new(shards, RouterPolicy::JoinShortestQueue);
+        let fail_ns = 800_000_000u64;
+        let repair_ns = 2_000_000_000u64;
+        let timeline = FaultTimeline::new(vec![
+            (
+                SimTime::from_nanos(fail_ns),
+                FaultEvent::ShardFail { shard: 1 },
+            ),
+            (
+                SimTime::from_nanos(repair_ns),
+                FaultEvent::ShardRepair { shard: 1 },
+            ),
+        ]);
+        let report = cluster.run_scenario(
+            trace.iter().copied().map(|tq| (None, tq)),
+            ReportDetail::Full,
+            &timeline,
+        );
+        assert_conserved(&report, &trace);
+        // The drain contract: no query that arrived during the outage
+        // landed on the failed shard...
+        for r in &report.per_shard[1].records {
+            let a = r.arrival.as_nanos();
+            assert!(
+                a < fail_ns || a >= repair_ns,
+                "query arriving at {a} routed to the dead shard"
+            );
+        }
+        // ...but everything it held at fail time was served, and traffic
+        // returned after the repair.
+        assert!(report.per_shard[1]
+            .records
+            .iter()
+            .any(|r| r.arrival.as_nanos() >= repair_ns));
+        assert!(report.routed[1] > 0);
+    }
+
+    #[test]
+    fn pinned_queries_follow_their_shard_and_fail_over() {
+        use des_engine::SimTime;
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let shards = vec![shard(2, &t, &dist), shard(2, &t, &dist)];
+        let rate = 0.4 * shards[1].capacity_hint_qps();
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(2.0, vec![(rate, dist)])], 47).generate();
+        // Every query pinned to shard 1; shard 1 dies mid-run and never
+        // recovers within the trace.
+        let fail_ns = 1_000_000_000u64;
+        let timeline = FaultTimeline::new(vec![(
+            SimTime::from_nanos(fail_ns),
+            FaultEvent::ShardFail { shard: 1 },
+        )]);
+        let cluster = Cluster::new(shards, RouterPolicy::JoinShortestQueue);
+        let report = cluster.run_scenario(
+            trace.iter().copied().map(|tq| (Some(1), tq)),
+            ReportDetail::Full,
+            &timeline,
+        );
+        assert_conserved(&report, &trace);
+        // Pins honored while alive, router fallback after the fail.
+        for r in &report.per_shard[0].records {
+            assert!(
+                r.arrival.as_nanos() >= fail_ns,
+                "shard 0 only sees failed-over traffic"
+            );
+        }
+        assert!(
+            report.routed[0] > 0,
+            "failover must have rerouted the pinned stream"
+        );
+        assert!(report.per_shard[1]
+            .records
+            .iter()
+            .all(|r| r.arrival.as_nanos() < fail_ns));
+    }
+
+    #[test]
+    fn measured_busy_demand_model_still_engages_loans() {
+        // The measured model reads what the hardware did, so it saturates
+        // at current capacity under overload: the surge must be coverable
+        // by the pool (demand ≤ base + pool) or the drained backlog keeps
+        // the calm windows busy and the reclaim honestly never triggers.
+        use crate::loan::LoanDemandModel;
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let serving = shard(2, &t, &dist);
+        let calm = rate_for_demand(&serving, 1.0);
+        let surge = rate_for_demand(&serving, 2.4);
+        let trace = MultiTraceGenerator::new(
+            vec![
+                PhaseSpec::new(1.5, vec![(calm, dist.clone())]),
+                PhaseSpec::new(2.5, vec![(surge, dist.clone())]),
+                PhaseSpec::new(2.0, vec![(calm, dist.clone())]),
+            ],
+            23,
+        )
+        .generate();
+        let policy = LoanPolicy::new(2, 0.25)
+            .with_detector(DriftDetectorConfig::new(0.25).with_min_observations(20))
+            .with_demand_model(LoanDemandModel::MeasuredBusy);
+        let measured =
+            Cluster::new(vec![serving], RouterPolicy::JoinShortestQueue).with_loan(policy);
+        let report = measured.run(&trace);
+        assert_conserved(&report, &trace);
+        assert!(
+            report.loans.iter().any(|l| l.gpus_delta > 0),
+            "measured busy fractions must still trigger the surge borrow: {:?}",
+            report.loans
+        );
+        assert!(
+            report.loans.iter().any(|l| l.gpus_delta < 0),
+            "and the calm tail must still reclaim: {:?}",
+            report.loans
+        );
     }
 
     #[test]

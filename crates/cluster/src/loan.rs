@@ -20,6 +20,27 @@ use inference_workload::DriftDetectorConfig;
 use mig_gpu::ResliceCostModel;
 use paris_core::{GpcBudget, ReconfigMode};
 
+/// How the loan controller estimates a shard's demand in full-GPU
+/// equivalents — the number [`LoanPolicy::target_gpus`] steers against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoanDemandModel {
+    /// Analytical (the original estimator, and the default): each model's
+    /// observed arrival rate divided by the throughput one GPU's worth of
+    /// the shard's *live* partition mix delivers at the observed batch
+    /// mix. Captures offered demand even past saturation, but inherits
+    /// any error in the capacity model.
+    #[default]
+    PlannedEfficiency,
+    /// Measured: the shard's GPC-weighted busy fraction since the last
+    /// loan decision (`DispatchCore::busy_gpc_ns` deltas over wall time,
+    /// normalized to whole GPUs). No model in the loop — this is what the
+    /// hardware actually did — but it measures *served* work, so it
+    /// saturates near the shard's current GPU count under overload; the
+    /// [`overload_ratio`](LoanPolicy::overload_ratio) headroom (< 1) is
+    /// what keeps borrows triggering there.
+    MeasuredBusy,
+}
+
 /// When and how the cluster moves whole GPUs between the batch pool and
 /// serving shards.
 #[derive(Debug, Clone)]
@@ -50,6 +71,9 @@ pub struct LoanPolicy {
     /// time ([`ReconfigMode::Rolling`], bounding the shard's capacity dip
     /// during the handover).
     pub mode: ReconfigMode,
+    /// How shard demand is estimated (analytical by default; see
+    /// [`LoanDemandModel`]).
+    pub demand_model: LoanDemandModel,
 }
 
 impl LoanPolicy {
@@ -69,6 +93,7 @@ impl LoanPolicy {
             underload_ratio: 0.4,
             cost: ResliceCostModel::a100_default(),
             mode: ReconfigMode::AllAtOnce,
+            demand_model: LoanDemandModel::default(),
         }
     }
 
@@ -110,6 +135,14 @@ impl LoanPolicy {
     #[must_use]
     pub fn with_mode(mut self, mode: ReconfigMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Overrides the demand estimator (measured busy fractions instead of
+    /// the analytical capacity model).
+    #[must_use]
+    pub fn with_demand_model(mut self, demand_model: LoanDemandModel) -> Self {
+        self.demand_model = demand_model;
         self
     }
 

@@ -34,7 +34,6 @@ pub(crate) struct RouterState {
     /// Smooth-WRR credit accumulators.
     credit: Vec<f64>,
     weights: Vec<f64>,
-    weight_sum: f64,
 }
 
 /// SplitMix64 — the same cheap deterministic mixer the treap priorities
@@ -49,45 +48,63 @@ fn splitmix64(mut x: u64) -> u64 {
 impl RouterState {
     pub(crate) fn new(policy: RouterPolicy, capacity_weights: Vec<f64>) -> Self {
         debug_assert!(capacity_weights.iter().all(|w| w.is_finite() && *w > 0.0));
-        let weight_sum = capacity_weights.iter().sum();
         RouterState {
             policy,
             counter: 0,
             credit: vec![0.0; capacity_weights.len()],
             weights: capacity_weights,
-            weight_sum,
         }
     }
 
     /// Picks the shard for the next arrival. `outstanding[s]` is shard
-    /// `s`'s offered-but-uncompleted query count at this instant.
-    pub(crate) fn pick(&mut self, outstanding: &[u64]) -> usize {
+    /// `s`'s offered-but-uncompleted query count at this instant;
+    /// `alive[s]` is its liveness — failed shards are excluded from every
+    /// policy. A fully dead fleet routes as if everyone were alive (the
+    /// query must land somewhere; it waits out the outage in the shard).
+    /// With every shard alive each policy is bit-for-bit its historical
+    /// self.
+    pub(crate) fn pick(&mut self, outstanding: &[u64], alive: &[bool]) -> usize {
         let n = self.weights.len();
         debug_assert_eq!(outstanding.len(), n);
+        debug_assert_eq!(alive.len(), n);
+        let any_alive = alive.iter().any(|&a| a);
+        let live = |s: usize| !any_alive || alive[s];
         match self.policy {
             RouterPolicy::StaticHash => {
                 let h = splitmix64(self.counter);
                 self.counter += 1;
-                (h % n as u64) as usize
+                let count = (0..n).filter(|&s| live(s)).count() as u64;
+                let k = (h % count) as usize;
+                (0..n).filter(|&s| live(s)).nth(k).expect("k < live count")
             }
             RouterPolicy::JoinShortestQueue => outstanding
                 .iter()
                 .enumerate()
+                .filter(|&(s, _)| live(s))
                 .min_by_key(|&(s, &load)| (load, s))
                 .map(|(s, _)| s)
-                .expect("cluster has at least one shard"),
+                .expect("at least one live shard"),
             RouterPolicy::WeightedByCapacity => {
-                // Smooth WRR: every shard earns credit proportional to its
-                // weight; the richest shard serves and pays the pot back.
-                let mut winner = 0;
+                // Smooth WRR: every live shard earns credit proportional
+                // to its weight; the richest serves and pays the pot back.
+                // Dead shards neither earn nor compete — their credit
+                // freezes until repair.
+                let mut winner: Option<usize> = None;
+                let mut pot = 0.0;
                 for s in 0..n {
+                    if !live(s) {
+                        continue;
+                    }
                     self.credit[s] += self.weights[s];
-                    if self.credit[s] > self.credit[winner] {
-                        winner = s;
+                    pot += self.weights[s];
+                    match winner {
+                        Some(w) if self.credit[s] <= self.credit[w] => {}
+                        _ => winner = Some(s),
                     }
                 }
-                self.credit[winner] -= self.weight_sum;
-                winner
+                let w = winner.expect("at least one live shard");
+                self.credit[w] -= pot;
+                w
             }
         }
     }
@@ -102,10 +119,11 @@ mod tests {
         let mut a = RouterState::new(RouterPolicy::StaticHash, vec![1.0; 4]);
         let mut b = RouterState::new(RouterPolicy::StaticHash, vec![1.0; 4]);
         let outstanding = [0u64; 4];
+        let alive = [true; 4];
         let mut counts = [0usize; 4];
         for _ in 0..4000 {
-            let s = a.pick(&outstanding);
-            assert_eq!(s, b.pick(&outstanding), "deterministic");
+            let s = a.pick(&outstanding, &alive);
+            assert_eq!(s, b.pick(&outstanding, &alive), "deterministic");
             counts[s] += 1;
         }
         for &c in &counts {
@@ -116,20 +134,51 @@ mod tests {
     #[test]
     fn jsq_picks_least_loaded_lowest_index() {
         let mut r = RouterState::new(RouterPolicy::JoinShortestQueue, vec![1.0; 3]);
-        assert_eq!(r.pick(&[5, 2, 9]), 1);
-        assert_eq!(r.pick(&[4, 4, 9]), 0, "ties go to the lowest index");
-        assert_eq!(r.pick(&[4, 3, 3]), 1);
+        let alive = [true; 3];
+        assert_eq!(r.pick(&[5, 2, 9], &alive), 1);
+        assert_eq!(r.pick(&[4, 4, 9], &alive), 0, "ties go to the lowest index");
+        assert_eq!(r.pick(&[4, 3, 3], &alive), 1);
     }
 
     #[test]
     fn weighted_round_robin_tracks_capacity_ratio() {
         let mut r = RouterState::new(RouterPolicy::WeightedByCapacity, vec![3.0, 1.0]);
         let outstanding = [0u64; 2];
-        let picks: Vec<usize> = (0..8).map(|_| r.pick(&outstanding)).collect();
+        let alive = [true; 2];
+        let picks: Vec<usize> = (0..8).map(|_| r.pick(&outstanding, &alive)).collect();
         let to_heavy = picks.iter().filter(|&&s| s == 0).count();
         assert_eq!(to_heavy, 6, "3:1 weights give 6 of 8 to shard 0: {picks:?}");
         // Smooth: never more than a couple of consecutive repeats of the
         // light shard.
         assert!(picks.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn every_policy_excludes_dead_shards() {
+        let dead_mid = [true, false, true];
+        let mut hash = RouterState::new(RouterPolicy::StaticHash, vec![1.0; 3]);
+        for _ in 0..100 {
+            assert_ne!(hash.pick(&[0; 3], &dead_mid), 1);
+        }
+        let mut jsq = RouterState::new(RouterPolicy::JoinShortestQueue, vec![1.0; 3]);
+        // Shard 1 is emptiest but dead.
+        assert_eq!(jsq.pick(&[5, 0, 3], &dead_mid), 2);
+        let mut wrr = RouterState::new(RouterPolicy::WeightedByCapacity, vec![1.0, 10.0, 1.0]);
+        for _ in 0..20 {
+            assert_ne!(wrr.pick(&[0; 3], &dead_mid), 1);
+        }
+    }
+
+    #[test]
+    fn fully_dead_fleet_falls_back_to_all_shards() {
+        let dead = [false, false];
+        let mut jsq = RouterState::new(RouterPolicy::JoinShortestQueue, vec![1.0; 2]);
+        assert_eq!(jsq.pick(&[3, 1], &dead), 1, "routes as if all were alive");
+        let mut hash = RouterState::new(RouterPolicy::StaticHash, vec![1.0; 2]);
+        let mut seen = [false; 2];
+        for _ in 0..50 {
+            seen[hash.pick(&[0; 2], &dead)] = true;
+        }
+        assert!(seen[0] && seen[1]);
     }
 }

@@ -372,30 +372,66 @@ impl Iterator for ReconfigSchedule {
     }
 }
 
-/// Packs one side of one group's diff (its removals or additions) into
-/// GPU-sized bins: each bin holds at most [`COMPUTE_SLICES`] GPCs of
-/// instances. Deterministic first-fit-descending — every open bin is
-/// scanned for room before a new one is opened, and larger sizes go
-/// first so big instances anchor their own bins — which keeps the step
-/// count (and with it the summed per-step fixed reslice overhead) at the
-/// packing minimum for mixes like `{G4:2, G3:2}` → `[G4,G3] [G4,G3]`.
-fn gpu_bins(side: &BTreeMap<ProfileSize, usize>) -> Vec<Vec<ProfileSize>> {
-    let mut bins: Vec<(Vec<ProfileSize>, usize)> = Vec::new();
-    for (&size, &count) in side.iter().rev() {
-        for _ in 0..count {
-            match bins
-                .iter_mut()
-                .find(|(_, gpcs)| gpcs + size.gpcs() <= COMPUTE_SLICES)
-            {
-                Some((bin, gpcs)) => {
-                    bin.push(size);
-                    *gpcs += size.gpcs();
-                }
-                None => bins.push((vec![size], size.gpcs())),
+/// Packs instance **indices** into deterministic GPU-sized bins: each bin
+/// holds at most [`COMPUTE_SLICES`] GPCs of instances. First-fit-descending
+/// — instances are taken largest size first (ties by ascending index, so
+/// the packing is stable), and every open bin is scanned for room before a
+/// new one is opened — which keeps the bin count at the packing minimum for
+/// mixes like `{G4:2, G3:2}` → `[G4,G3] [G4,G3]`.
+///
+/// This is the one instance-to-physical-GPU identification the simulator
+/// uses wherever a "per-GPU" boundary matters: a rolling
+/// [`ReconfigSchedule`] cuts its steps with it, and the fault injector
+/// kills the `g`-th bin of a shard's live layout when physical GPU `g`
+/// fails.
+///
+/// # Examples
+///
+/// ```
+/// use mig_gpu::ProfileSize;
+/// use paris_core::pack_gpus;
+///
+/// let sizes = [ProfileSize::G3, ProfileSize::G4, ProfileSize::G3, ProfileSize::G4];
+/// let bins = pack_gpus(&sizes);
+/// assert_eq!(bins.len(), 2); // two full GPUs: [G4,G3] [G4,G3]
+/// assert_eq!(bins[0], vec![1, 0]);
+/// assert_eq!(bins[1], vec![3, 2]);
+/// ```
+#[must_use]
+pub fn pack_gpus(sizes: &[ProfileSize]) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(sizes[i].gpcs()), i));
+    let mut bins: Vec<(Vec<usize>, usize)> = Vec::new();
+    for i in order {
+        let gpcs = sizes[i].gpcs();
+        match bins
+            .iter_mut()
+            .find(|(_, used)| used + gpcs <= COMPUTE_SLICES)
+        {
+            Some((bin, used)) => {
+                bin.push(i);
+                *used += gpcs;
             }
+            None => bins.push((vec![i], gpcs)),
         }
     }
     bins.into_iter().map(|(bin, _)| bin).collect()
+}
+
+/// Packs one side of one group's diff (its removals or additions) into
+/// GPU-sized bins via [`pack_gpus`]. The multiset expands largest size
+/// first, which is already `pack_gpus`'s scan order, so the bins equal the
+/// historical first-fit-descending packing exactly.
+fn gpu_bins(side: &BTreeMap<ProfileSize, usize>) -> Vec<Vec<ProfileSize>> {
+    let sizes: Vec<ProfileSize> = side
+        .iter()
+        .rev()
+        .flat_map(|(&size, &count)| std::iter::repeat_n(size, count))
+        .collect();
+    pack_gpus(&sizes)
+        .into_iter()
+        .map(|bin| bin.into_iter().map(|i| sizes[i]).collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -590,6 +626,53 @@ mod tests {
         );
         assert_eq!(sched.len(), 3);
         assert_eq!(sched.total_downtime_ns(), extra, "nothing lost to rounding");
+    }
+
+    #[test]
+    fn pack_gpus_is_first_fit_descending_and_stable() {
+        // Mixed order in, deterministic descending-size bins out.
+        let sizes = [
+            ProfileSize::G1,
+            ProfileSize::G7,
+            ProfileSize::G3,
+            ProfileSize::G3,
+            ProfileSize::G1,
+        ];
+        let bins = pack_gpus(&sizes);
+        // G7 anchors its own bin; G3+G3+G1 fill the second exactly
+        // (3+3+1 = 7); the last G1 opens a third.
+        assert_eq!(bins, vec![vec![1], vec![2, 3, 0], vec![4]]);
+        // Every bin respects the GPC cap and every index appears once.
+        let mut seen: Vec<usize> = bins.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        for bin in &bins {
+            assert!(bin.iter().map(|&i| sizes[i].gpcs()).sum::<usize>() <= COMPUTE_SLICES);
+        }
+        assert!(pack_gpus(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_gpus_agrees_with_the_rolling_bin_cutter() {
+        // gpu_bins is now a thin wrapper: the multiset expansion must pack
+        // exactly like the index packer.
+        let diff = plan_diff(
+            &[
+                ProfileSize::G4,
+                ProfileSize::G4,
+                ProfileSize::G3,
+                ProfileSize::G3,
+            ],
+            &[],
+        );
+        let bins = gpu_bins(&diff.removed);
+        assert_eq!(
+            bins,
+            vec![
+                vec![ProfileSize::G4, ProfileSize::G3],
+                vec![ProfileSize::G4, ProfileSize::G3]
+            ]
+        );
     }
 
     #[test]

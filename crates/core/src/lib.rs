@@ -40,7 +40,7 @@ mod paris;
 mod placement;
 mod profile;
 
-pub use diff::{plan_diff, PlanDiff, ReconfigMode, ReconfigSchedule, ReconfigStep};
+pub use diff::{pack_gpus, plan_diff, PlanDiff, ReconfigMode, ReconfigSchedule, ReconfigStep};
 pub use elsa::{Decision, Elsa, ElsaConfig, FallbackPolicy, PartitionSnapshot, ScanOrder};
 pub use knee::{
     find_knee, find_knees, KneeRule, MaxBatchKnee, DEFAULT_KNEE_THRESHOLD, DEFAULT_TAKEOFF_FACTOR,

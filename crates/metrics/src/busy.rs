@@ -38,6 +38,14 @@ impl BusyTracker {
         self.intervals += 1;
     }
 
+    /// Returns `ns` of previously added busy time (saturating at zero,
+    /// leaving the interval count untouched). Callers that charge an
+    /// execution up front use this when the execution is cut short — a
+    /// fault killing a partition mid-query refunds the unserved remainder.
+    pub fn remove_busy_ns(&mut self, ns: u64) {
+        self.busy_ns = self.busy_ns.saturating_sub(ns);
+    }
+
     /// Total busy nanoseconds accumulated.
     #[must_use]
     pub fn busy_ns(&self) -> u64 {
@@ -110,6 +118,17 @@ mod tests {
         t.reset();
         assert_eq!(t.busy_ns(), 0);
         assert_eq!(t.intervals(), 0);
+    }
+
+    #[test]
+    fn remove_refunds_busy_time_saturating() {
+        let mut t = BusyTracker::new();
+        t.add_busy_ns(1_000);
+        t.remove_busy_ns(400);
+        assert_eq!(t.busy_ns(), 600);
+        assert_eq!(t.intervals(), 1, "refunds keep the interval count");
+        t.remove_busy_ns(10_000);
+        assert_eq!(t.busy_ns(), 0, "refund saturates at zero");
     }
 
     #[test]

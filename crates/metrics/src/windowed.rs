@@ -89,6 +89,70 @@ impl WindowedTail {
     pub fn worst_p99_ms(&self) -> f64 {
         self.worst_percentile_ms(0.99, 1)
     }
+
+    /// Whether window `idx` overlaps any of the (inclusive, nanosecond)
+    /// `[start, end]` intervals.
+    fn overlaps(&self, idx: usize, intervals: &[(u64, u64)]) -> bool {
+        let win_start = idx as u64 * self.window_ns;
+        let win_end = win_start + self.window_ns;
+        intervals
+            .iter()
+            .any(|&(start, end)| win_start <= end && start < win_end)
+    }
+
+    /// The worst `p`-percentile (milliseconds) over the **degraded**
+    /// windows — those overlapping any of the given `[start_ns, end_ns]`
+    /// intervals (an outage, a recovery transition) — holding at least
+    /// `min_count` samples. 0 when nothing qualifies.
+    ///
+    /// This is the fault benches' recovery-dip statistic: the spike a
+    /// failure causes lives in the windows around its outage, and the
+    /// whole-run worst window would conflate it with unrelated load spikes.
+    #[must_use]
+    pub fn worst_percentile_ms_within(
+        &self,
+        p: f64,
+        min_count: u64,
+        intervals: &[(u64, u64)],
+    ) -> f64 {
+        self.worst_percentile_ms_split(p, min_count, intervals, true)
+    }
+
+    /// The complement of [`worst_percentile_ms_within`]: the worst
+    /// `p`-percentile over the **healthy** windows, i.e. those overlapping
+    /// none of the intervals. The degraded/healthy pair quantifies how much
+    /// of a run's tail a fault is responsible for.
+    ///
+    /// [`worst_percentile_ms_within`]: Self::worst_percentile_ms_within
+    #[must_use]
+    pub fn worst_percentile_ms_outside(
+        &self,
+        p: f64,
+        min_count: u64,
+        intervals: &[(u64, u64)],
+    ) -> f64 {
+        self.worst_percentile_ms_split(p, min_count, intervals, false)
+    }
+
+    /// The shared body of the degraded/healthy pair: worst window
+    /// percentile over the windows whose interval-overlap equals
+    /// `overlapping`.
+    fn worst_percentile_ms_split(
+        &self,
+        p: f64,
+        min_count: u64,
+        intervals: &[(u64, u64)],
+        overlapping: bool,
+    ) -> f64 {
+        self.histograms
+            .iter()
+            .enumerate()
+            .filter(|&(idx, h)| {
+                h.count() >= min_count.max(1) && self.overlaps(idx, intervals) == overlapping
+            })
+            .map(|(_, h)| h.percentile_ms(p))
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +204,35 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = WindowedTail::new(0);
+    }
+
+    #[test]
+    fn degraded_windows_split_from_healthy_ones() {
+        let mut t = WindowedTail::new(1_000);
+        for i in 0..50 {
+            t.record(i * 10, 100); // window 0: healthy, 100 ns
+        }
+        for i in 0..50 {
+            t.record(2_000 + i * 10, 50_000); // window 2: outage spike, 50 µs
+        }
+        for i in 0..50 {
+            t.record(5_000 + i * 10, 200); // window 5: healthy again
+        }
+        let outage = [(2_100u64, 2_900u64)];
+        let degraded = t.worst_percentile_ms_within(0.99, 1, &outage);
+        let healthy = t.worst_percentile_ms_outside(0.99, 1, &outage);
+        assert!(degraded > 0.04, "{degraded}");
+        assert!(healthy < 0.001, "{healthy}");
+        // An interval touching no populated window yields zero.
+        assert_eq!(
+            t.worst_percentile_ms_within(0.99, 1, &[(10_000, 11_000)]),
+            0.0
+        );
+        // No interval at all: everything is healthy.
+        assert_eq!(t.worst_percentile_ms_within(0.99, 1, &[]), 0.0);
+        assert_eq!(
+            t.worst_percentile_ms_outside(0.99, 1, &[]),
+            t.worst_p99_ms()
+        );
     }
 }

@@ -143,6 +143,9 @@ struct WorkerSlot {
     /// Quiesced by a reconfiguration step: finishes in-flight work,
     /// accepts nothing.
     retiring: bool,
+    /// Killed by a fault: permanently dark, its stale `Complete` event (if
+    /// one was in flight) is a tombstone the core ignores.
+    dead: bool,
 }
 
 /// Per-group scheduler runtime over the group's member partitions.
@@ -252,6 +255,7 @@ impl<'a> DispatchCore<'a> {
                     group: g,
                     local: 0,
                     retiring: false,
+                    dead: false,
                 });
                 rows.push(table.latency_row(size));
                 max_batch.push(table.max_batch());
@@ -509,6 +513,12 @@ impl<'a> DispatchCore<'a> {
         now: SimTime,
         sched: &mut impl FnMut(SimTime, u64, ShardEvent),
     ) {
+        if self.slots[w].dead {
+            // Tombstone: the slot was killed by a fault mid-execution and
+            // its query was aborted and requeued — this completion never
+            // physically happened.
+            return;
+        }
         self.last_completion = now;
         let g = self.slots[w].group;
         let (query, started) = self.slots[w].worker.finish(now);
@@ -588,6 +598,109 @@ impl<'a> DispatchCore<'a> {
                     .insert((now.as_nanos(), local as u32)),
             }
         }
+    }
+
+    /// Kills the given worker slots **immediately** — a fault, not a
+    /// drain: each slot's in-flight query is aborted and its local queue
+    /// emptied, and every orphaned query re-enters the normal dispatch
+    /// path at `now` (surviving group members, or the group's stash when
+    /// the kill left the group dark). Dead slots never serve again; a
+    /// repair brings *new* instances up through the ordinary
+    /// reconfiguration path. Returns how many queries were requeued.
+    ///
+    /// Killing a slot that is draining for an in-flight reconfiguration
+    /// step counts as that drain completing — the hardware is gone, there
+    /// is nothing left to wait for — so a schedule never deadlocks on a
+    /// dead drainer. Already-dead and out-of-range indices are skipped.
+    pub fn kill_workers(
+        &mut self,
+        workers: &[usize],
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) -> u64 {
+        let mut orphans: Vec<(usize, Query)> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for &w in workers {
+            if w >= self.slots.len() || self.slots[w].dead {
+                continue;
+            }
+            let g = self.slots[w].group;
+            let was_retiring = self.slots[w].retiring;
+            let was_busy = self.slots[w].worker.busy_until().is_some();
+            if let Some(q) = self.slots[w].worker.abort(now) {
+                orphans.push((g, q));
+            }
+            while let Some((q, _est)) = self.slots[w].worker.pop_next() {
+                orphans.push((g, q));
+            }
+            self.slots[w].dead = true;
+            self.slots[w].retiring = true;
+            if was_retiring {
+                // A retiring slot that is busy has not yet reported its
+                // drain (it decrements `draining` when it goes idle);
+                // its death is that report.
+                if was_busy {
+                    let rc = self
+                        .reconfig
+                        .as_mut()
+                        .expect("retiring implies a reconfig in flight");
+                    rc.draining -= 1;
+                    if rc.draining == 0 {
+                        let delay = rc.step_downtime;
+                        sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
+                    }
+                }
+            } else {
+                self.groups[g].members.retain(|&x| x != w);
+                if !touched.contains(&g) {
+                    touched.push(g);
+                }
+            }
+            if let Some(gantt) = &mut self.gantt {
+                gantt.mark_outage(w, now);
+            }
+        }
+        for &g in &touched {
+            self.rebuild_group(g);
+        }
+        let requeued = orphans.len() as u64;
+        // Orphans re-enter in kill order (in-flight before queued, lower
+        // slots first) — deterministic, and their original ids/arrivals
+        // survive, so the outage shows up as latency, never as loss.
+        for (g, q) in orphans {
+            self.route(q, g, now, sched);
+        }
+        requeued
+    }
+
+    /// The live (serving, non-retiring) members of every group as
+    /// `(worker index, size)` pairs — what a fault injector packs into
+    /// physical-GPU bins ([`paris_core::pack_gpus`]) to decide which
+    /// instances a GPU failure takes down.
+    #[must_use]
+    pub fn live_members(&self) -> Vec<Vec<(usize, ProfileSize)>> {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.members
+                    .iter()
+                    .map(|&w| (w, self.slots[w].worker.size()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total GPC-weighted busy nanoseconds accumulated by every slot that
+    /// ever existed — the measured-utilization signal behind the cluster's
+    /// `LoanDemandModel::MeasuredBusy` (demand in GPU equivalents is the
+    /// rate of change of this quantity divided by
+    /// [`mig_gpu::COMPUTE_SLICES`]).
+    #[must_use]
+    pub fn busy_gpc_ns(&self) -> u128 {
+        self.slots
+            .iter()
+            .map(|s| u128::from(s.worker.busy_ns()) * s.worker.size().gpcs() as u128)
+            .sum()
     }
 
     /// Begins executing a reconfiguration schedule: quiesces the first
@@ -699,6 +812,7 @@ impl<'a> DispatchCore<'a> {
                 group: g,
                 local: 0,
                 retiring: false,
+                dead: false,
             });
             self.rows.push(self.specs[g].table.latency_row(size));
             self.max_batch.push(self.specs[g].table.max_batch());
@@ -1005,6 +1119,84 @@ mod tests {
         // Rolling pays the per-step fixed driver overhead, so its summed
         // charged downtime is at least the all-at-once charge.
         assert!(rep_roll.reconfigs[0].reslice_delay >= rep_all.reconfigs[0].reslice_delay);
+    }
+
+    /// A fault kill is not a drain: the killed worker's in-flight query
+    /// and local queue re-enter the dispatch path at the kill instant,
+    /// nothing is lost or double-served, and the stale completion event is
+    /// a tombstone.
+    #[test]
+    fn fault_kill_requeues_inflight_and_queued_work() {
+        let t = table(ModelKind::MobileNet);
+        let specs = vec![GroupSpec {
+            name: "m",
+            table: &t,
+            scheduler: SchedulerKind::Fifs,
+            sla_ns: None,
+        }];
+        let layouts = vec![vec![ProfileSize::G3, ProfileSize::G3]];
+        let mut core = DispatchCore::new(specs, &layouts, core_config());
+        let mut sim: Simulation<ShardEvent> = Simulation::new();
+
+        let n = 300usize;
+        let arrivals: Vec<QuerySpec> = (0..n)
+            .map(|i| QuerySpec {
+                arrival_ns: i as u64 * 150_000, // 150 µs apart: queues build
+                batch: 1 + (i % 8),
+            })
+            .collect();
+        let mut next = 0usize;
+        let mut dispatched = 0usize;
+        let mut killed_at = None;
+        core.offer(0, arrivals[next], &mut |t, k, e| {
+            sim.schedule_at_keyed(t, k, e)
+        });
+        next += 1;
+        while let Some((now, event)) = sim.next_event() {
+            if matches!(event, ShardEvent::Dispatch(..)) {
+                if next < arrivals.len() {
+                    core.offer(0, arrivals[next], &mut |t, k, e| {
+                        sim.schedule_at_keyed(t, k, e)
+                    });
+                    next += 1;
+                }
+                dispatched += 1;
+                if dispatched == 80 && killed_at.is_none() {
+                    killed_at = Some(now);
+                    let requeued =
+                        core.kill_workers(&[0], now, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+                    // The worker was mid-query with a backlog: something
+                    // must have been orphaned and requeued.
+                    assert!(requeued > 0, "kill found no work to requeue");
+                    assert_eq!(core.live_members()[0].len(), 1, "one survivor");
+                    // Killing again is a no-op.
+                    assert_eq!(
+                        core.kill_workers(&[0], now, &mut |t, k, e| sim.schedule_at_keyed(t, k, e)),
+                        0
+                    );
+                }
+            }
+            core.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        }
+        let killed_at = killed_at.expect("trace reached the kill");
+        let rep = core.finish(sim.peak_pending());
+        assert_eq!(rep.records.len(), n, "nothing dropped");
+        let mut ids: Vec<u64> = rep.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "nothing double-served");
+        // Nothing executed on the dead slot after the kill.
+        for r in &rep.records {
+            if r.partition == 0 {
+                assert!(r.completed <= killed_at, "dead slot served {r:?}");
+            }
+            assert!(r.arrival <= r.dispatched && r.dispatched <= r.started);
+            assert!(r.started < r.completed);
+        }
+        assert!(
+            rep.records.iter().any(|r| r.partition == 1),
+            "survivor picked up the requeued work"
+        );
     }
 
     /// Conservation at every step of a rolling schedule: quiesced

@@ -23,6 +23,21 @@ pub struct Span {
     pub end: SimTime,
 }
 
+/// One outage interval of one partition row: the span between a fault
+/// killing the instance and — for rows that come back, which killed rows
+/// never do — the repair. Rendered as `×` cells so a timeline shows the
+/// outage window next to the executions around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageSpan {
+    /// Partition (timeline row) index.
+    pub partition: usize,
+    /// When the fault struck.
+    pub start: SimTime,
+    /// When the row recovered; `None` for a row that stayed dark (the
+    /// repair brought *new* instances up on their own rows).
+    pub end: Option<SimTime>,
+}
+
 /// Spans per arena chunk. Chunks are fixed-size and never reallocated, so
 /// pushing a span never moves previously recorded spans and a long traced
 /// run costs one allocation per `CHUNK` completions instead of the
@@ -63,6 +78,8 @@ pub struct Gantt {
     /// spans, so `chunks` comparison/indexing is well-defined.
     chunks: Vec<Vec<Span>>,
     len: usize,
+    /// Fault outage windows, in marking order (few per run).
+    outages: Vec<OutageSpan>,
 }
 
 impl Gantt {
@@ -73,6 +90,7 @@ impl Gantt {
             partition_sizes,
             chunks: Vec::new(),
             len: 0,
+            outages: Vec::new(),
         }
     }
 
@@ -127,6 +145,35 @@ impl Gantt {
         &self.partition_sizes
     }
 
+    /// Marks row `partition` as killed by a fault at `start` — it renders
+    /// as `×` from there on (or to [`close_outage`](Self::close_outage)).
+    pub fn mark_outage(&mut self, partition: usize, start: SimTime) {
+        self.outages.push(OutageSpan {
+            partition,
+            start,
+            end: None,
+        });
+    }
+
+    /// Closes the most recent open outage on `partition` at `end` (no-op
+    /// if the row holds none).
+    pub fn close_outage(&mut self, partition: usize, end: SimTime) {
+        if let Some(o) = self
+            .outages
+            .iter_mut()
+            .rev()
+            .find(|o| o.partition == partition && o.end.is_none())
+        {
+            o.end = Some(end);
+        }
+    }
+
+    /// The recorded fault outage windows, in marking order.
+    #[must_use]
+    pub fn outages(&self) -> &[OutageSpan] {
+        &self.outages
+    }
+
     /// Renders the trace as one text row per partition, `width` characters
     /// of timeline. Busy cells show the last digit of the query id; idle
     /// cells show `·`.
@@ -136,6 +183,11 @@ impl Gantt {
         let horizon = self
             .iter()
             .map(|s| s.end.as_nanos())
+            .chain(
+                self.outages
+                    .iter()
+                    .map(|o| o.end.unwrap_or(o.start).as_nanos()),
+            )
             .max()
             .unwrap_or(1)
             .max(1);
@@ -149,6 +201,20 @@ impl Gantt {
                 let digit = char::from_digit((span.query.0 % 10) as u32, 10).unwrap_or('#');
                 for cell in cells.iter_mut().take(hi).skip(lo.min(width - 1)) {
                     *cell = digit;
+                }
+            }
+            for outage in self.outages.iter().filter(|o| o.partition == p) {
+                let lo =
+                    (outage.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                if lo >= width {
+                    continue;
+                }
+                let hi = outage.end.map_or(width, |e| {
+                    (e.as_nanos() as u128 * width as u128 / horizon as u128) as usize
+                });
+                let hi = hi.clamp(lo + 1, width);
+                for cell in cells.iter_mut().take(hi).skip(lo) {
+                    *cell = '\u{d7}';
                 }
             }
             out.push_str(&format!("{size:>7} \u{2502}"));
@@ -222,6 +288,34 @@ mod tests {
         let art = g.render_ascii(30);
         assert_eq!(art.lines().count(), 2);
         assert!(art.contains("GPU(7)"));
+    }
+
+    #[test]
+    fn outage_windows_render_as_dead_cells() {
+        let mut g = Gantt::new(vec![ProfileSize::G1, ProfileSize::G2]);
+        g.push(span(0, 1, 0, 400));
+        g.push(span(1, 2, 0, 1_000));
+        // Row 0 dies at t=400 and never comes back.
+        g.mark_outage(0, SimTime::from_nanos(400));
+        assert_eq!(g.outages().len(), 1);
+        assert!(g.outages()[0].end.is_none());
+        let art = g.render_ascii(20);
+        let row0 = art.lines().next().expect("row 0");
+        assert!(row0.contains('\u{d7}'), "outage cells visible: {row0}");
+        let row1 = art.lines().nth(1).expect("row 1");
+        assert!(!row1.contains('\u{d7}'), "healthy row unaffected: {row1}");
+        // A closed outage stops rendering at its end.
+        g.close_outage(0, SimTime::from_nanos(600));
+        assert_eq!(g.outages()[0].end, Some(SimTime::from_nanos(600)));
+        let art = g.render_ascii(20);
+        let row0 = art.lines().next().expect("row 0");
+        assert!(
+            row0.trim_end().ends_with('\u{b7}'),
+            "idle after repair: {row0}"
+        );
+        // Closing a row with no open outage is a no-op.
+        g.close_outage(1, SimTime::from_nanos(700));
+        assert_eq!(g.outages().len(), 1);
     }
 
     #[test]

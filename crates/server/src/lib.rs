@@ -65,7 +65,7 @@ mod worker;
 
 pub use designs::{paper_budgets, DesignPoint, Testbed};
 pub use dispatch::{CoreConfig, DispatchCore, GroupSpec, ShardEvent};
-pub use gantt::{Gantt, Span};
+pub use gantt::{Gantt, OutageSpan, Span};
 pub use multi::{
     split_budget, ModelReport, ModelSpec, MultiModelConfig, MultiModelServer, MultiRunReport,
     ReconfigEvent, ReplanPolicy, ReplanRequest, ShardEngine,

@@ -837,6 +837,37 @@ impl<'a> ShardEngine<'a> {
         self.core.live_groups()
     }
 
+    /// The live members of every model group as `(worker index, size)`
+    /// pairs — what a fault injector packs into physical-GPU bins to pick
+    /// a GPU failure's victims. See [`DispatchCore::live_members`].
+    #[must_use]
+    pub fn live_members(&self) -> Vec<Vec<(usize, ProfileSize)>> {
+        self.core.live_members()
+    }
+
+    /// Kills the given worker slots immediately (a GPU failure): in-flight
+    /// and locally queued queries are requeued through the dispatch path,
+    /// the slots never serve again. Returns how many queries were
+    /// requeued. See [`DispatchCore::kill_workers`] for the exact
+    /// semantics; the recovery re-plan is a separate, explicit
+    /// [`force_replan`](Self::force_replan) onto the survivor budget.
+    pub fn kill_instances(
+        &mut self,
+        workers: &[usize],
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) -> u64 {
+        self.core.kill_workers(workers, now, sched)
+    }
+
+    /// GPC-weighted busy nanoseconds accumulated so far — the
+    /// measured-utilization loan-demand signal
+    /// ([`DispatchCore::busy_gpc_ns`]).
+    #[must_use]
+    pub fn busy_gpc_ns(&self) -> u128 {
+        self.core.busy_gpc_ns()
+    }
+
     /// Acts on a drift report: re-plans every model from its observed
     /// traffic, quiesces the instances the new plan drops, and arms the
     /// reslice schedule.

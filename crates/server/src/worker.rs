@@ -146,6 +146,19 @@ impl PartitionWorker {
         self.idle_since = now;
         (query, started)
     }
+
+    /// Aborts the currently executing query at `now` — a fault killed the
+    /// partition mid-execution — returning the query so the caller can
+    /// requeue it elsewhere. The busy time [`begin`](Self::begin) charged
+    /// up front for the unserved remainder is refunded. `None` if nothing
+    /// was executing.
+    pub fn abort(&mut self, now: SimTime) -> Option<Query> {
+        let (query, _started, end) = self.current.take()?;
+        self.busy
+            .remove_busy_ns(end.saturating_since(now).as_nanos());
+        self.idle_since = now;
+        Some(query)
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +254,20 @@ mod tests {
         );
         w.finish(SimTime::from_nanos(600));
         assert_eq!(w.busy_ns(), 500);
+    }
+
+    #[test]
+    fn abort_returns_the_query_and_refunds_unserved_busy_time() {
+        let mut w = PartitionWorker::new(ProfileSize::G2);
+        w.begin(query(3, 2), SimTime::ZERO, SimDuration::from_nanos(1_000));
+        // Killed 400 ns in: 600 ns of the up-front charge come back.
+        let q = w.abort(SimTime::from_nanos(400)).expect("was executing");
+        assert_eq!(q.id, QueryId(3));
+        assert_eq!(w.busy_ns(), 400);
+        assert!(w.busy_until().is_none());
+        assert_eq!(w.idle_since(), SimTime::from_nanos(400));
+        // Idle worker: nothing to abort.
+        assert!(w.abort(SimTime::from_nanos(500)).is_none());
     }
 
     #[test]

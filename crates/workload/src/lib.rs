@@ -36,5 +36,7 @@ pub use arrivals::PoissonProcess;
 pub use dist::{BatchDistribution, BuildDistributionError};
 pub use drift::{DriftDetector, DriftDetectorConfig, DriftReport};
 pub use empirical::EmpiricalBatchPmf;
-pub use multi::{MultiTraceGenerator, MultiTraceStream, PhaseSpec, TaggedQuerySpec};
+pub use multi::{
+    MultiTraceGenerator, MultiTraceStream, PhaseSpec, PinnedTraceStream, TaggedQuerySpec,
+};
 pub use trace::{QuerySpec, TraceGenerator, TraceStream};

@@ -19,7 +19,9 @@
 //! * [`server`] — the simulated multi-GPU inference server and the
 //!   evaluation harness (design points, load sweeps),
 //! * [`cluster`] — multi-server sharding: N server shards behind a router
-//!   in one DES, with Aryl-style batch-pool capacity loaning.
+//!   in one DES, with Aryl-style batch-pool capacity loaning,
+//! * [`faults`] — fault injection & recovery: seedable GPU/shard outage
+//!   scenarios, drain-and-redistribute, availability accounting.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@
 pub use des_engine as des;
 pub use dnn_zoo as dnn;
 pub use inference_cluster as cluster;
+pub use inference_faults as faults;
 pub use inference_server as server;
 pub use inference_workload as workload;
 pub use mig_gpu as gpu;
@@ -54,9 +57,13 @@ pub use server_metrics as metrics;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use crate::cluster::{Cluster, ClusterReport, LoanPolicy, RouterPolicy};
+    pub use crate::cluster::{
+        Cluster, ClusterReport, FaultEvent, FaultTimeline, LoanDemandModel, LoanPolicy,
+        RouterPolicy,
+    };
     pub use crate::des::{SimDuration, SimTime};
     pub use crate::dnn::{ModelGraph, ModelKind};
+    pub use crate::faults::{run_with_faults, FaultPlan, FaultReport};
     pub use crate::gpu::{DeviceSpec, GpuLayout, PerfModel, ProfileSize};
     pub use crate::metrics::{
         latency_bounded_throughput, LatencyRecorder, ThroughputPoint, WindowedTail,

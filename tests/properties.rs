@@ -621,6 +621,79 @@ proptest! {
         prop_assert!(samples.contains(&p95), "percentile must be an observed sample");
     }
 
+    // ---------- Fault injection ----------
+
+    #[test]
+    fn fault_plans_never_drop_or_double_serve(
+        seed in 0u64..24,
+        mttf_s in 0.8f64..2.0,
+        mttr_s in 0.15f64..0.5,
+        shard_fail_s in 0.2f64..0.7
+    ) {
+        // The failure conservation contract (ARCHITECTURE.md invariant 9):
+        // for ANY fault plan — sampled GPU outages layered over a whole
+        // shard drain, at any phasing against the traffic — fail → drain/
+        // requeue → re-plan never strands or double-serves a query. Every
+        // arrival completes exactly once, with an ordered lifecycle, no
+        // matter which instances died under it.
+        use paris_elsa::cluster::{Cluster, RouterPolicy};
+        use paris_elsa::dnn::ModelKind;
+        use paris_elsa::faults::{run_with_faults, FaultPlan};
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
+        use paris_elsa::workload::{MultiTraceGenerator, PhaseSpec};
+
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let dist = BatchDistribution::paper_default();
+        let table =
+            ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32);
+        let shard = |gpus: usize| {
+            MultiModelServer::new(
+                vec![ModelSpec::new("m", table.clone(), dist.clone())],
+                GpcBudget::new(gpus * 7, gpus),
+                MultiModelConfig::new(),
+            )
+            .unwrap()
+        };
+        let cluster = Cluster::new(vec![shard(2), shard(1)], RouterPolicy::JoinShortestQueue);
+        let rate = 0.6
+            * cluster
+                .shards()
+                .iter()
+                .map(MultiModelServer::capacity_hint_qps)
+                .sum::<f64>();
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(1.2, vec![(rate, dist)])], seed)
+                .generate();
+        let plan = FaultPlan::sample_gpu_mttf(&[2, 1], mttf_s, mttr_s, 1.2, seed)
+            .with_shard_outage(1, shard_fail_s, 0.9);
+        let report = run_with_faults(
+            &cluster,
+            trace.iter().copied().map(|tq| (None, tq)),
+            paris_elsa::server::ReportDetail::Full,
+            &plan,
+        );
+        let completed: usize = report
+            .cluster
+            .per_shard
+            .iter()
+            .map(|r| r.records.len())
+            .sum();
+        prop_assert_eq!(completed, trace.len(), "dropped or invented a query");
+        for shard_report in &report.cluster.per_shard {
+            let mut ids: Vec<u64> = shard_report.records.iter().map(|r| r.id.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), shard_report.records.len(), "double-served");
+            for r in &shard_report.records {
+                prop_assert!(r.arrival <= r.dispatched);
+                prop_assert!(r.dispatched <= r.started);
+                prop_assert!(r.started < r.completed);
+            }
+        }
+        prop_assert!(report.base_availability <= 1.0);
+        prop_assert!(report.effective_availability <= 1.0);
+    }
+
     // ---------- Server end-to-end ----------
 
     #[test]
