@@ -178,7 +178,9 @@ fn main() {
         (
             "jsq_loan",
             RouterPolicy::JoinShortestQueue,
-            Some(ReconfigMode::AllAtOnce),
+            // Workspace-default staging (Rolling since PR 6); the dip
+            // comparison below still pins both modes.
+            Some(ReconfigMode::default()),
         ),
     ];
     let mut results: Vec<(&str, Point, Point)> = Vec::new();

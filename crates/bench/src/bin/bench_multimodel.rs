@@ -148,7 +148,9 @@ fn main() {
     let seed = opts.seed;
 
     let mut results: Vec<(&str, Point, Point)> = Vec::new();
-    for (name, replan) in [("static", None), ("replan", Some(ReconfigMode::AllAtOnce))] {
+    // The replan config runs at the workspace default staging (Rolling
+    // since PR 6); the dip comparison below still pins both modes.
+    for (name, replan) in [("static", None), ("replan", Some(ReconfigMode::default()))] {
         let server = scenario.server(replan);
         // The nominal point (scale 1.0) shows what drift does to each
         // policy at the nominal load; the search probed it first.
@@ -237,7 +239,7 @@ fn main() {
 
     // Per-model detail at the nominal load for the winning policy.
     let detail = scenario
-        .server(Some(ReconfigMode::AllAtOnce))
+        .server(Some(ReconfigMode::default()))
         .run_stream(scenario.trace(1.0).stream(), ReportDetail::Summary);
     for m in &detail.per_model {
         print_model(m);

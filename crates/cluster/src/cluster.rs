@@ -15,6 +15,7 @@ use server_metrics::LatencyHistogram;
 use crate::faults::{FaultEvent, FaultTimeline};
 use crate::loan::{LoanDemandModel, LoanEvent, LoanLedger, LoanPolicy};
 use crate::router::{RouterPolicy, RouterState};
+use crate::shed::ShedPolicy;
 
 /// One arrival with an optional shard pin: `Some(shard)` queries go to
 /// that shard while it is alive (shard-tagged skewed traces, per-query
@@ -91,6 +92,7 @@ pub struct Cluster {
     shards: Vec<MultiModelServer>,
     router: RouterPolicy,
     loan: Option<LoanPolicy>,
+    shed: Option<ShedPolicy>,
 }
 
 impl Cluster {
@@ -116,6 +118,7 @@ impl Cluster {
             shards,
             router,
             loan: None,
+            shed: None,
         }
     }
 
@@ -123,6 +126,16 @@ impl Cluster {
     #[must_use]
     pub fn with_loan(mut self, loan: LoanPolicy) -> Self {
         self.loan = Some(loan);
+        self
+    }
+
+    /// Enables brownout admission control: low-priority-class queries are
+    /// rejected at the gateway when the picked shard's projected delay
+    /// makes their SLA hopeless (see [`ShedPolicy`]). Models without an
+    /// SLA are never shed (there is no budget to protect).
+    #[must_use]
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = Some(shed);
         self
     }
 
@@ -142,6 +155,12 @@ impl Cluster {
     #[must_use]
     pub fn loan(&self) -> Option<&LoanPolicy> {
         self.loan.as_ref()
+    }
+
+    /// The brownout shed policy, if admission control is enabled.
+    #[must_use]
+    pub fn shed(&self) -> Option<&ShedPolicy> {
+        self.shed.as_ref()
     }
 
     /// Simulates the cluster over a materialized tagged trace at the first
@@ -210,6 +229,12 @@ pub struct ClusterReport {
     /// Every fault event the run applied, in order (empty without a
     /// [`FaultTimeline`]).
     pub faults: Vec<FaultRecord>,
+    /// Queries of each model rejected at admission by the [`ShedPolicy`]
+    /// (all-zero without one). Conservation invariant 10: every offered
+    /// query is exactly served-or-shed — `completed() + shed` reconstructs
+    /// the offered count, and a shed query never touches `routed` or any
+    /// shard queue.
+    pub shed_per_model: Vec<u64>,
     /// Opportunity cost of loaning: the integral of loaned-out GPUs over
     /// simulated time (GPU-seconds the batch pool could not use).
     pub loaned_gpu_seconds: f64,
@@ -262,6 +287,12 @@ impl ClusterReport {
     pub fn total_reconfigs(&self) -> usize {
         self.per_shard.iter().map(|r| r.reconfigs.len()).sum()
     }
+
+    /// Total queries the shed policy rejected at admission.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_per_model.iter().sum()
+    }
 }
 
 /// Events of the shared cluster simulation.
@@ -292,6 +323,10 @@ enum CEvent {
     Fault(FaultEvent),
 }
 
+/// Active slow-GPU fault on one base GPU slot: `(factor_milli, the
+/// worker slots it throttled)`.
+type ActiveDegrade = (u32, Vec<usize>);
+
 /// One cluster run's mutable state.
 struct CEngine<'a, I> {
     cluster: &'a Cluster,
@@ -319,6 +354,17 @@ struct CEngine<'a, I> {
     alive: Vec<bool>,
     /// Per shard, which of its base-budget GPU slots are currently failed.
     failed_gpus: Vec<Vec<bool>>,
+    /// Per shard × base GPU slot: the active slow-GPU fault, if any —
+    /// `(factor_milli, the worker slots it throttled)`. The victim list is
+    /// what the matching [`FaultEvent::GpuRestore`] un-throttles: the
+    /// degrade follows the silicon that was hot, not whatever instances a
+    /// later re-plan packs onto the slot number.
+    degraded: Vec<Vec<Option<ActiveDegrade>>>,
+    /// Per-shard planned capacity hints (router weights), reused by the
+    /// shed policy's projected-delay estimate.
+    cap_hint: Vec<f64>,
+    /// Per-model count of queries the shed policy rejected at admission.
+    shed_per_model: Vec<u64>,
     /// Shards owing a recovery re-plan that could not run yet (a
     /// reconfiguration was in flight, or the survivor budget cannot host
     /// one GPU per model until a repair); retried after every event of
@@ -398,6 +444,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             // under gateway saturation).
             sim: Simulation::with_capacity(total_partitions + 2 * cluster.shards.len() + 2),
             engines,
+            cap_hint: weights.clone(),
             router: RouterState::new(cluster.router, weights),
             detector,
             ledger,
@@ -415,6 +462,12 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 .iter()
                 .map(|s| vec![false; s.budget().num_gpus])
                 .collect(),
+            degraded: cluster
+                .shards
+                .iter()
+                .map(|s| vec![None; s.budget().num_gpus])
+                .collect(),
+            shed_per_model: vec![0; n_models],
             pending_recovery: vec![false; cluster.shards.len()],
             fault_queue: faults.events().iter().copied().collect(),
             fault_cost: faults.cost,
@@ -476,10 +529,16 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
     }
 
     /// Handles one arrival at its arrival instant: routes it to a shard
-    /// (its pinned shard if alive, the router otherwise), feeds the loan
-    /// controller's detector with the routed load, acts on any drift it
-    /// flags (causal — the window-closing arrival exists *now*), and
+    /// (its pinned shard if alive, the router otherwise), applies brownout
+    /// admission control against that shard's projected delay, feeds the
+    /// loan controller's detector with the routed load, acts on any drift
+    /// it flags (causal — the window-closing arrival exists *now*), and
     /// offers the query to the chosen shard's frontend.
+    ///
+    /// A shed query stops here: it never counts as routed, never reaches a
+    /// queue, and never feeds the drift detector — admission control acts
+    /// strictly before the query becomes load (invariant 10:
+    /// served-or-shed, nothing in between).
     fn offer(&mut self, pin: Option<usize>, tq: TaggedQuerySpec, now: SimTime) {
         self.roll_busy_window(now);
         let s = match pin {
@@ -491,6 +550,20 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 self.router.pick(&self.scratch, &self.alive)
             }
         };
+        if let Some(policy) = self.cluster.shed.as_ref() {
+            let sla = self
+                .cluster
+                .shards
+                .get(s)
+                .and_then(|shard| shard.models().get(tq.model))
+                .and_then(|m| m.sla_ns);
+            if let Some(sla_ns) = sla {
+                if policy.should_shed(tq.model, self.estimated_delay_ns(s), sla_ns) {
+                    self.shed_per_model[tq.model] += 1;
+                    return;
+                }
+            }
+        }
         self.routed[s] += 1;
         let report = self.detector.as_mut().and_then(|det| {
             det.observe(
@@ -588,6 +661,24 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             None => self.cluster.shards[s].budget(),
         };
         self.minus_failed(s, held)
+    }
+
+    /// Projected queueing delay on shard `s` for admission control:
+    /// outstanding queries over the shard's planned capacity, scaled by
+    /// the fraction of its base GPUs still effective. Deliberately coarse
+    /// — the shed policy only needs a monotone overload signal, and this
+    /// one is O(1) per arrival. A shard with no surviving GPU projects
+    /// infinite delay (everything sheddable sheds until repair).
+    fn estimated_delay_ns(&self, s: usize) -> f64 {
+        let Some(budget) = self.effective_budget(s) else {
+            return f64::INFINITY;
+        };
+        let base_gpus = self.cluster.shards[s].budget().num_gpus.max(1);
+        let cap_qps = self.cap_hint[s] * budget.num_gpus as f64 / base_gpus as f64;
+        if cap_qps <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.engines[s].outstanding_queries() as f64 / cap_qps * 1e9
     }
 
     /// Per-shard demand in full-GPU equivalents under the policy's
@@ -784,6 +875,21 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 }
                 0
             }
+            FaultEvent::GpuDegrade {
+                shard,
+                gpu,
+                factor_milli,
+            } => {
+                // Capacity is not lost, only slowed: no rebalance, no
+                // recovery re-plan — a degrade-aware dispatcher steers
+                // around the slow instances on its own.
+                self.gpu_degrade(shard, gpu, factor_milli);
+                0
+            }
+            FaultEvent::GpuRestore { shard, gpu } => {
+                self.gpu_restore(shard, gpu);
+                0
+            }
             FaultEvent::ShardFail { shard } => {
                 // A drain, not a kill: the router stops sending traffic
                 // and the shard serves out what it already holds.
@@ -822,6 +928,23 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
         if s >= self.engines.len() || gpu >= self.failed_gpus[s].len() || self.failed_gpus[s][gpu] {
             return None;
         }
+        // A fault landing mid-rolling-reconfiguration must not strand the
+        // in-flight step: the quiesced survivors are revived first (the
+        // armed ready event goes stale via its epoch stamp), then the kill
+        // and the recovery re-plan proceed against a coherent layout.
+        if self.engines[s].reconfig_in_flight() {
+            let (engines, sim) = (&mut self.engines, &mut self.sim);
+            engines[s].abort_reconfig(now, &mut |t, k, e| {
+                sim.schedule_at_keyed(
+                    t,
+                    k,
+                    CEvent::Shard {
+                        shard: s as u32,
+                        event: e,
+                    },
+                );
+            });
+        }
         self.failed_gpus[s][gpu] = true;
         // Identify the physical GPU with one bin of the deterministic
         // first-fit-descending packing of the live layout, packed per
@@ -850,6 +973,51 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             }
             None => 0,
         })
+    }
+
+    /// A slow-GPU fault on shard `s`: identifies the physical GPU with the
+    /// same deterministic packing [`gpu_kill`](Self::gpu_kill) uses and
+    /// throttles the instances packed on it by `factor_milli / 1000`. The
+    /// victims keep serving — slower — and their worker slots are recorded
+    /// so the matching [`FaultEvent::GpuRestore`] un-throttles exactly the
+    /// silicon that was hot. Unknown slots and double-degrades are no-ops;
+    /// an idle GPU records an empty victim list (so restore still pairs).
+    fn gpu_degrade(&mut self, s: usize, gpu: usize, factor_milli: u32) {
+        if s >= self.engines.len()
+            || gpu >= self.degraded[s].len()
+            || self.degraded[s][gpu].is_some()
+        {
+            return;
+        }
+        let mut bins: Vec<Vec<usize>> = Vec::new();
+        for group in self.engines[s].live_members() {
+            let sizes: Vec<ProfileSize> = group.iter().map(|&(_, size)| size).collect();
+            for bin in pack_gpus(&sizes) {
+                bins.push(bin.into_iter().map(|i| group[i].0).collect());
+            }
+        }
+        let victims = bins.get(gpu).cloned().unwrap_or_default();
+        if !victims.is_empty() {
+            // Sub-unit factors would mean a *faster* GPU; clamp to 1.0 so a
+            // malformed plan degrades to a recorded no-op instead of
+            // panicking the dispatcher.
+            let factor = f64::from(factor_milli.max(1000)) / 1000.0;
+            self.engines[s].set_degrade(&victims, factor);
+        }
+        self.degraded[s][gpu] = Some((factor_milli, victims));
+    }
+
+    /// The slow GPU returns to full speed: un-throttles the worker slots
+    /// recorded at degrade time. Restores of healthy slots are no-ops.
+    fn gpu_restore(&mut self, s: usize, gpu: usize) {
+        if s >= self.engines.len() || gpu >= self.degraded[s].len() {
+            return;
+        }
+        if let Some((_, victims)) = self.degraded[s][gpu].take() {
+            if !victims.is_empty() {
+                self.engines[s].set_degrade(&victims, 1.0);
+            }
+        }
     }
 
     /// The failed GPU returns: restores the budget slot (the caller
@@ -985,6 +1153,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
         let completed = histogram.count();
         ClusterReport {
             routed: self.routed,
+            shed_per_model: self.shed_per_model,
             histogram,
             makespan,
             achieved_qps: if makespan_s > 0.0 {

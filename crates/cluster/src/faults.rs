@@ -65,6 +65,32 @@ pub enum FaultEvent {
         /// The repaired shard.
         shard: usize,
     },
+    /// Physical GPU `gpu` of `shard` **slows down** (thermal throttling,
+    /// ECC retirement) instead of dying: the instances packed on it keep
+    /// serving, `factor_milli/1000`× slower. `gpu` addresses the same
+    /// [`paris_core::pack_gpus`] bin as [`GpuFail`](Self::GpuFail); a bin
+    /// past the packing is an idle GPU and nothing degrades. Degrading an
+    /// already-degraded GPU is a no-op; instances created *after* the
+    /// degrade instant (recovery re-plans, loans) run at full speed —
+    /// throttling follows the silicon that was hot, not the slot number.
+    GpuDegrade {
+        /// The shard owning the slow GPU.
+        shard: usize,
+        /// The degraded GPU slot (packing bin index).
+        gpu: usize,
+        /// Service-time multiplier in thousandths (1500 = 1.5×). Kept
+        /// fixed-point so the event stays `Copy + Eq`; 1000 is a recorded
+        /// no-op.
+        factor_milli: u32,
+    },
+    /// The degraded GPU's clean profile returns: the instances it slowed
+    /// run at full speed again.
+    GpuRestore {
+        /// The shard regaining full speed.
+        shard: usize,
+        /// The restored GPU slot.
+        gpu: usize,
+    },
 }
 
 /// A time-sorted, executable fault schedule plus the recovery knobs
@@ -99,9 +125,11 @@ impl FaultTimeline {
     /// **repairs before fails at the same instant** (so back-to-back
     /// outage windows — one ending exactly where the next begins — apply
     /// as repair-then-fail instead of a double-fail no-op that would
-    /// silently erase the second window); remaining same-instant ties keep
-    /// their given order (stable sort). A100 recovery cost model and
-    /// all-at-once staging by default.
+    /// silently erase the second window; degrades classify with fails,
+    /// restores with repairs, for the same back-to-back-window reason);
+    /// remaining same-instant ties keep their given order (stable sort).
+    /// A100 recovery cost model and rolling staging (the workspace
+    /// default) out of the box.
     #[must_use]
     pub fn new(mut events: Vec<(SimTime, FaultEvent)>) -> Self {
         events.sort_by_key(|&(at, ev)| {
@@ -109,14 +137,16 @@ impl FaultTimeline {
                 at,
                 matches!(
                     ev,
-                    FaultEvent::GpuFail { .. } | FaultEvent::ShardFail { .. }
+                    FaultEvent::GpuFail { .. }
+                        | FaultEvent::ShardFail { .. }
+                        | FaultEvent::GpuDegrade { .. }
                 ),
             )
         });
         FaultTimeline {
             events,
             cost: ResliceCostModel::a100_default(),
-            mode: ReconfigMode::AllAtOnce,
+            mode: ReconfigMode::Rolling,
         }
     }
 
@@ -206,6 +236,29 @@ mod tests {
         assert!(tl.is_empty());
         assert_eq!(tl.len(), 0);
         assert_eq!(tl.cost, ResliceCostModel::a100_default());
-        assert_eq!(tl.mode, ReconfigMode::AllAtOnce);
+        assert_eq!(tl.mode, ReconfigMode::Rolling);
+    }
+
+    #[test]
+    fn same_instant_restore_sorts_before_degrade() {
+        // Back-to-back degrade windows behave like outage windows: the
+        // t=200 restore applies before the t=200 degrade, so the second
+        // window is not swallowed by the already-degraded no-op rule.
+        let t = |s| SimTime::from_nanos(s);
+        let deg = |m| FaultEvent::GpuDegrade {
+            shard: 0,
+            gpu: 0,
+            factor_milli: m,
+        };
+        let tl = FaultTimeline::new(vec![
+            (t(100), deg(2000)),
+            (t(200), deg(3000)),
+            (t(200), FaultEvent::GpuRestore { shard: 0, gpu: 0 }),
+        ]);
+        assert_eq!(
+            tl.events()[1].1,
+            FaultEvent::GpuRestore { shard: 0, gpu: 0 }
+        );
+        assert_eq!(tl.events()[2].1, deg(3000));
     }
 }

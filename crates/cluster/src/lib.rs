@@ -16,23 +16,29 @@
 //!   subsides. Both directions re-plan the shard onto its new budget
 //!   through the ordinary `plan_diff` → quiesce/drain → reslice-downtime
 //!   machinery, so no query is ever dropped mid-transfer;
+//! * [`ShedPolicy`] adds brownout admission control: per-model priority
+//!   classes, with low classes rejected at the gateway when lost capacity
+//!   or surge makes their SLA hopeless — so a correlated outage degrades
+//!   *gracefully* instead of dragging premium traffic down with it;
 //! * [`ClusterReport`] aggregates per-shard reports, fleet-wide latency,
-//!   the loan ledger and its opportunity cost.
+//!   per-model shed counts, the loan ledger and its opportunity cost.
 //!
 //! Two contracts pin the layer down (see [`Cluster`]): a **1-shard cluster
 //! degenerates bit-for-bit** to its shard's own run, and **conservation**
-//! holds across routing, loans and reclaims — every accepted query
-//! completes exactly once.
+//! holds across routing, loans, reclaims and shedding — every offered
+//! query is exactly served-or-shed (ARCHITECTURE.md invariant 10).
 
 mod cluster;
 mod faults;
 mod loan;
 mod router;
+mod shed;
 
 pub use cluster::{Cluster, ClusterReport, FaultRecord, PinnedQuery};
 pub use faults::{FaultEvent, FaultTimeline};
 pub use loan::{LoanDemandModel, LoanEvent, LoanPolicy};
 pub use router::RouterPolicy;
+pub use shed::ShedPolicy;
 
 #[cfg(test)]
 mod tests {
@@ -526,6 +532,169 @@ mod tests {
             report.loans.iter().any(|l| l.gpus_delta < 0),
             "and the calm tail must still reclaim: {:?}",
             report.loans
+        );
+    }
+
+    #[test]
+    fn shed_policy_conserves_and_never_sheds_premium() {
+        // Two models on one overloaded 2-GPU shard: "premium" (class 0)
+        // and "batch" (class 1). Under a 3× surge the shed policy must
+        // reject batch traffic at admission while premium is never shed,
+        // and every offered query is exactly served-or-shed (invariant
+        // 10).
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let serving = MultiModelServer::new(
+            vec![
+                ModelSpec::new("premium", t.clone(), dist.clone()),
+                ModelSpec::new("batch", t.clone(), dist.clone()),
+            ],
+            GpcBudget::new(14, 2),
+            MultiModelConfig::new(),
+        )
+        .expect("plan builds");
+        let rate = 1.5 * serving.capacity_hint_qps();
+        let trace = MultiTraceGenerator::new(
+            vec![PhaseSpec::new(
+                2.5,
+                vec![(rate, dist.clone()), (rate, dist)],
+            )],
+            53,
+        )
+        .generate();
+        let cluster = Cluster::new(vec![serving], RouterPolicy::JoinShortestQueue)
+            .with_shed(ShedPolicy::new(vec![0, 1]));
+        let report = cluster.run(&trace);
+        let completed: usize = report.per_shard.iter().map(|r| r.records.len()).sum();
+        assert_eq!(
+            completed as u64 + report.total_shed(),
+            trace.len() as u64,
+            "every query is exactly served-or-shed"
+        );
+        assert_eq!(report.shed_per_model[0], 0, "premium is never shed");
+        assert!(
+            report.shed_per_model[1] > 0,
+            "the surge must shed batch traffic: {:?}",
+            report.shed_per_model
+        );
+        // Shed queries never became load: routed still equals records.
+        for (s, shard_report) in report.per_shard.iter().enumerate() {
+            assert_eq!(shard_report.records.len() as u64, report.routed[s]);
+        }
+    }
+
+    #[test]
+    fn gpu_fail_mid_rolling_recovery_aborts_and_conserves() {
+        // A second GPU dies while the rolling recovery re-plan from the
+        // first failure is still mid-step: the in-flight transition must
+        // abort (reviving its quiesced survivors) rather than strand the
+        // step, and conservation must hold through abort + kill + the
+        // follow-up re-plan.
+        use des_engine::SimTime;
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let serving = shard(3, &t, &dist);
+        let rate = rate_for_demand(&serving, 2.0);
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(3.0, vec![(rate, dist)])], 59).generate();
+        let cluster = Cluster::new(vec![serving], RouterPolicy::JoinShortestQueue);
+        let timeline = FaultTimeline::new(vec![
+            (
+                SimTime::from_nanos(500_000_000),
+                FaultEvent::GpuFail { shard: 0, gpu: 0 },
+            ),
+            (
+                SimTime::from_nanos(501_000_000),
+                FaultEvent::GpuFail { shard: 0, gpu: 1 },
+            ),
+            (
+                SimTime::from_nanos(1_800_000_000),
+                FaultEvent::GpuRepair { shard: 0, gpu: 0 },
+            ),
+            (
+                SimTime::from_nanos(1_900_000_000),
+                FaultEvent::GpuRepair { shard: 0, gpu: 1 },
+            ),
+        ]);
+        let report = cluster.run_scenario(
+            trace.iter().copied().map(|tq| (None, tq)),
+            ReportDetail::Full,
+            &timeline,
+        );
+        assert_conserved(&report, &trace);
+        assert!(
+            report.per_shard[0].reconfigs.iter().any(|rc| rc.aborted),
+            "the second fail must abort the in-flight rolling recovery: {:?}",
+            report.per_shard[0].reconfigs
+        );
+        // The cluster still recovered: a completed (non-aborted) re-plan
+        // follows, and lifecycle stays ordered through the abort.
+        assert!(report.per_shard[0].reconfigs.iter().any(|rc| !rc.aborted));
+        for r in report.per_shard.iter().flat_map(|r| &r.records) {
+            assert!(r.arrival <= r.dispatched);
+            assert!(r.dispatched <= r.started);
+            assert!(r.started < r.completed);
+        }
+    }
+
+    #[test]
+    fn unit_degrade_is_bit_identical_and_real_degrade_slows_the_tail() {
+        use des_engine::SimTime;
+        let t = table();
+        let dist = BatchDistribution::paper_default();
+        let serving = shard(2, &t, &dist);
+        let rate = rate_for_demand(&serving, 1.5);
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(3.0, vec![(rate, dist)])], 61).generate();
+        let cluster = Cluster::new(vec![serving], RouterPolicy::JoinShortestQueue);
+        let arrivals = || trace.iter().copied().map(|tq| (None, tq));
+        let plain = cluster.run_scenario(arrivals(), ReportDetail::Full, &FaultTimeline::empty());
+        // Factor 1.0 "degrade": the whole degrade/restore cycle must be
+        // bit-for-bit the fault-free run — the only trace it leaves is the
+        // fault log itself.
+        let unit = FaultTimeline::new(vec![
+            (
+                SimTime::from_nanos(400_000_000),
+                FaultEvent::GpuDegrade {
+                    shard: 0,
+                    gpu: 0,
+                    factor_milli: 1000,
+                },
+            ),
+            (
+                SimTime::from_nanos(1_200_000_000),
+                FaultEvent::GpuRestore { shard: 0, gpu: 0 },
+            ),
+        ]);
+        let unit_report = cluster.run_scenario(arrivals(), ReportDetail::Full, &unit);
+        assert_eq!(unit_report.faults.len(), 2);
+        assert_eq!(unit_report.routed, plain.routed);
+        for (a, b) in unit_report.per_shard.iter().zip(&plain.per_shard) {
+            assert_shard_reports_identical(a, b);
+        }
+        // A real 4× slow-GPU window conserves every query but drags the
+        // tail: the throttled instances keep serving, just slower.
+        let slow = FaultTimeline::new(vec![
+            (
+                SimTime::from_nanos(400_000_000),
+                FaultEvent::GpuDegrade {
+                    shard: 0,
+                    gpu: 0,
+                    factor_milli: 4000,
+                },
+            ),
+            (
+                SimTime::from_nanos(2_000_000_000),
+                FaultEvent::GpuRestore { shard: 0, gpu: 0 },
+            ),
+        ]);
+        let slow_report = cluster.run_scenario(arrivals(), ReportDetail::Full, &slow);
+        assert_conserved(&slow_report, &trace);
+        assert!(
+            slow_report.histogram.percentile_ms(0.95) > plain.histogram.percentile_ms(0.95),
+            "a 4x slow GPU must drag the p95 tail: slow {} vs plain {}",
+            slow_report.histogram.percentile_ms(0.95),
+            plain.histogram.percentile_ms(0.95)
         );
     }
 

@@ -66,10 +66,10 @@ pub struct LoanPolicy {
     /// nothing: the moved GPU is not used by any serving instance, so
     /// handing it over interrupts nothing.
     pub cost: ResliceCostModel,
-    /// How each loan-triggered re-plan stages its edits: one combined
-    /// outage ([`ReconfigMode::AllAtOnce`], the default) or one GPU at a
-    /// time ([`ReconfigMode::Rolling`], bounding the shard's capacity dip
-    /// during the handover).
+    /// How each loan-triggered re-plan stages its edits: one GPU at a time
+    /// ([`ReconfigMode::Rolling`], the default — bounding the shard's
+    /// capacity dip during the handover) or one combined outage
+    /// ([`ReconfigMode::AllAtOnce`], kept for ablations).
     pub mode: ReconfigMode,
     /// How shard demand is estimated (analytical by default; see
     /// [`LoanDemandModel`]).
@@ -78,8 +78,9 @@ pub struct LoanPolicy {
 
 impl LoanPolicy {
     /// A policy lending up to `pool_gpus` GPUs, deciding on `window_s`
-    /// second windows, with 80 % / 40 % overload/underload thresholds and
-    /// the A100 reslice cost model.
+    /// second windows, with 80 % / 40 % overload/underload thresholds, the
+    /// A100 reslice cost model and rolling staging (the workspace
+    /// default).
     ///
     /// # Panics
     ///
@@ -92,7 +93,7 @@ impl LoanPolicy {
             overload_ratio: 0.8,
             underload_ratio: 0.4,
             cost: ResliceCostModel::a100_default(),
-            mode: ReconfigMode::AllAtOnce,
+            mode: ReconfigMode::Rolling,
             demand_model: LoanDemandModel::default(),
         }
     }

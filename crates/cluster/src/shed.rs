@@ -1,0 +1,153 @@
+//! Brownout admission control: shed low-priority queries at the frontend
+//! when lost capacity or surge makes their SLA hopeless.
+//!
+//! Aryl-style clusters reason about *priority under scarcity*: when a rack
+//! goes out, admitting every query just converts the capacity hole into
+//! fleet-wide SLA death. A [`ShedPolicy`] assigns each model a priority
+//! class and rejects low-class queries **at admission** — before they ever
+//! touch a queue — whenever the picked shard's projected queueing delay
+//! exceeds the class's share of the SLA budget. Premium traffic (class 0)
+//! is never shed; higher classes brown out earlier, so under a correlated
+//! outage the survivors' capacity concentrates on the traffic that pays
+//! for it.
+//!
+//! Shedding extends conservation: invariant 10 says every offered query is
+//! **exactly served-or-shed** — shed counts plus completions reconstruct
+//! the offered trace with nothing dropped, double-served, or double-shed.
+
+/// Per-model priority classes plus the brownout threshold.
+///
+/// Class 0 is premium and is never shed. A class-`c` query (`c ≥ 1`) is
+/// rejected at admission when the picked shard's estimated delay satisfies
+/// `delay × c ≥ margin × SLA` — higher classes hit the brownout wall at a
+/// fraction of the SLA budget, so shedding is graded, not all-or-nothing.
+///
+/// # Examples
+///
+/// ```
+/// use inference_cluster::ShedPolicy;
+///
+/// // Model 0 premium, model 1 best-effort batch.
+/// let policy = ShedPolicy::new(vec![0, 1]);
+/// assert!(!policy.should_shed(0, f64::INFINITY, 1_000_000));
+/// assert!(policy.should_shed(1, 2_000_000.0, 1_000_000));
+/// assert!(!policy.should_shed(1, 100_000.0, 1_000_000));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedPolicy {
+    classes: Vec<usize>,
+    margin: f64,
+}
+
+impl ShedPolicy {
+    /// Creates the policy: `classes[m]` is model `m`'s priority class
+    /// (0 = premium, never shed). Margin defaults to 1.0 — class 1 sheds
+    /// exactly when its projected delay alone would consume the whole SLA
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    #[must_use]
+    pub fn new(classes: Vec<usize>) -> Self {
+        assert!(!classes.is_empty(), "shed policy needs at least one model");
+        ShedPolicy {
+            classes,
+            margin: 1.0,
+        }
+    }
+
+    /// Overrides the brownout margin: the fraction of the SLA budget a
+    /// class-1 query's projected delay may consume before it sheds.
+    /// Smaller margins shed earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is not positive and finite.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!(
+            margin.is_finite() && margin > 0.0,
+            "shed margin must be positive"
+        );
+        self.margin = margin;
+        self
+    }
+
+    /// The per-model priority classes.
+    #[must_use]
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// The brownout margin.
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.margin
+    }
+
+    /// The admission decision: shed a `model` query when the picked
+    /// shard's estimated queueing delay (`est_delay_ns`, may be infinite
+    /// when no capacity survives) makes the class's slack negative.
+    /// Premium (class 0) always admits.
+    #[must_use]
+    pub fn should_shed(&self, model: usize, est_delay_ns: f64, sla_ns: u64) -> bool {
+        let class = self.classes.get(model).copied().unwrap_or(0);
+        if class == 0 {
+            return false;
+        }
+        est_delay_ns * class as f64 >= self.margin * sla_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premium_is_never_shed() {
+        let p = ShedPolicy::new(vec![0, 1]);
+        assert!(!p.should_shed(0, f64::INFINITY, 1));
+        assert!(!p.should_shed(0, 1e18, 0));
+    }
+
+    #[test]
+    fn higher_classes_shed_earlier() {
+        let p = ShedPolicy::new(vec![0, 1, 2]);
+        let sla = 1_000_000u64;
+        // Class 1 sheds at the full budget, class 2 at half of it.
+        assert!(!p.should_shed(1, 600_000.0, sla));
+        assert!(p.should_shed(1, 1_000_000.0, sla));
+        assert!(p.should_shed(2, 600_000.0, sla));
+        assert!(!p.should_shed(2, 400_000.0, sla));
+    }
+
+    #[test]
+    fn margin_scales_the_brownout_wall() {
+        let p = ShedPolicy::new(vec![0, 1]).with_margin(0.5);
+        let sla = 1_000_000u64;
+        assert!(p.should_shed(1, 600_000.0, sla), "half budget at margin .5");
+        assert!(!p.should_shed(1, 400_000.0, sla));
+        assert_eq!(p.margin(), 0.5);
+        assert_eq!(p.classes(), &[0, 1]);
+    }
+
+    #[test]
+    fn unknown_model_defaults_to_premium() {
+        // Defensive: a model index past the class list admits.
+        let p = ShedPolicy::new(vec![0]);
+        assert!(!p.should_shed(5, f64::INFINITY, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_class_list_panics() {
+        let _ = ShedPolicy::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_margin_panics() {
+        let _ = ShedPolicy::new(vec![0]).with_margin(0.0);
+    }
+}

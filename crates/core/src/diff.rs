@@ -156,8 +156,8 @@ pub fn plan_diff(current: &[ProfileSize], target: &[ProfileSize]) -> PlanDiff {
 pub enum ReconfigMode {
     /// Every removal quiesces at once and every addition comes online
     /// together after one combined reslice — the historical behavior, kept
-    /// bit-for-bit for the existing benches and property suites.
-    #[default]
+    /// selectable for ablations and for the property suites that pin it
+    /// explicitly.
     AllAtOnce,
     /// One GPU's worth of edits at a time (ParvaGPU-style decoupled
     /// per-GPU repartitioning): each step removes and adds at most
@@ -165,7 +165,10 @@ pub enum ReconfigMode {
     /// any instant is bounded by one GPU while the rest of the pool keeps
     /// serving. Each step is its own driver call and pays its own fixed
     /// reslice overhead — rolling trades a larger *total* downtime for a
-    /// much smaller worst-instant capacity dip.
+    /// much smaller worst-instant capacity dip. The default: the
+    /// `reconfig_dip` data in `BENCH_multimodel.json`/`BENCH_cluster.json`
+    /// shows the bounded dip is worth the extra total downtime.
+    #[default]
     Rolling,
 }
 

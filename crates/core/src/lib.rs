@@ -49,5 +49,5 @@ pub use ordset::{IndexSet, LoadSet};
 pub use paris::{
     homogeneous_plan, random_plan, BatchSegment, GpcBudget, Paris, PartitionPlan, PlanError,
 };
-pub use placement::ElsaState;
+pub use placement::{scale_ns, ElsaState};
 pub use profile::ProfileTable;

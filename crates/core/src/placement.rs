@@ -137,6 +137,25 @@ pub struct ElsaState {
     slots: Vec<Slot>,
     bucket_of: Vec<u32>,
     buckets: Vec<Bucket>,
+    /// Per-partition service-time multipliers (thermal throttling, ECC
+    /// retirement — see `inference_faults`). 1.0 = healthy.
+    factors: Vec<f64>,
+    /// How many entries of `factors` differ from 1.0 — the fast bucket
+    /// path is only valid when this is zero.
+    degraded: usize,
+}
+
+/// Scales a profiled latency by a degrade factor, rounding to the nearest
+/// nanosecond. The single rounding rule shared by placement and dispatch:
+/// both must inflate estimates identically or ELSA's incremental queue
+/// accounting drifts from the workers'.
+#[must_use]
+pub fn scale_ns(ns: u64, factor: f64) -> u64 {
+    if factor == 1.0 {
+        ns
+    } else {
+        (ns as f64 * factor).round() as u64
+    }
 }
 
 impl ElsaState {
@@ -179,7 +198,39 @@ impl ElsaState {
             ],
             bucket_of,
             buckets,
+            factors: vec![1.0; partitions.len()],
+            degraded: 0,
         }
+    }
+
+    /// Sets partition `p`'s service-time multiplier. 1.0 restores the
+    /// clean profile; factors > 1.0 inflate the execution estimate ELSA
+    /// predicts for new queries on `p`, steering placement around sick
+    /// hardware. Queued-work totals are unaffected — estimates are
+    /// inflated at enqueue time by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and ≥ 1.0.
+    pub fn set_factor(&mut self, p: usize, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factor must be finite and ≥ 1.0"
+        );
+        let was_unit = self.factors[p] == 1.0;
+        let is_unit = factor == 1.0;
+        self.factors[p] = factor;
+        match (was_unit, is_unit) {
+            (true, false) => self.degraded += 1,
+            (false, true) => self.degraded -= 1,
+            _ => {}
+        }
+    }
+
+    /// Partition `p`'s current service-time multiplier.
+    #[must_use]
+    pub fn factor(&self, p: usize) -> f64 {
+        self.factors[p]
     }
 
     /// Number of partitions tracked.
@@ -340,6 +391,15 @@ impl Elsa {
             state.partition_count() > 0,
             "no partitions to schedule onto"
         );
+        // Per-partition degrade factors break the bucket invariant (every
+        // member of a size bucket no longer shares one execution
+        // estimate), so a degraded state falls back to the reference scan
+        // with scaled estimates. The fast path below is untouched when all
+        // factors are 1.0, which is what keeps factor-1.0 degrade plans
+        // bit-for-bit identical to fault-free runs.
+        if state.degraded > 0 {
+            return self.place_degraded(batch, table, state, now_ns);
+        }
         let ascending = self.config().order == ScanOrder::SmallestFirst;
         let nb = state.buckets.len();
         let bucket_at = |rank: usize| {
@@ -414,6 +474,52 @@ impl Elsa {
         Decision::Fallback {
             partition,
             expected_service_ns,
+        }
+    }
+
+    /// [`place`](Elsa::place) semantics over a state with non-unit degrade
+    /// factors: the reference O(P log P) scan, with each partition's new-
+    /// query estimate scaled by its factor (queued work was already
+    /// inflated at enqueue time). Equivalent to `place` whenever every
+    /// factor is 1.0.
+    fn place_degraded(
+        &self,
+        batch: usize,
+        table: &ProfileTable,
+        state: &ElsaState,
+        now_ns: u64,
+    ) -> Decision {
+        let snaps = state.snapshots(now_ns);
+        let t_for = |p: usize| scale_ns(table.latency_ns(state.sizes[p], batch), state.factors[p]);
+        let mut order: Vec<usize> = (0..snaps.len()).collect();
+        match self.config().order {
+            ScanOrder::SmallestFirst => {
+                order.sort_by_key(|&p| (snaps[p].size, snaps[p].wait_ns(), p));
+            }
+            ScanOrder::LargestFirst => {
+                order.sort_by_key(|&p| (std::cmp::Reverse(snaps[p].size), snaps[p].wait_ns(), p));
+            }
+        }
+        for &p in &order {
+            let slack = self.slack_ns(&snaps[p], t_for(p));
+            if slack > 0.0 {
+                return Decision::WithinSla {
+                    partition: p,
+                    slack_ns: slack,
+                };
+            }
+        }
+        let service = |p: usize| snaps[p].wait_ns().saturating_add(t_for(p));
+        let partition = match self.config().fallback {
+            FallbackPolicy::FastestService => (0..snaps.len())
+                .min_by_key(|&p| (service(p), p))
+                .expect("partitions is non-empty"),
+            FallbackPolicy::SmallestPartition => order[0],
+            FallbackPolicy::LargestPartition => *order.last().expect("non-empty"),
+        };
+        Decision::Fallback {
+            partition,
+            expected_service_ns: service(partition),
         }
     }
 }
@@ -541,6 +647,70 @@ mod tests {
         state.finish(0);
         assert_eq!(state.snapshot(0, 1_000).wait_ns(), 0);
         assert_eq!(state.partition_count(), 3);
+    }
+
+    #[test]
+    fn unit_factors_keep_reference_equivalence() {
+        // Setting factors to exactly 1.0 must leave the fast path (and its
+        // bit-for-bit reference equivalence) in force.
+        let t = table();
+        let elsa = Elsa::new(ElsaConfig::new(t.sla_target_ns(1.5)));
+        let mut state = ElsaState::new(&[ProfileSize::G1, ProfileSize::G2, ProfileSize::G7]);
+        state.set_factor(0, 1.0);
+        state.set_factor(2, 1.0);
+        state.begin(1, 2_000_000);
+        for batch in [1usize, 8, 32] {
+            assert_matches_reference(&elsa, &mut state, &t, 100_000, batch);
+        }
+    }
+
+    #[test]
+    fn degraded_partition_is_steered_around() {
+        // Two idle G1s: the scan normally picks index 0. A large factor on
+        // 0 inflates its estimate past the SLA so placement lands on 1.
+        let t = table();
+        let elsa = Elsa::new(ElsaConfig::new(t.sla_target_ns(1.5)));
+        let mut state = ElsaState::new(&[ProfileSize::G1, ProfileSize::G1]);
+        assert_eq!(elsa.place_mut(8, &t, &mut state, 0).partition(), 0);
+        state.set_factor(0, 1000.0);
+        let d = elsa.place_mut(8, &t, &mut state, 0);
+        assert_eq!(d.partition(), 1, "sick partition must be avoided");
+        assert!(d.is_within_sla());
+        // Restoring the clean profile restores the original choice.
+        state.set_factor(0, 1.0);
+        assert_eq!(elsa.place_mut(8, &t, &mut state, 0).partition(), 0);
+    }
+
+    #[test]
+    fn degraded_fallback_accounts_for_inflated_service() {
+        // Hopeless SLA forces Step B: fastest-service must use the scaled
+        // estimate, so the degraded small partition loses to the large one.
+        let t = table();
+        let elsa = Elsa::new(ElsaConfig::new(1));
+        let mut state = ElsaState::new(&[ProfileSize::G1, ProfileSize::G7]);
+        // Healthy: the G1 serves a batch-1 query with less wait+exec? The
+        // reference decides; just check degrade flips toward the G7.
+        let healthy = elsa.place_mut(1, &t, &mut state, 0);
+        state.set_factor(0, 1000.0);
+        let degraded = elsa.place_mut(1, &t, &mut state, 0);
+        assert_eq!(degraded.partition(), 1);
+        assert!(!degraded.is_within_sla());
+        let _ = healthy;
+    }
+
+    #[test]
+    fn scale_ns_rounds_to_nearest() {
+        assert_eq!(scale_ns(1_000, 1.0), 1_000);
+        assert_eq!(scale_ns(1_000, 1.5), 1_500);
+        assert_eq!(scale_ns(3, 1.5), 5); // 4.5 rounds up
+        assert_eq!(scale_ns(0, 7.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn sub_unit_factor_panics() {
+        let mut state = ElsaState::new(&[ProfileSize::G1]);
+        state.set_factor(0, 0.5);
     }
 
     #[test]

@@ -101,6 +101,132 @@ pub struct ShardOutage {
     pub repair_at: SimTime,
 }
 
+/// One GPU's partial-degradation window: thermal throttling or ECC-retired
+/// memory slows (does not kill) the instances packed on the GPU by
+/// `factor` between `degrade_at` and `restore_at`. The dispatch core
+/// scales those instances' service times; with degradation-aware placement
+/// (the default) ELSA/FIFS also see the inflated estimates and steer new
+/// queries around the sick hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuDegrade {
+    /// The shard owning the slow GPU.
+    pub shard: usize,
+    /// The degraded GPU slot within the shard's budget.
+    pub gpu: usize,
+    /// Service-time multiplier while degraded (≥ 1.0; 1.0 = no-op).
+    pub factor: f64,
+    /// When throttling begins.
+    pub degrade_at: SimTime,
+    /// When the clean profile returns.
+    pub restore_at: SimTime,
+}
+
+/// A named failure domain: the set of GPUs and whole shards that fail
+/// *together* when the domain (a rack, a power feed, a top-of-rack
+/// switch) goes out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultDomain {
+    /// Human-readable domain name (`"rack0"`, `"pdu-b"`, ...).
+    pub name: String,
+    /// `(shard, gpu)` lanes the domain powers.
+    pub gpus: Vec<(usize, usize)>,
+    /// Whole shards the domain takes out (routing-level failure).
+    pub shards: Vec<usize>,
+}
+
+/// Maps GPUs/shards to rack/power failure domains, so correlated events
+/// can be expressed once and expanded to simultaneous per-GPU/per-shard
+/// timelines through the ordinary injection path.
+///
+/// # Examples
+///
+/// ```
+/// use inference_faults::{FaultPlan, FaultTopology};
+///
+/// // Two shards of 2 GPUs each, racked pairwise: rack0 = shard 0,
+/// // rack1 = shard 1.
+/// let topo = FaultTopology::racks(&[2, 2], 2);
+/// assert_eq!(topo.domains().len(), 2);
+/// let plan = FaultPlan::new().with_domain_outage(&topo, "rack0", 0.5, 1.5);
+/// assert_eq!(plan.gpu_outages().len(), 2); // both of rack0's GPUs die together
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultTopology {
+    domains: Vec<FaultDomain>,
+}
+
+impl FaultTopology {
+    /// An empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultTopology::default()
+    }
+
+    /// Adds a named domain covering the given GPU lanes and whole shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken or the domain is empty.
+    #[must_use]
+    pub fn with_domain(mut self, name: &str, gpus: &[(usize, usize)], shards: &[usize]) -> Self {
+        assert!(
+            self.domains.iter().all(|d| d.name != name),
+            "duplicate fault domain {name:?}"
+        );
+        assert!(
+            !gpus.is_empty() || !shards.is_empty(),
+            "fault domain {name:?} covers nothing"
+        );
+        self.domains.push(FaultDomain {
+            name: name.to_string(),
+            gpus: gpus.to_vec(),
+            shards: shards.to_vec(),
+        });
+        self
+    }
+
+    /// The rack layout used by the resilience scenarios: shard GPU lanes
+    /// are packed in order into racks of `gpus_per_rack`, named
+    /// `"rack0"`, `"rack1"`, ... A rack may span shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus_per_rack` is zero.
+    #[must_use]
+    pub fn racks(shard_gpus: &[usize], gpus_per_rack: usize) -> Self {
+        assert!(gpus_per_rack > 0, "racks need at least one GPU slot");
+        let mut topo = FaultTopology::new();
+        let mut current: Vec<(usize, usize)> = Vec::new();
+        for (shard, &gpus) in shard_gpus.iter().enumerate() {
+            for gpu in 0..gpus {
+                current.push((shard, gpu));
+                if current.len() == gpus_per_rack {
+                    let name = format!("rack{}", topo.domains.len());
+                    topo = topo.with_domain(&name, &current, &[]);
+                    current.clear();
+                }
+            }
+        }
+        if !current.is_empty() {
+            let name = format!("rack{}", topo.domains.len());
+            topo = topo.with_domain(&name, &current, &[]);
+        }
+        topo
+    }
+
+    /// The domains, in insertion order.
+    #[must_use]
+    pub fn domains(&self) -> &[FaultDomain] {
+        &self.domains
+    }
+
+    /// Looks a domain up by name.
+    #[must_use]
+    pub fn domain(&self, name: &str) -> Option<&FaultDomain> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
 /// The tumbling-window width of the degraded/healthy tail split and the
 /// recovery padding appended to each outage interval — matched to the
 /// trajectory benches' 250 ms `reconfig_dip` window so the two spike
@@ -119,20 +245,23 @@ pub const DEGRADED_WINDOW_NS: u64 = 250_000_000;
 pub struct FaultPlan {
     gpu_outages: Vec<GpuOutage>,
     shard_outages: Vec<ShardOutage>,
+    gpu_degrades: Vec<GpuDegrade>,
     cost: ResliceCostModel,
     mode: ReconfigMode,
 }
 
 impl FaultPlan {
-    /// The empty plan (A100 recovery cost model, all-at-once staging) — a
-    /// run under it is bit-for-bit the fault-free run.
+    /// The empty plan (A100 recovery cost model, rolling staging — the
+    /// workspace default) — a run under it is bit-for-bit the fault-free
+    /// run.
     #[must_use]
     pub fn new() -> Self {
         FaultPlan {
             gpu_outages: Vec::new(),
             shard_outages: Vec::new(),
+            gpu_degrades: Vec::new(),
             cost: ResliceCostModel::a100_default(),
-            mode: ReconfigMode::AllAtOnce,
+            mode: ReconfigMode::Rolling,
         }
     }
 
@@ -230,6 +359,118 @@ impl FaultPlan {
         self
     }
 
+    /// Adds one partial-degradation window: the instances packed on
+    /// `(shard, gpu)` run `factor`× slower between `from_s` and `to_s`.
+    /// A factor of exactly 1.0 is a recorded no-op — the run stays
+    /// bit-for-bit the fault-free run (the degenerate case the property
+    /// suite pins).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ from < to` (finite) and `factor` is finite and
+    /// ≥ 1.0, or if the window overlaps an existing degrade of the same
+    /// GPU.
+    #[must_use]
+    pub fn with_gpu_degrade(
+        mut self,
+        shard: usize,
+        gpu: usize,
+        factor: f64,
+        from_s: f64,
+        to_s: f64,
+    ) -> Self {
+        assert_window(from_s, to_s);
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factor must be finite and >= 1.0, got {factor}"
+        );
+        let (degrade_at, restore_at) = (secs(from_s), secs(to_s));
+        assert!(
+            !self.gpu_degrades.iter().any(|d| d.shard == shard
+                && d.gpu == gpu
+                && degrade_at < d.restore_at
+                && d.degrade_at < restore_at),
+            "overlapping degrade for shard {shard} gpu {gpu}"
+        );
+        self.gpu_degrades.push(GpuDegrade {
+            shard,
+            gpu,
+            factor,
+            degrade_at,
+            restore_at,
+        });
+        self
+    }
+
+    /// Adds one correlated domain outage: every GPU lane and every whole
+    /// shard of `topo`'s domain `name` fails at `fail_s` and repairs at
+    /// `repair_s`, simultaneously, through the ordinary per-GPU/per-shard
+    /// injection path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is unknown, or if any expanded window overlaps
+    /// an existing outage of the same GPU/shard (domains sharing members
+    /// must not be scheduled over the same interval).
+    #[must_use]
+    pub fn with_domain_outage(
+        mut self,
+        topo: &FaultTopology,
+        name: &str,
+        fail_s: f64,
+        repair_s: f64,
+    ) -> Self {
+        let domain = topo
+            .domain(name)
+            .unwrap_or_else(|| panic!("unknown fault domain {name:?}"));
+        for &(shard, gpu) in &domain.gpus {
+            self = self.with_gpu_outage(shard, gpu, fail_s, repair_s);
+        }
+        for &shard in &domain.shards {
+            self = self.with_shard_outage(shard, fail_s, repair_s);
+        }
+        self
+    }
+
+    /// Samples correlated domain failures from exponential MTTF/MTTR: each
+    /// domain of `topo` alternates Exp(`mttf_s`) up-time with Exp(`mttr_s`)
+    /// repair time on its own decorrelated lane, and every sampled window
+    /// expands to the domain's full membership (all its GPUs and shards go
+    /// out together). Fully deterministic for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the times is not positive and finite, or if two
+    /// domains sharing a member draw overlapping windows (keep sampled
+    /// topologies disjoint).
+    #[must_use]
+    pub fn sample_domain_mttf(
+        topo: &FaultTopology,
+        mttf_s: f64,
+        mttr_s: f64,
+        horizon_s: f64,
+        seed: u64,
+    ) -> Self {
+        for (name, v) in [("mttf", mttf_s), ("mttr", mttr_s), ("horizon", horizon_s)] {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive");
+        }
+        let mut plan = FaultPlan::new();
+        for (idx, domain) in topo.domains().iter().enumerate() {
+            // Domain lanes live in a separate id space from the per-GPU
+            // lanes of `sample_gpu_mttf`, so mixing both samplers in one
+            // scenario stays decorrelated.
+            let lane = (1u64 << 48) | idx as u64;
+            let mut rng = StdRng::seed_from_u64(seed ^ lane.wrapping_mul(LANE_SALT));
+            let mut t = exp_sample(mttf_s, &mut rng);
+            while t < horizon_s {
+                let repair = t + exp_sample(mttr_s, &mut rng);
+                plan = plan.with_domain_outage(topo, &domain.name, t, repair);
+                t = repair + exp_sample(mttf_s, &mut rng);
+            }
+        }
+        plan
+    }
+
     /// Overrides the recovery reslice cost model.
     #[must_use]
     pub fn with_cost(mut self, cost: ResliceCostModel) -> Self {
@@ -247,7 +488,7 @@ impl FaultPlan {
     /// Whether the plan schedules nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.gpu_outages.is_empty() && self.shard_outages.is_empty()
+        self.gpu_outages.is_empty() && self.shard_outages.is_empty() && self.gpu_degrades.is_empty()
     }
 
     /// The planned GPU outages, in insertion order.
@@ -260,6 +501,12 @@ impl FaultPlan {
     #[must_use]
     pub fn shard_outages(&self) -> &[ShardOutage] {
         &self.shard_outages
+    }
+
+    /// The planned partial-degradation windows, in insertion order.
+    #[must_use]
+    pub fn gpu_degrades(&self) -> &[GpuDegrade] {
+        &self.gpu_degrades
     }
 
     /// Compiles the plan to the cluster's executable, time-sorted
@@ -288,15 +535,32 @@ impl FaultPlan {
             events.push((o.fail_at, FaultEvent::ShardFail { shard: o.shard }));
             events.push((o.repair_at, FaultEvent::ShardRepair { shard: o.shard }));
         }
+        for d in &self.gpu_degrades {
+            events.push((
+                d.degrade_at,
+                FaultEvent::GpuDegrade {
+                    shard: d.shard,
+                    gpu: d.gpu,
+                    factor_milli: factor_milli(d.factor),
+                },
+            ));
+            events.push((
+                d.restore_at,
+                FaultEvent::GpuRestore {
+                    shard: d.shard,
+                    gpu: d.gpu,
+                },
+            ));
+        }
         FaultTimeline::new(events)
             .with_cost(self.cost)
             .with_mode(self.mode)
     }
 
-    /// The degraded intervals this plan implies — each outage window
-    /// padded by one [`DEGRADED_WINDOW_NS`] of recovery (the reslice and
-    /// backlog drain after a repair still hurt the tail), as inclusive
-    /// `(start_ns, end_ns)` pairs for
+    /// The degraded intervals this plan implies — each outage or
+    /// slow-GPU window padded by one [`DEGRADED_WINDOW_NS`] of recovery
+    /// (the reslice and backlog drain after a repair still hurt the
+    /// tail), as inclusive `(start_ns, end_ns)` pairs for
     /// [`WindowedTail::worst_percentile_ms_within`].
     #[must_use]
     pub fn degraded_intervals_ns(&self) -> Vec<(u64, u64)> {
@@ -308,9 +572,32 @@ impl FaultPlan {
                     .iter()
                     .map(|o| (o.fail_at.as_nanos(), o.repair_at.as_nanos())),
             )
+            .chain(
+                self.gpu_degrades
+                    .iter()
+                    .map(|d| (d.degrade_at.as_nanos(), d.restore_at.as_nanos())),
+            )
             .map(|(a, b)| (a, b.saturating_add(DEGRADED_WINDOW_NS)))
             .collect()
     }
+
+    /// GPU-seconds spent in partial-degradation windows (each slow GPU
+    /// counts as one GPU for its window, regardless of factor). Degraded
+    /// capacity stays *online* — it never enters the availability
+    /// integrals — so this is the companion statistic.
+    #[must_use]
+    pub fn degrade_gpu_seconds(&self) -> f64 {
+        self.gpu_degrades
+            .iter()
+            .map(|d| (d.restore_at.as_nanos() - d.degrade_at.as_nanos()) as f64 / 1e9)
+            .sum()
+    }
+}
+
+/// The fixed-point encoding carried by [`FaultEvent::GpuDegrade`] (the
+/// cluster event stays `Copy + Eq`): thousandths of the multiplier.
+fn factor_milli(factor: f64) -> u32 {
+    (factor * 1000.0).round() as u32
 }
 
 impl Default for FaultPlan {
@@ -368,6 +655,22 @@ pub struct FaultReport {
     /// The healthy counterpart: worst window p99 outside every degraded
     /// interval. `None` under summary detail.
     pub healthy_p99_ms: Option<f64>,
+    /// GPU-seconds spent in partial-degradation (slow-GPU) windows —
+    /// capacity that stayed online but throttled, so it is *not* part of
+    /// [`outage_gpu_seconds`](Self::outage_gpu_seconds).
+    pub degrade_gpu_seconds: f64,
+    /// Queries the brownout admission controller rejected, total. Zero
+    /// without a [`ShedPolicy`](inference_cluster::ShedPolicy). Invariant
+    /// 10: offered = served + shed, exactly.
+    pub shed_total: u64,
+    /// Shed counts bucketed by priority class (index = class; empty when
+    /// the cluster has no shed policy). Class 0 is premium and is never
+    /// shed, so `shed_per_class[0] == 0` always.
+    pub shed_per_class: Vec<u64>,
+    /// Served (admitted and completed) counts bucketed by priority class
+    /// — with [`shed_per_class`](Self::shed_per_class), the per-class
+    /// goodput story. Empty when the cluster has no shed policy.
+    pub served_per_class: Vec<u64>,
 }
 
 impl FaultReport {
@@ -376,6 +679,13 @@ impl FaultReport {
     #[must_use]
     pub fn worst_violation_rate(&self) -> f64 {
         self.cluster.worst_violation_rate()
+    }
+
+    /// Goodput: queries actually served per second of makespan (shed
+    /// queries do not count).
+    #[must_use]
+    pub fn goodput_qps(&self) -> f64 {
+        self.cluster.achieved_qps
     }
 }
 
@@ -435,6 +745,25 @@ where
     };
 
     let requeued = report.faults.iter().map(|f| f.requeued).sum();
+    let shed_total = report.shed_per_model.iter().sum();
+    let (shed_per_class, served_per_class) = match cluster.shed() {
+        Some(policy) => {
+            let classes = policy.classes();
+            let n_classes = classes.iter().copied().max().unwrap_or(0) + 1;
+            let mut shed = vec![0u64; n_classes];
+            let mut served = vec![0u64; n_classes];
+            for (m, &class) in classes.iter().enumerate() {
+                shed[class] += report.shed_per_model.get(m).copied().unwrap_or(0);
+                served[class] += report
+                    .per_shard
+                    .iter()
+                    .map(|s| s.per_model.get(m).map_or(0, |pm| pm.completed))
+                    .sum::<u64>();
+            }
+            (shed, served)
+        }
+        None => (Vec::new(), Vec::new()),
+    };
     FaultReport {
         cluster: report,
         base_availability,
@@ -443,6 +772,10 @@ where
         requeued,
         degraded_p99_ms,
         healthy_p99_ms,
+        degrade_gpu_seconds: plan.degrade_gpu_seconds(),
+        shed_total,
+        shed_per_class,
+        served_per_class,
     }
 }
 

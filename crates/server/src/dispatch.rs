@@ -38,7 +38,9 @@ use std::collections::VecDeque;
 use des_engine::{SimDuration, SimTime};
 use inference_workload::QuerySpec;
 use mig_gpu::ProfileSize;
-use paris_core::{Elsa, ElsaState, LoadSet, ProfileTable, ReconfigSchedule, ReconfigStep};
+use paris_core::{
+    scale_ns, Elsa, ElsaState, LoadSet, ProfileTable, ReconfigSchedule, ReconfigStep,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use server_metrics::{LatencyHistogram, LatencyRecorder};
@@ -68,8 +70,17 @@ pub enum ShardEvent {
         worker: usize,
     },
     /// One reconfiguration step's drain + reslice finished: bring its new
-    /// instances online and advance the schedule.
-    ReconfigReady,
+    /// instances online and advance the schedule. The epoch stamps which
+    /// transition armed the event: a transition aborted mid-flight (a
+    /// fault landed on it) leaves its already-scheduled ready event in the
+    /// DES, and the stamp is how the core recognizes it as stale — a
+    /// *newer* transition's ready can legitimately fire at the very same
+    /// instant, so "ignore the next one" counting would misfire.
+    ReconfigReady {
+        /// The arming transition's epoch ([`DispatchCore`]-local,
+        /// monotonic).
+        epoch: u64,
+    },
 }
 
 /// Same-instant ordering: all dispatches (by query id) strictly before all
@@ -130,6 +141,14 @@ pub struct CoreConfig {
     pub detail: ReportDetail,
     /// Record a per-instance execution Gantt trace.
     pub record_gantt: bool,
+    /// Whether schedulers *see* per-slot degrade factors
+    /// ([`DispatchCore::set_degrade`]): when `true` (the default
+    /// everywhere), ELSA's estimates are inflated on slow slots so
+    /// placement steers around sick hardware; when `false` the scheduler
+    /// plans with clean profiles while execution still runs slow — the
+    /// degradation-blind ablation a resilience bench compares against.
+    /// Physical service times are scaled either way.
+    pub degrade_visible: bool,
 }
 
 /// One partition's identity and lifecycle within a run.
@@ -146,6 +165,11 @@ struct WorkerSlot {
     /// Killed by a fault: permanently dark, its stale `Complete` event (if
     /// one was in flight) is a tombstone the core ignores.
     dead: bool,
+    /// Physical service-time multiplier (≥ 1.0; 1.0 = healthy). Set by
+    /// [`DispatchCore::set_degrade`] when the GPU under this slot slows
+    /// down; scales every *future* execution begun on the slot (work
+    /// already in flight keeps its scheduled completion).
+    degrade: f64,
 }
 
 /// Per-group scheduler runtime over the group's member partitions.
@@ -170,15 +194,25 @@ struct GroupRuntime {
 struct ReconfigRun {
     triggered_at: SimTime,
     schedule: ReconfigSchedule,
+    /// This transition's epoch — stamped into every [`ShardEvent::ReconfigReady`]
+    /// it arms, so an abort can leave stale events behind safely.
+    epoch: u64,
     /// Current step: busy retiring workers still draining.
     draining: usize,
     /// Current step: the charged driver downtime.
     step_downtime: SimDuration,
     /// Current step: instances to create when its reslice completes.
     pending_added: Vec<(usize, ProfileSize)>,
+    /// Current step: slots quiesced by it (not yet permanently destroyed —
+    /// an abort revives the survivors among them).
+    step_retired: usize,
     /// Whole-transition totals for the final [`ReconfigEvent`].
     destroyed: usize,
     created: usize,
+    /// Instances actually destroyed/created by *completed* steps — what an
+    /// aborted transition reports instead of the schedule totals.
+    destroyed_done: usize,
+    created_done: usize,
     charged: SimDuration,
     steps_done: usize,
 }
@@ -220,6 +254,9 @@ pub struct DispatchCore<'a> {
     frontend_free: SimTime,
     next_query_id: u64,
     next_complete_key: u64,
+    /// Epoch of the next transition to begin (see
+    /// [`ShardEvent::ReconfigReady`]).
+    next_epoch: u64,
 }
 
 impl<'a> DispatchCore<'a> {
@@ -256,6 +293,7 @@ impl<'a> DispatchCore<'a> {
                     local: 0,
                     retiring: false,
                     dead: false,
+                    degrade: 1.0,
                 });
                 rows.push(table.latency_row(size));
                 max_batch.push(table.max_batch());
@@ -299,6 +337,7 @@ impl<'a> DispatchCore<'a> {
             frontend_free: SimTime::ZERO,
             next_query_id: 0,
             next_complete_key: COMPLETE_KEY_BASE,
+            next_epoch: 0,
         };
         for g in 0..core.groups.len() {
             core.rebuild_group(g);
@@ -334,6 +373,12 @@ impl<'a> DispatchCore<'a> {
                             state.enqueue(local, est.as_nanos());
                         }
                     }
+                    // Re-apply per-slot degrade factors so a rebuilt state
+                    // keeps steering around slow hardware (skipped when
+                    // blind or healthy, preserving the fast path).
+                    if self.config.degrade_visible && self.slots[w].degrade != 1.0 {
+                        state.set_factor(local, self.slots[w].degrade);
+                    }
                 }
                 self.groups[g].elsa = Some((Elsa::new(*cfg), state));
             }
@@ -350,10 +395,31 @@ impl<'a> DispatchCore<'a> {
         }
     }
 
-    /// Profiled execution estimate for `batch` on slot `w`.
+    /// The *scheduler-visible* execution estimate for `batch` on slot `w`:
+    /// the profiled latency, inflated by the slot's degrade factor when
+    /// the configuration makes degradation visible. This is the value the
+    /// per-group scheduler state books (so ELSA's queued-work sums stay
+    /// consistent with its placement-time estimates).
     #[inline]
     fn estimate_ns(&self, w: usize, batch: usize) -> u64 {
-        self.rows[w][batch.clamp(1, self.max_batch[w]) - 1]
+        let base = self.rows[w][batch.clamp(1, self.max_batch[w]) - 1];
+        if self.config.degrade_visible {
+            scale_ns(base, self.slots[w].degrade)
+        } else {
+            base
+        }
+    }
+
+    /// The *physical* execution time for `batch` on slot `w` (before
+    /// service noise): the profiled latency scaled by the slot's degrade
+    /// factor, always — slow silicon is slow whether or not the scheduler
+    /// is allowed to know.
+    #[inline]
+    fn service_ns(&self, w: usize, batch: usize) -> u64 {
+        scale_ns(
+            self.rows[w][batch.clamp(1, self.max_batch[w]) - 1],
+            self.slots[w].degrade,
+        )
     }
 
     /// Offers one arrival for group `group` to the serial frontend,
@@ -397,7 +463,7 @@ impl<'a> DispatchCore<'a> {
         match event {
             ShardEvent::Dispatch(query, group) => self.route(query, group, now, sched),
             ShardEvent::Complete { worker } => self.on_complete(worker, now, sched),
-            ShardEvent::ReconfigReady => self.on_reconfig_ready(now, sched),
+            ShardEvent::ReconfigReady { epoch } => self.on_reconfig_ready(epoch, now, sched),
         }
     }
 
@@ -444,7 +510,7 @@ impl<'a> DispatchCore<'a> {
         now: SimTime,
         sched: &mut impl FnMut(SimTime, u64, ShardEvent),
     ) {
-        let base = self.estimate_ns(w, query.batch);
+        let base = self.service_ns(w, query.batch);
         let duration = noisy_service_duration(self.config.service_noise, base, &mut self.noise_rng);
         let end = self.slots[w].worker.begin(query, now, duration);
         if !self.slots[w].retiring {
@@ -566,8 +632,12 @@ impl<'a> DispatchCore<'a> {
                     .expect("retiring implies a reconfig in flight");
                 rc.draining -= 1;
                 if rc.draining == 0 {
-                    let delay = rc.step_downtime;
-                    sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
+                    let (delay, epoch) = (rc.step_downtime, rc.epoch);
+                    sched(
+                        now + delay,
+                        RECONFIG_KEY,
+                        ShardEvent::ReconfigReady { epoch },
+                    );
                 }
             }
             return;
@@ -646,8 +716,12 @@ impl<'a> DispatchCore<'a> {
                         .expect("retiring implies a reconfig in flight");
                     rc.draining -= 1;
                     if rc.draining == 0 {
-                        let delay = rc.step_downtime;
-                        sched(now + delay, RECONFIG_KEY, ShardEvent::ReconfigReady);
+                        let (delay, epoch) = (rc.step_downtime, rc.epoch);
+                        sched(
+                            now + delay,
+                            RECONFIG_KEY,
+                            ShardEvent::ReconfigReady { epoch },
+                        );
                     }
                 }
             } else {
@@ -690,6 +764,43 @@ impl<'a> DispatchCore<'a> {
             .collect()
     }
 
+    /// Sets the physical service-time multiplier of the given worker slots
+    /// to `factor` (1.0 restores the clean profile) — a *slow-GPU* fault,
+    /// not a kill: the slots keep serving, but every execution begun after
+    /// this instant takes `factor`× the profiled time. Work already in
+    /// flight keeps its scheduled completion (the throttle lands between
+    /// queries, not mid-kernel).
+    ///
+    /// When the configuration makes degradation visible, each affected
+    /// group's ELSA state is updated in place so placement immediately
+    /// steers around the slow slots; a blind configuration scales only the
+    /// physical times. Slots already at `factor` are skipped entirely —
+    /// which is what makes a `factor == 1.0` degrade-and-restore cycle
+    /// bit-for-bit identical to never degrading at all. Dead and
+    /// out-of-range slots are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and ≥ 1.0.
+    pub fn set_degrade(&mut self, workers: &[usize], factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degrade factor must be finite and >= 1.0, got {factor}"
+        );
+        for &w in workers {
+            if w >= self.slots.len() || self.slots[w].dead || self.slots[w].degrade == factor {
+                continue;
+            }
+            self.slots[w].degrade = factor;
+            if self.config.degrade_visible && !self.slots[w].retiring {
+                let (g, local) = (self.slots[w].group, self.slots[w].local);
+                if let Some((_, state)) = &mut self.groups[g].elsa {
+                    state.set_factor(local, factor);
+                }
+            }
+        }
+    }
+
     /// Total GPC-weighted busy nanoseconds accumulated by every slot that
     /// ever existed — the measured-utilization signal behind the cluster's
     /// `LoanDemandModel::MeasuredBusy` (demand in GPU equivalents is the
@@ -720,18 +831,96 @@ impl<'a> DispatchCore<'a> {
         let Some(first) = schedule.next() else {
             return false;
         };
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
         self.reconfig = Some(ReconfigRun {
             triggered_at: now,
             destroyed,
             created,
             schedule,
+            epoch,
             draining: 0,
             step_downtime: SimDuration::ZERO,
             pending_added: Vec::new(),
+            step_retired: 0,
+            destroyed_done: 0,
+            created_done: 0,
             charged: SimDuration::ZERO,
             steps_done: 0,
         });
         self.start_step(first, now, sched);
+        true
+    }
+
+    /// Aborts an in-flight reconfiguration — the escape hatch a fault
+    /// handler pulls when a failure lands on hardware the transition is
+    /// mid-way through rearranging (the stale schedule would otherwise
+    /// keep executing against a layout that no longer exists, and the
+    /// recovery re-plan would defer behind it).
+    ///
+    /// The remaining schedule is dropped; the current step's quiesced
+    /// survivors rejoin their groups with their queues intact (a drain is
+    /// reversible right up until the reslice destroys the instance); its
+    /// never-created additions simply never exist; stashed dark-group
+    /// arrivals re-enter dispatch wherever members survive. Any
+    /// already-armed [`ShardEvent::ReconfigReady`] is left in the DES and
+    /// dies as a stale epoch. The transition is recorded as a
+    /// [`ReconfigEvent`] with `aborted: true`, counting only what its
+    /// completed steps actually destroyed/created.
+    ///
+    /// Returns `false` (a no-op) when no reconfiguration is in flight.
+    pub fn abort_transition(
+        &mut self,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) -> bool {
+        let Some(rc) = self.reconfig.take() else {
+            return false;
+        };
+        let mut touched: Vec<usize> = Vec::new();
+        let mut destroyed_by_death = 0usize;
+        // Steps execute strictly in order, so every retiring slot belongs
+        // to the aborted step. Dead ones stay dead (the hardware is gone
+        // whether or not a reslice was coming); survivors revive.
+        for w in 0..self.slots.len() {
+            if !self.slots[w].retiring {
+                continue;
+            }
+            if self.slots[w].dead {
+                destroyed_by_death += 1;
+                continue;
+            }
+            self.slots[w].retiring = false;
+            let g = self.slots[w].group;
+            self.groups[g].members.push(w);
+            if !touched.contains(&g) {
+                touched.push(g);
+            }
+        }
+        for &g in &touched {
+            self.rebuild_group(g);
+        }
+        // Arrivals stashed while a group was dark re-enter dispatch now
+        // that the revival (or an earlier step's additions) gave it
+        // members again; a still-dark group keeps its stash for the
+        // recovery re-plan that follows an abort.
+        for g in 0..self.groups.len() {
+            while !self.groups[g].members.is_empty() {
+                let Some(q) = self.groups[g].stash.pop_front() else {
+                    break;
+                };
+                self.route(q, g, now, sched);
+            }
+        }
+        self.reconfigs.push(ReconfigEvent {
+            triggered_at: rc.triggered_at,
+            completed_at: now,
+            destroyed: rc.destroyed_done + destroyed_by_death,
+            created: rc.created_done,
+            reslice_delay: rc.charged,
+            steps: rc.steps_done,
+            aborted: true,
+        });
         true
     }
 
@@ -745,6 +934,7 @@ impl<'a> DispatchCore<'a> {
         sched: &mut impl FnMut(SimTime, u64, ShardEvent),
     ) {
         let mut draining = 0usize;
+        let mut retired = 0usize;
         let mut added: Vec<(usize, ProfileSize)> = Vec::new();
         for (g, diff) in &step.diffs {
             let g = *g;
@@ -763,6 +953,7 @@ impl<'a> DispatchCore<'a> {
                         } else {
                             draining += 1;
                         }
+                        retired += 1;
                         to_retire -= 1;
                     }
                 }
@@ -780,11 +971,12 @@ impl<'a> DispatchCore<'a> {
         rc.draining = draining;
         rc.step_downtime = SimDuration::from_nanos(step.downtime_ns);
         rc.pending_added = added;
+        rc.step_retired = retired;
         if draining == 0 {
             sched(
                 now + rc.step_downtime,
                 RECONFIG_KEY,
-                ShardEvent::ReconfigReady,
+                ShardEvent::ReconfigReady { epoch: rc.epoch },
             );
         }
     }
@@ -795,24 +987,32 @@ impl<'a> DispatchCore<'a> {
     /// reconfiguration.
     fn on_reconfig_ready(
         &mut self,
+        epoch: u64,
         now: SimTime,
         sched: &mut impl FnMut(SimTime, u64, ShardEvent),
     ) {
-        let rc = self
-            .reconfig
-            .as_mut()
-            .expect("reconfig event without state");
+        // A stale ready event — its transition was aborted (and possibly
+        // replaced) between arming and firing — is dead air.
+        let Some(rc) = self.reconfig.as_mut().filter(|rc| rc.epoch == epoch) else {
+            return;
+        };
         let added = std::mem::take(&mut rc.pending_added);
         rc.charged += rc.step_downtime;
         rc.steps_done += 1;
+        rc.destroyed_done += rc.step_retired;
+        rc.step_retired = 0;
+        rc.created_done += added.len();
         for &(g, size) in &added {
             let w = self.slots.len();
+            // New silicon comes up clean: degrade follows the hardware
+            // that was hot, not the slot number.
             self.slots.push(WorkerSlot {
                 worker: PartitionWorker::new(size),
                 group: g,
                 local: 0,
                 retiring: false,
                 dead: false,
+                degrade: 1.0,
             });
             self.rows.push(self.specs[g].table.latency_row(size));
             self.max_batch.push(self.specs[g].table.max_batch());
@@ -866,6 +1066,7 @@ impl<'a> DispatchCore<'a> {
                     created: rc.created,
                     reslice_delay: rc.charged,
                     steps: rc.steps_done,
+                    aborted: false,
                 });
             }
         }
@@ -980,6 +1181,7 @@ mod tests {
             noise_seed: 0,
             detail: ReportDetail::Full,
             record_gantt: false,
+            degrade_visible: true,
         }
     }
 
@@ -1196,6 +1398,170 @@ mod tests {
         assert!(
             rep.records.iter().any(|r| r.partition == 1),
             "survivor picked up the requeued work"
+        );
+    }
+
+    /// Aborting a rolling transition mid-step revives the quiesced
+    /// survivors, conserves every query, records the aborted event, and
+    /// leaves the stale armed `ReconfigReady` harmless.
+    #[test]
+    fn abort_mid_rolling_step_revives_quiesced_and_conserves() {
+        let tables = [table(ModelKind::MobileNet), table(ModelKind::MobileNet)];
+        let current = vec![
+            vec![ProfileSize::G7, ProfileSize::G7],
+            vec![ProfileSize::G2, ProfileSize::G2, ProfileSize::G3],
+        ];
+        let target = vec![vec![ProfileSize::G3; 4], vec![ProfileSize::G7]];
+        let specs = vec![
+            GroupSpec {
+                name: "g0",
+                table: &tables[0],
+                scheduler: SchedulerKind::Fifs,
+                sla_ns: None,
+            },
+            GroupSpec {
+                name: "g1",
+                table: &tables[1],
+                scheduler: SchedulerKind::Fifs,
+                sla_ns: None,
+            },
+        ];
+        let mut core = DispatchCore::new(specs, &current, core_config());
+        let mut sim: Simulation<ShardEvent> = Simulation::new();
+        let cost = mig_gpu::ResliceCostModel::a100_default();
+
+        let n = 600usize;
+        let arrivals: Vec<(usize, QuerySpec)> = (0..n)
+            .map(|i| {
+                (
+                    i % 2,
+                    QuerySpec {
+                        arrival_ns: i as u64 * 300_000,
+                        batch: 1 + (i % 8),
+                    },
+                )
+            })
+            .collect();
+        let mut next = 0usize;
+        let mut dispatched = 0usize;
+        let mut aborted = false;
+        let (g, spec) = arrivals[next];
+        next += 1;
+        core.offer(g, spec, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        while let Some((now, event)) = sim.next_event() {
+            if matches!(event, ShardEvent::Dispatch(..)) {
+                if next < arrivals.len() {
+                    let (g, spec) = arrivals[next];
+                    next += 1;
+                    core.offer(g, spec, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+                }
+                dispatched += 1;
+                if dispatched == 200 {
+                    let live = core.live_groups();
+                    let diffs: Vec<_> = live
+                        .iter()
+                        .zip(&target)
+                        .map(|(c, t)| plan_diff(c, t))
+                        .collect();
+                    let schedule = ReconfigSchedule::new(&diffs, ReconfigMode::Rolling, &cost, 0);
+                    assert!(core.begin_transition(schedule, now, &mut |t, k, e| {
+                        sim.schedule_at_keyed(t, k, e)
+                    }));
+                }
+                if dispatched == 210 && core.reconfig_in_flight() && !aborted {
+                    aborted = true;
+                    assert!(core
+                        .abort_transition(now, &mut |t, k, e| { sim.schedule_at_keyed(t, k, e) }));
+                    assert!(!core.reconfig_in_flight());
+                    // Aborting again is a no-op.
+                    assert!(!core
+                        .abort_transition(now, &mut |t, k, e| { sim.schedule_at_keyed(t, k, e) }));
+                    // Every slot that is not permanently destroyed serves
+                    // again: the revived layout hosts both groups.
+                    let live = core.live_groups();
+                    assert!(
+                        live.iter().all(|g| !g.is_empty()),
+                        "revival left a dark group"
+                    );
+                }
+            }
+            core.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+        }
+        assert!(aborted, "trace too short to reach the abort");
+        let rep = core.finish(sim.peak_pending());
+        assert_eq!(rep.records.len(), n, "nothing dropped");
+        let mut ids: Vec<u64> = rep.records.iter().map(|r| r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "nothing double-served");
+        for r in &rep.records {
+            assert!(r.arrival <= r.dispatched && r.dispatched <= r.started);
+            assert!(r.started < r.completed);
+        }
+        assert_eq!(rep.reconfigs.len(), 1);
+        assert!(rep.reconfigs[0].aborted, "the abort is recorded");
+    }
+
+    /// Slot degradation scales physical service times (and, visible,
+    /// steers placement), while a factor-1.0 degrade/restore cycle is
+    /// bit-for-bit the untouched run.
+    #[test]
+    fn degrade_slows_service_and_unit_factor_is_bit_identical() {
+        let t = table(ModelKind::MobileNet);
+        let run = |factors: &[(usize, f64)]| {
+            let specs = vec![GroupSpec {
+                name: "m",
+                table: &t,
+                scheduler: SchedulerKind::Fifs,
+                sla_ns: None,
+            }];
+            let layouts = vec![vec![ProfileSize::G3, ProfileSize::G3]];
+            let mut core = DispatchCore::new(specs, &layouts, core_config());
+            let mut sim: Simulation<ShardEvent> = Simulation::new();
+            for &(w, f) in factors {
+                core.set_degrade(&[w], f);
+            }
+            let n = 200usize;
+            let arrivals: Vec<QuerySpec> = (0..n)
+                .map(|i| QuerySpec {
+                    arrival_ns: i as u64 * 200_000,
+                    batch: 1 + (i % 8),
+                })
+                .collect();
+            let mut next = 0usize;
+            core.offer(0, arrivals[next], &mut |t, k, e| {
+                sim.schedule_at_keyed(t, k, e)
+            });
+            next += 1;
+            while let Some((now, event)) = sim.next_event() {
+                if matches!(event, ShardEvent::Dispatch(..)) && next < arrivals.len() {
+                    core.offer(0, arrivals[next], &mut |t, k, e| {
+                        sim.schedule_at_keyed(t, k, e)
+                    });
+                    next += 1;
+                }
+                core.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+            }
+            core.finish(sim.peak_pending())
+        };
+        let clean = run(&[]);
+        let unit = run(&[(0, 1.0)]);
+        // Unit factor: bit-for-bit the clean run.
+        assert_eq!(unit.records, clean.records);
+        assert_eq!(unit.makespan, clean.makespan);
+        let slow = run(&[(0, 3.0)]);
+        assert_eq!(slow.records.len(), clean.records.len(), "conserved");
+        assert!(
+            slow.makespan > clean.makespan,
+            "a 3x-slow slot must stretch the run"
+        );
+        // Visible degradation steers work toward the healthy slot.
+        let served_on = |rep: &MultiRunReport, w: usize| {
+            rep.records.iter().filter(|r| r.partition == w).count()
+        };
+        assert!(
+            served_on(&slow, 1) > served_on(&clean, 1),
+            "placement should shift load off the slow slot"
         );
     }
 

@@ -143,22 +143,25 @@ pub struct ReplanPolicy {
     pub detector: DriftDetectorConfig,
     /// The MIG reslice downtime model the DES charges per reconfiguration.
     pub cost: ResliceCostModel,
-    /// How a re-plan's edits are staged: one combined outage
-    /// ([`ReconfigMode::AllAtOnce`], the default) or one GPU at a time
-    /// ([`ReconfigMode::Rolling`], bounding the capacity dip).
+    /// How a re-plan's edits are staged: one GPU at a time
+    /// ([`ReconfigMode::Rolling`], the default — bounding the capacity dip)
+    /// or one combined outage ([`ReconfigMode::AllAtOnce`], kept for
+    /// ablations).
     pub mode: ReconfigMode,
 }
 
 impl ReplanPolicy {
     /// A policy with the given detection window (seconds), the default
-    /// ±50 % drift threshold, the A100 reslice cost model and all-at-once
-    /// staging.
+    /// ±50 % drift threshold, the A100 reslice cost model and rolling
+    /// staging (the workspace default — `BENCH_multimodel.json`'s
+    /// `reconfig_dip` data shows the bounded dip is worth the extra total
+    /// downtime).
     #[must_use]
     pub fn new(window_s: f64) -> Self {
         ReplanPolicy {
             detector: DriftDetectorConfig::new(window_s),
             cost: ResliceCostModel::a100_default(),
-            mode: ReconfigMode::AllAtOnce,
+            mode: ReconfigMode::Rolling,
         }
     }
 
@@ -203,6 +206,11 @@ pub struct MultiModelConfig {
     pub record_gantt: bool,
     /// Online re-planning policy; `None` freezes the initial plan.
     pub replan: Option<ReplanPolicy>,
+    /// Whether schedulers see slow-GPU degrade factors (`true`, the
+    /// default) or plan with clean profiles while execution runs slow
+    /// (`false` — the degradation-blind ablation;
+    /// [`with_degrade_blind`](Self::with_degrade_blind)).
+    pub degrade_visible: bool,
 }
 
 impl MultiModelConfig {
@@ -217,7 +225,17 @@ impl MultiModelConfig {
             detail: ReportDetail::Full,
             record_gantt: false,
             replan: None,
+            degrade_visible: true,
         }
+    }
+
+    /// Makes schedulers plan with clean profiles even on degraded
+    /// hardware — the ablation a resilience bench runs to show what
+    /// degradation-aware placement buys.
+    #[must_use]
+    pub fn with_degrade_blind(mut self) -> Self {
+        self.degrade_visible = false;
+        self
     }
 
     /// Enables Gantt-trace recording.
@@ -369,6 +387,11 @@ pub struct ReconfigEvent {
     /// Sequential steps the transition executed: 1 for an all-at-once
     /// reconfiguration, one per affected GPU for a rolling one.
     pub steps: usize,
+    /// Whether the transition was aborted mid-schedule (a fault landed on
+    /// hardware it was rearranging): `completed_at` is then the abort
+    /// instant, and `destroyed`/`created` count only what its completed
+    /// steps actually did.
+    pub aborted: bool,
 }
 
 /// Per-model results of a multi-model run.
@@ -749,6 +772,7 @@ impl<'a> ShardEngine<'a> {
                 noise_seed: server.config.noise_seed,
                 detail,
                 record_gantt: server.config.record_gantt,
+                degrade_visible: server.config.degrade_visible,
             },
         );
         let detector = server.config.replan.as_ref().map(|rp| {
@@ -866,6 +890,26 @@ impl<'a> ShardEngine<'a> {
     #[must_use]
     pub fn busy_gpc_ns(&self) -> u128 {
         self.core.busy_gpc_ns()
+    }
+
+    /// Sets the physical service-time multiplier of the given worker slots
+    /// (a slow-GPU fault; 1.0 restores the clean profile). See
+    /// [`DispatchCore::set_degrade`] for the exact semantics and the
+    /// factor-1.0 bit-identity contract.
+    pub fn set_degrade(&mut self, workers: &[usize], factor: f64) {
+        self.core.set_degrade(workers, factor);
+    }
+
+    /// Aborts an in-flight reconfiguration (a fault landed on hardware it
+    /// was rearranging): the current step's quiesced survivors rejoin
+    /// their groups and the remaining schedule is dropped. Returns whether
+    /// anything was aborted. See [`DispatchCore::abort_transition`].
+    pub fn abort_reconfig(
+        &mut self,
+        now: SimTime,
+        sched: &mut impl FnMut(SimTime, u64, ShardEvent),
+    ) -> bool {
+        self.core.abort_transition(now, sched)
     }
 
     /// Acts on a drift report: re-plans every model from its observed

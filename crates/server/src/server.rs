@@ -430,6 +430,7 @@ impl InferenceServer {
                 noise_seed: self.config.noise_seed,
                 detail,
                 record_gantt: self.config.record_gantt,
+                degrade_visible: true,
             },
         );
         if let Some(spec) = arrivals.next() {

@@ -19,9 +19,11 @@
 //! * [`server`] — the simulated multi-GPU inference server and the
 //!   evaluation harness (design points, load sweeps),
 //! * [`cluster`] — multi-server sharding: N server shards behind a router
-//!   in one DES, with Aryl-style batch-pool capacity loaning,
+//!   in one DES, with Aryl-style batch-pool capacity loaning and brownout
+//!   admission control ([`cluster::ShedPolicy`]),
 //! * [`faults`] — fault injection & recovery: seedable GPU/shard outage
-//!   scenarios, drain-and-redistribute, availability accounting.
+//!   scenarios with failure domains (racks), slow-GPU degradation,
+//!   drain-and-redistribute, availability accounting.
 //!
 //! ## Quickstart
 //!
@@ -59,11 +61,11 @@ pub use server_metrics as metrics;
 pub mod prelude {
     pub use crate::cluster::{
         Cluster, ClusterReport, FaultEvent, FaultTimeline, LoanDemandModel, LoanPolicy,
-        RouterPolicy,
+        RouterPolicy, ShedPolicy,
     };
     pub use crate::des::{SimDuration, SimTime};
     pub use crate::dnn::{ModelGraph, ModelKind};
-    pub use crate::faults::{run_with_faults, FaultPlan, FaultReport};
+    pub use crate::faults::{run_with_faults, FaultDomain, FaultPlan, FaultReport, FaultTopology};
     pub use crate::gpu::{DeviceSpec, GpuLayout, PerfModel, ProfileSize};
     pub use crate::metrics::{
         latency_bounded_throughput, LatencyRecorder, ThroughputPoint, WindowedTail,

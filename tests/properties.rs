@@ -628,17 +628,111 @@ proptest! {
         seed in 0u64..24,
         mttf_s in 0.8f64..2.0,
         mttr_s in 0.15f64..0.5,
-        shard_fail_s in 0.2f64..0.7
+        shard_fail_s in 0.2f64..0.7,
+        degrade_factor in 1.0f64..4.0,
+        degrade_at in 0.1f64..0.6,
+        margin in 0.3f64..1.5
     ) {
-        // The failure conservation contract (ARCHITECTURE.md invariant 9):
-        // for ANY fault plan — sampled GPU outages layered over a whole
-        // shard drain, at any phasing against the traffic — fail → drain/
-        // requeue → re-plan never strands or double-serves a query. Every
-        // arrival completes exactly once, with an ordered lifecycle, no
-        // matter which instances died under it.
-        use paris_elsa::cluster::{Cluster, RouterPolicy};
+        // The graceful-degradation conservation contract (ARCHITECTURE.md
+        // invariants 9 and 10): for ANY fault plan — sampled GPU outages
+        // layered over a whole shard drain and a slow-GPU window, at any
+        // phasing against the traffic, with brownout shedding active —
+        // every offered query is EXACTLY served-or-shed: fail → drain/
+        // requeue → re-plan never strands or double-serves, shedding never
+        // double-counts, and premium (class 0) is never shed.
+        use paris_elsa::cluster::{Cluster, RouterPolicy, ShedPolicy};
         use paris_elsa::dnn::ModelKind;
         use paris_elsa::faults::{run_with_faults, FaultPlan};
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
+        use paris_elsa::workload::{MultiTraceGenerator, PhaseSpec};
+
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let dist = BatchDistribution::paper_default();
+        let table =
+            ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32);
+        let shard = |gpus: usize| {
+            MultiModelServer::new(
+                vec![
+                    ModelSpec::new("premium", table.clone(), dist.clone()),
+                    ModelSpec::new("batch", table.clone(), dist.clone()),
+                ],
+                GpcBudget::new(gpus * 7, gpus),
+                MultiModelConfig::new(),
+            )
+            .unwrap()
+        };
+        let cluster = Cluster::new(vec![shard(2), shard(2)], RouterPolicy::JoinShortestQueue)
+            .with_shed(ShedPolicy::new(vec![0, 1]).with_margin(margin));
+        let rate = 0.3
+            * cluster
+                .shards()
+                .iter()
+                .map(MultiModelServer::capacity_hint_qps)
+                .sum::<f64>();
+        let trace = MultiTraceGenerator::new(
+            vec![PhaseSpec::new(1.2, vec![(rate, dist.clone()), (rate, dist)])],
+            seed,
+        )
+        .generate();
+        let plan = FaultPlan::sample_gpu_mttf(&[2, 2], mttf_s, mttr_s, 1.2, seed)
+            .with_shard_outage(1, shard_fail_s, 0.9)
+            .with_gpu_degrade(0, 0, degrade_factor, degrade_at, degrade_at + 0.4);
+        let report = run_with_faults(
+            &cluster,
+            trace.iter().copied().map(|tq| (None, tq)),
+            paris_elsa::server::ReportDetail::Full,
+            &plan,
+        );
+        let completed: u64 = report
+            .cluster
+            .per_shard
+            .iter()
+            .map(|r| r.records.len() as u64)
+            .sum();
+        prop_assert_eq!(
+            completed + report.shed_total,
+            trace.len() as u64,
+            "offered must be exactly served + shed"
+        );
+        prop_assert_eq!(
+            report.shed_total,
+            report.cluster.shed_per_model.iter().sum::<u64>(),
+            "shed aggregates must agree"
+        );
+        prop_assert_eq!(
+            report.shed_per_class.first().copied().unwrap_or(0),
+            0u64,
+            "premium is never shed"
+        );
+        for shard_report in &report.cluster.per_shard {
+            let mut ids: Vec<u64> = shard_report.records.iter().map(|r| r.id.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), shard_report.records.len(), "double-served");
+            for r in &shard_report.records {
+                prop_assert!(r.arrival <= r.dispatched);
+                prop_assert!(r.dispatched <= r.started);
+                prop_assert!(r.started < r.completed);
+            }
+        }
+        prop_assert!(report.base_availability <= 1.0);
+        prop_assert!(report.effective_availability <= 1.0);
+    }
+
+    #[test]
+    fn correlated_domain_outages_conserve_queries(
+        seed in 0u64..20,
+        mttf_s in 1.0f64..2.5,
+        mttr_s in 0.2f64..0.5,
+        gpus_per_rack in 1usize..=3
+    ) {
+        // Correlated (rack-level) failures are just simultaneous per-GPU
+        // events: whatever windows the domain sampler draws, and however
+        // many GPUs die together, conservation holds and availability
+        // stays a valid fraction.
+        use paris_elsa::cluster::{Cluster, RouterPolicy};
+        use paris_elsa::dnn::ModelKind;
+        use paris_elsa::faults::{run_with_faults, FaultPlan, FaultTopology};
         use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
         use paris_elsa::workload::{MultiTraceGenerator, PhaseSpec};
 
@@ -654,8 +748,9 @@ proptest! {
             )
             .unwrap()
         };
-        let cluster = Cluster::new(vec![shard(2), shard(1)], RouterPolicy::JoinShortestQueue);
-        let rate = 0.6
+        let shard_gpus = [2usize, 2];
+        let cluster = Cluster::new(vec![shard(2), shard(2)], RouterPolicy::JoinShortestQueue);
+        let rate = 0.5
             * cluster
                 .shards()
                 .iter()
@@ -664,8 +759,8 @@ proptest! {
         let trace =
             MultiTraceGenerator::new(vec![PhaseSpec::new(1.2, vec![(rate, dist)])], seed)
                 .generate();
-        let plan = FaultPlan::sample_gpu_mttf(&[2, 1], mttf_s, mttr_s, 1.2, seed)
-            .with_shard_outage(1, shard_fail_s, 0.9);
+        let topo = FaultTopology::racks(&shard_gpus, gpus_per_rack);
+        let plan = FaultPlan::sample_domain_mttf(&topo, mttf_s, mttr_s, 1.2, seed);
         let report = run_with_faults(
             &cluster,
             trace.iter().copied().map(|tq| (None, tq)),
@@ -684,14 +779,64 @@ proptest! {
             ids.sort_unstable();
             ids.dedup();
             prop_assert_eq!(ids.len(), shard_report.records.len(), "double-served");
-            for r in &shard_report.records {
-                prop_assert!(r.arrival <= r.dispatched);
-                prop_assert!(r.dispatched <= r.started);
-                prop_assert!(r.started < r.completed);
-            }
         }
-        prop_assert!(report.base_availability <= 1.0);
-        prop_assert!(report.effective_availability <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&report.base_availability));
+        prop_assert!((0.0..=1.0).contains(&report.effective_availability));
+    }
+
+    #[test]
+    fn unit_factor_degrades_are_bit_for_bit_the_fault_free_run(
+        seed in 0u64..20,
+        degrade_at in 0.05f64..0.5,
+        width in 0.1f64..0.6,
+        gpu in 0usize..2
+    ) {
+        // The degenerate-degrade contract: a degrade/restore cycle with
+        // factor exactly 1.0 — at any phasing, on any GPU — leaves no
+        // trace beyond the fault log. Records, histograms, makespan and
+        // reconfiguration history are bit-identical to the fault-free run.
+        use paris_elsa::cluster::{Cluster, RouterPolicy};
+        use paris_elsa::dnn::ModelKind;
+        use paris_elsa::faults::{run_with_faults, FaultPlan};
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
+        use paris_elsa::workload::{MultiTraceGenerator, PhaseSpec};
+
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let dist = BatchDistribution::paper_default();
+        let table =
+            ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32);
+        let server = MultiModelServer::new(
+            vec![ModelSpec::new("m", table, dist.clone())],
+            GpcBudget::new(14, 2),
+            MultiModelConfig::new(),
+        )
+        .unwrap();
+        let rate = 0.7 * server.capacity_hint_qps();
+        let cluster = Cluster::new(vec![server], RouterPolicy::JoinShortestQueue);
+        let trace =
+            MultiTraceGenerator::new(vec![PhaseSpec::new(1.0, vec![(rate, dist)])], seed)
+                .generate();
+        let run = |plan: &FaultPlan| {
+            run_with_faults(
+                &cluster,
+                trace.iter().copied().map(|tq| (None, tq)),
+                paris_elsa::server::ReportDetail::Full,
+                plan,
+            )
+        };
+        let plain = run(&FaultPlan::new());
+        let unit = run(
+            &FaultPlan::new().with_gpu_degrade(0, gpu, 1.0, degrade_at, degrade_at + width),
+        );
+        prop_assert_eq!(unit.cluster.faults.len(), 2, "degrade + restore logged");
+        prop_assert_eq!(&unit.cluster.routed, &plain.cluster.routed);
+        prop_assert_eq!(unit.cluster.makespan, plain.cluster.makespan);
+        for (a, b) in unit.cluster.per_shard.iter().zip(&plain.cluster.per_shard) {
+            prop_assert_eq!(&a.records, &b.records);
+            prop_assert_eq!(&a.latency, &b.latency);
+            prop_assert_eq!(a.makespan, b.makespan);
+            prop_assert_eq!(&a.reconfigs, &b.reconfigs);
+        }
     }
 
     // ---------- Server end-to-end ----------
