@@ -1,21 +1,23 @@
-//! The cluster: N shards behind a router, plus capacity loaning, inside
-//! one shared DES.
+//! The cluster: N shards behind a router, plus capacity loaning, driven by
+//! a windowed multi-lane DES (one event queue per shard, one coordinator).
 
 use std::collections::VecDeque;
 
-use des_engine::{SimDuration, SimTime, Simulation};
-use inference_server::{
-    MultiModelServer, MultiRunReport, ReplanRequest, ReportDetail, ShardEngine, ShardEvent,
-};
+use des_engine::{SimDuration, SimTime};
+use inference_server::{MultiModelServer, MultiRunReport, ReportDetail, ShardEngine};
 use inference_workload::{BatchDistribution, DriftDetector, TaggedQuerySpec};
-use mig_gpu::{ProfileSize, COMPUTE_SLICES};
-use paris_core::{pack_gpus, GpcBudget};
+use mig_gpu::COMPUTE_SLICES;
+use paris_core::GpcBudget;
 use server_metrics::LatencyHistogram;
 
 use crate::faults::{FaultEvent, FaultTimeline};
-use crate::loan::{LoanDemandModel, LoanEvent, LoanLedger, LoanPolicy};
+use crate::loan::{degrade_inflated_demand, LoanDemandModel, LoanEvent, LoanLedger, LoanPolicy};
+use crate::parallel::{
+    ArmedReplan, Command, Lane, LaneExecutor, ProfilingExecutor, SerialExecutor, SyncWindow,
+    WindowProfile, WorkerPool,
+};
 use crate::router::{RouterPolicy, RouterState};
-use crate::shed::ShedPolicy;
+use crate::shed::{degraded_capacity_gpus, ShedPolicy};
 
 /// One arrival with an optional shard pin: `Some(shard)` queries go to
 /// that shard while it is alive (shard-tagged skewed traces, per-query
@@ -35,12 +37,38 @@ pub struct FaultRecord {
     pub requeued: u64,
 }
 
+/// The number of worker threads [`Cluster::run_scenario`] (and everything
+/// built on it) advances shard lanes with, taken from the
+/// `CLUSTER_THREADS` environment variable (default 1). Thread count never
+/// changes results — ARCHITECTURE.md invariant 11 — so this is purely a
+/// wall-clock knob.
+#[must_use]
+pub fn cluster_threads_from_env() -> usize {
+    std::env::var("CLUSTER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 /// A multi-server inference cluster: each *shard* is a full
 /// [`MultiModelServer`] (its own GPC budget, PARIS-planned groups, per-model
 /// schedulers, optional drift re-planning), and the cluster stacks N of
-/// them behind a [`RouterPolicy`] inside **one** discrete-event simulation,
-/// optionally lending batch-pool GPUs to overloaded shards
+/// them behind a [`RouterPolicy`] inside one deterministic discrete-event
+/// simulation, optionally lending batch-pool GPUs to overloaded shards
 /// ([`LoanPolicy`]).
+///
+/// # Execution model
+///
+/// Shards only couple at gateway decisions — routing, shedding, loans,
+/// faults. The engine exploits that: each shard advances on its own event
+/// queue (a [`SyncWindow`]-bounded *lane*), and the coordinator exchanges
+/// arrivals, loan transfers and fault commands with the lanes only at
+/// window edges, through per-shard mailboxes ordered by the same
+/// `(time, key)` stamps the event queues use. Lane advancement is a pure
+/// function of the lane and its mailbox, so `CLUSTER_THREADS` workers can
+/// advance lanes concurrently and the result is **bit-for-bit identical at
+/// any thread count** (invariant 11, pinned by the determinism suite).
 ///
 /// # Degeneration contract
 ///
@@ -196,6 +224,10 @@ impl Cluster {
     /// An **empty timeline with no pins is bit-for-bit
     /// [`run_stream`](Self::run_stream)** — the fault machinery costs
     /// nothing until an event fires; the unit suite pins this.
+    ///
+    /// Runs per-event windows ([`SyncWindow::PerEvent`]) at
+    /// [`cluster_threads_from_env`] worker threads; thread count never
+    /// changes the result.
     #[must_use]
     pub fn run_scenario<I>(
         &self,
@@ -206,7 +238,107 @@ impl Cluster {
     where
         I: IntoIterator<Item = PinnedQuery>,
     {
-        CEngine::new(self, detail, arrivals.into_iter(), faults).run()
+        self.run_windowed(
+            arrivals,
+            detail,
+            faults,
+            SyncWindow::PerEvent,
+            cluster_threads_from_env(),
+        )
+    }
+
+    /// The fully general entry point: simulates the cluster under a fault
+    /// scenario with an explicit [`SyncWindow`] mode and worker thread
+    /// count.
+    ///
+    /// For a fixed `window`, **`threads` never changes the result** — the
+    /// per-event and lookahead modes are each deterministic bit-for-bit at
+    /// any thread count (invariant 11). The two window modes are *distinct
+    /// models*, though: per-event windows give the coordinator exact
+    /// fleet state at every decision (the sequential shared-queue order),
+    /// while `Lookahead(L)` freezes its reads at each window's leading
+    /// edge — an explicit model of cross-shard information latency, and
+    /// the mode that actually scales across cores.
+    #[must_use]
+    pub fn run_windowed<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+        window: SyncWindow,
+        threads: usize,
+    ) -> ClusterReport
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
+        let mut gw = Gateway::new(self, arrivals.into_iter(), faults, window);
+        let mut lanes: Vec<Lane<'_>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let partitions: usize = shard.groups().iter().map(Vec::len).sum();
+                // Steady state per lane: one completion per partition, one
+                // reconfiguration event, the frontend backlog's pending
+                // dispatches.
+                Lane::new(
+                    s,
+                    ShardEngine::new(shard, detail),
+                    shard.budget().num_gpus,
+                    partitions + 4,
+                )
+            })
+            .collect();
+        let threads = threads.clamp(1, self.shards.len());
+        if threads <= 1 {
+            let mut exec = SerialExecutor;
+            gw.drive(&mut lanes, &mut exec);
+        } else {
+            std::thread::scope(|scope| {
+                let mut exec = WorkerPool::new(scope, threads);
+                gw.drive(&mut lanes, &mut exec);
+            });
+        }
+        gw.finish(lanes)
+    }
+
+    /// Like [`run_windowed`](Self::run_windowed) at one thread, but also
+    /// measures the run's [`WindowProfile`]: per synchronization window,
+    /// how the lane work would bucket onto worker pools of each size in
+    /// `thread_counts`. The report is bit-for-bit the `run_windowed`
+    /// report (profiling only observes event counters); the profile is
+    /// what `bench_megacluster` builds its events/sec-vs-cores curve
+    /// from, independent of the benchmarking host's core count.
+    #[must_use]
+    pub fn run_windowed_profiled<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+        window: SyncWindow,
+        thread_counts: &[usize],
+    ) -> (ClusterReport, WindowProfile)
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
+        let mut gw = Gateway::new(self, arrivals.into_iter(), faults, window);
+        let mut lanes: Vec<Lane<'_>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let partitions: usize = shard.groups().iter().map(Vec::len).sum();
+                Lane::new(
+                    s,
+                    ShardEngine::new(shard, detail),
+                    shard.budget().num_gpus,
+                    partitions + 4,
+                )
+            })
+            .collect();
+        let mut exec = ProfilingExecutor::new(thread_counts);
+        gw.drive(&mut lanes, &mut exec);
+        (gw.finish(lanes), exec.into_profile())
     }
 }
 
@@ -238,13 +370,19 @@ pub struct ClusterReport {
     /// Opportunity cost of loaning: the integral of loaned-out GPUs over
     /// simulated time (GPU-seconds the batch pool could not use).
     pub loaned_gpu_seconds: f64,
-    /// High-water mark of the shared DES event queue:
+    /// High-water mark of pending events, summed over the per-shard lane
+    /// queues, plus the gateway's pending routing/fault items:
     /// O(total partitions + peak frontend backlog). Unlike the
     /// single-server engine (strictly O(partitions)), the cluster
     /// materializes admitted-but-undispatched queries as pending events —
     /// the price of routing every arrival against the fleet state at its
-    /// own arrival instant (see `CEvent::Route`'s notes in the source).
+    /// own arrival instant.
     pub peak_pending_events: usize,
+    /// Total simulation work: shard-lane events processed plus gateway
+    /// items (arrivals routed or shed, fault events). Invariant under
+    /// thread count — the events/sec denominator of the megacluster
+    /// scaling bench.
+    pub events_processed: u64,
 }
 
 impl ClusterReport {
@@ -295,44 +433,23 @@ impl ClusterReport {
     }
 }
 
-/// Events of the shared cluster simulation.
-#[derive(Debug, Clone, Copy)]
-enum CEvent {
-    /// One shard's event, stamped with its shard so the shared queue can
-    /// route it home. `(time, key)` ordering is the shard's own; equal
-    /// keys across shards fall back to the queue's deterministic
-    /// insertion order.
-    Shard { shard: u32, event: ShardEvent },
-    /// One arrival reaching the cluster gateway, fired at **its own
-    /// arrival timestamp** (handling it schedules the successor's
-    /// `Route`, so the iterator stays one-lookahead lazy). Routing, drift
-    /// observation and loan decisions all happen here — at the instant
-    /// the query physically exists — so the router can never read queue
-    /// state from the simulation's future and a loan can never be
-    /// decided before the window-closing arrival.
-    ///
-    /// The fidelity has a cost the single-server engine does not pay: a
-    /// routed query's `Dispatch` is scheduled immediately, so the shared
-    /// event queue holds the *frontend backlog* (queries admitted but not
-    /// yet dispatched) instead of staying O(partitions). That backlog is
-    /// the physical gateway queue — it is materialized here precisely
-    /// because each query's routing decision consumed the fleet state at
-    /// its own arrival instant.
+/// One gateway decision point: an arrival to route (and admit or shed) or
+/// a fault-timeline event. These are the **only** instants shards couple;
+/// everything between consecutive items is embarrassingly parallel lane
+/// work.
+enum GatewayItem {
     Route(PinnedQuery),
-    /// One fault-timeline event firing at its scheduled instant.
     Fault(FaultEvent),
 }
 
-/// Active slow-GPU fault on one base GPU slot: `(factor_milli, the
-/// worker slots it throttled)`.
-type ActiveDegrade = (u32, Vec<usize>);
-
-/// One cluster run's mutable state.
-struct CEngine<'a, I> {
+/// The coordinator of one windowed cluster run: owns every cross-shard
+/// decision (routing, shedding, loan ledger, fault bookkeeping, recovery
+/// arming) and never touches a lane except through `(time, key)`-stamped
+/// [`Command`]s and the window-edge harvest. Lanes own everything else.
+struct Gateway<'a, I> {
     cluster: &'a Cluster,
     arrivals: I,
-    sim: Simulation<CEvent>,
-    engines: Vec<ShardEngine<'a>>,
+    sync: SyncWindow,
     router: RouterState,
     /// Cluster-level drift detector: one lane per shard × model, fed at
     /// routing time with the traffic each shard actually receives.
@@ -345,8 +462,10 @@ struct CEngine<'a, I> {
     loaned_gpu_ns: u128,
     routed: Vec<u64>,
     n_models: usize,
-    /// Tie-break key sequence for [`CEvent::Route`] events.
+    /// Tie-break key sequence + past-clamp clock for routing items.
     route_seq: u64,
+    route_clock: SimTime,
+    next_route: Option<(SimTime, u64, PinnedQuery)>,
     /// Reused outstanding-load scratch so routing allocates nothing after
     /// the first arrival.
     scratch: Vec<u64>,
@@ -354,29 +473,35 @@ struct CEngine<'a, I> {
     alive: Vec<bool>,
     /// Per shard, which of its base-budget GPU slots are currently failed.
     failed_gpus: Vec<Vec<bool>>,
-    /// Per shard × base GPU slot: the active slow-GPU fault, if any —
-    /// `(factor_milli, the worker slots it throttled)`. The victim list is
-    /// what the matching [`FaultEvent::GpuRestore`] un-throttles: the
-    /// degrade follows the silicon that was hot, not whatever instances a
-    /// later re-plan packs onto the slot number.
-    degraded: Vec<Vec<Option<ActiveDegrade>>>,
+    /// Per shard × base GPU slot: the active slow-GPU fault's
+    /// `factor_milli`, if any. The throttled worker slots live on the lane
+    /// (they are what the matching restore un-throttles); the coordinator
+    /// mirror only decides double-degrade/restore no-ops and feeds the
+    /// degrade-aware loan/shed estimators.
+    degraded: Vec<Vec<Option<u32>>>,
     /// Per-shard planned capacity hints (router weights), reused by the
     /// shed policy's projected-delay estimate.
     cap_hint: Vec<f64>,
     /// Per-model count of queries the shed policy rejected at admission.
     shed_per_model: Vec<u64>,
-    /// Shards owing a recovery re-plan that could not run yet (a
+    /// Shards owing a recovery re-plan that has not fired yet (a
     /// reconfiguration was in flight, or the survivor budget cannot host
-    /// one GPU per model until a repair); retried after every event of
-    /// that shard.
+    /// one GPU per model until a repair).
     pending_recovery: Vec<bool>,
-    /// Remaining fault events, time order; the head is scheduled into the
-    /// DES, the rest wait.
+    /// The recovery re-plan id currently armed on each lane, if any —
+    /// cleared when the lane reports it fired (window-edge harvest) or
+    /// when infeasibility disarms it.
+    outstanding_arm: Vec<Option<u64>>,
+    arm_seq: u64,
+    /// Remaining fault events, time order; the head is primed as the next
+    /// fault item, the rest wait.
     fault_queue: VecDeque<(SimTime, FaultEvent)>,
+    fault_clock: SimTime,
+    next_fault: Option<(SimTime, u64, FaultEvent)>,
     fault_cost: mig_gpu::ResliceCostModel,
     fault_mode: paris_core::ReconfigMode,
     fault_log: Vec<FaultRecord>,
-    /// Tie-break key sequence for [`CEvent::Fault`] events.
+    /// Tie-break key sequence for fault items.
     fault_seq: u64,
     /// Measured-demand state ([`LoanDemandModel::MeasuredBusy`]): the
     /// measurement window width (the loan detector's window), the next
@@ -389,26 +514,21 @@ struct CEngine<'a, I> {
     busy_snap: Vec<u128>,
     busy_snap_at: SimTime,
     busy_rate: Vec<f64>,
+    /// Lookahead-mode staleness patches, reset at every window edge:
+    /// offers delivered since the edge (so JSQ sees the load it already
+    /// routed this window) and shards sent a Replan/Arm since the edge
+    /// (so a rebalance defers instead of double-transferring). Always
+    /// zero/false in per-event mode, where lane reads are exact.
+    out_est: Vec<u64>,
+    in_flight_est: Vec<bool>,
+    items_processed: u64,
+    last_item_at: SimTime,
 }
 
-impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
-    fn new(
-        cluster: &'a Cluster,
-        detail: ReportDetail,
-        arrivals: I,
-        faults: &FaultTimeline,
-    ) -> Self {
+impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
+    fn new(cluster: &'a Cluster, arrivals: I, faults: &FaultTimeline, sync: SyncWindow) -> Self {
         let n_models = cluster.shards[0].models().len();
-        let engines: Vec<ShardEngine<'a>> = cluster
-            .shards
-            .iter()
-            .map(|s| ShardEngine::new(s, detail))
-            .collect();
-        let total_partitions: usize = cluster
-            .shards
-            .iter()
-            .map(|s| s.groups().iter().map(Vec::len).sum::<usize>())
-            .sum();
+        let n = cluster.shards.len();
         let weights: Vec<f64> = cluster
             .shards
             .iter()
@@ -422,7 +542,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 .map(|m| m.table.max_batch())
                 .max()
                 .expect("at least one model");
-            DriftDetector::new(cluster.shards.len() * n_models, max_b, lp.detector)
+            DriftDetector::new(n * n_models, max_b, lp.detector)
         });
         let ledger = cluster.loan.as_ref().map(|lp| {
             LoanLedger::new(
@@ -435,15 +555,10 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             .as_ref()
             .filter(|lp| lp.demand_model == LoanDemandModel::MeasuredBusy)
             .map_or(0, |lp| lp.detector.window_ns);
-        CEngine {
+        Gateway {
             cluster,
             arrivals,
-            // Steady state: ≤ one completion per partition + one
-            // reconfiguration per shard + the next arrival's Route + the
-            // frontend backlog's pending dispatches (grows past this only
-            // under gateway saturation).
-            sim: Simulation::with_capacity(total_partitions + 2 * cluster.shards.len() + 2),
-            engines,
+            sync,
             cap_hint: weights.clone(),
             router: RouterState::new(cluster.router, weights),
             detector,
@@ -452,11 +567,13 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             loan_out_total: 0,
             loan_since: SimTime::ZERO,
             loaned_gpu_ns: 0,
-            routed: vec![0; cluster.shards.len()],
+            routed: vec![0; n],
             n_models,
             route_seq: 0,
-            scratch: Vec::with_capacity(cluster.shards.len()),
-            alive: vec![true; cluster.shards.len()],
+            route_clock: SimTime::ZERO,
+            next_route: None,
+            scratch: Vec::with_capacity(n),
+            alive: vec![true; n],
             failed_gpus: cluster
                 .shards
                 .iter()
@@ -468,18 +585,113 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 .map(|s| vec![None; s.budget().num_gpus])
                 .collect(),
             shed_per_model: vec![0; n_models],
-            pending_recovery: vec![false; cluster.shards.len()],
+            pending_recovery: vec![false; n],
+            outstanding_arm: vec![None; n],
+            arm_seq: 0,
             fault_queue: faults.events().iter().copied().collect(),
+            fault_clock: SimTime::ZERO,
+            next_fault: None,
             fault_cost: faults.cost,
             fault_mode: faults.mode,
             fault_log: Vec::new(),
             fault_seq: 0,
             busy_window_ns,
             busy_window_end_ns: busy_window_ns,
-            busy_snap: vec![0; cluster.shards.len()],
+            busy_snap: vec![0; n],
             busy_snap_at: SimTime::ZERO,
-            busy_rate: vec![0.0; cluster.shards.len()],
+            busy_rate: vec![0.0; n],
+            out_est: vec![0; n],
+            in_flight_est: vec![false; n],
+            items_processed: 0,
+            last_item_at: SimTime::ZERO,
         }
+    }
+
+    /// Primes the next routing item from the arrival stream (stamped with
+    /// the next route key; arrivals out of ascending order clamp forward,
+    /// matching the old shared queue's never-backwards rule).
+    fn prime_route(&mut self) {
+        if let Some((pin, tq)) = self.arrivals.next() {
+            let at = SimTime::from_nanos(tq.spec.arrival_ns).max(self.route_clock);
+            self.route_clock = at;
+            let key = self.route_seq;
+            self.route_seq += 1;
+            self.next_route = Some((at, key, (pin, tq)));
+        }
+    }
+
+    /// Primes the fault queue's head as the next fault item.
+    fn prime_fault(&mut self) {
+        if let Some((at, ev)) = self.fault_queue.pop_front() {
+            let at = at.max(self.fault_clock);
+            self.fault_clock = at;
+            let key = self.fault_seq;
+            self.fault_seq += 1;
+            self.next_fault = Some((at, key, ev));
+        }
+    }
+
+    /// The `(time, key)` stamp of the next gateway item, if any.
+    fn peek_stamp(&self) -> Option<(SimTime, u64)> {
+        let r = self.next_route.as_ref().map(|&(t, k, _)| (t, k));
+        let f = self.next_fault.as_ref().map(|&(t, k, _)| (t, k));
+        match (r, f) {
+            (Some(r), Some(f)) => Some(if r <= f { r } else { f }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops the next gateway item in `(time, key)` order (routing items
+    /// win exact stamp ties — the one total order both sync modes share)
+    /// and primes its successor.
+    fn pop_item(&mut self) -> Option<(SimTime, u64, GatewayItem)> {
+        let take_route = match (&self.next_route, &self.next_fault) {
+            (Some(r), Some(f)) => (r.0, r.1) <= (f.0, f.1),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_route {
+            let (t, k, pq) = self.next_route.take().expect("checked above");
+            self.prime_route();
+            Some((t, k, GatewayItem::Route(pq)))
+        } else {
+            let (t, k, ev) = self.next_fault.take().expect("checked above");
+            self.prime_fault();
+            Some((t, k, GatewayItem::Fault(ev)))
+        }
+    }
+
+    /// Hands one command to a lane: applied synchronously in per-event
+    /// mode (the lane is already at the decision's instant, so every
+    /// later coordinator read sees its effect), mailboxed in lookahead
+    /// mode (the lane executes it mid-window at the exact same stamp).
+    /// Either way the lane-side code path is identical.
+    fn deliver(&mut self, lanes: &mut [Lane<'a>], s: usize, t: SimTime, k: u64, cmd: Command) {
+        if let SyncWindow::Lookahead(_) = self.sync {
+            match &cmd {
+                Command::Offer(_) => self.out_est[s] += 1,
+                Command::Replan(_) | Command::Arm(_) => self.in_flight_est[s] = true,
+                _ => {}
+            }
+            lanes[s].mailbox.push_back((t, k, cmd));
+        } else {
+            lanes[s].apply(t, cmd);
+        }
+    }
+
+    /// Shard `s`'s outstanding-query count as the coordinator knows it:
+    /// exact in per-event mode, edge-of-window plus own offers in
+    /// lookahead mode.
+    fn outstanding(&self, lanes: &[Lane<'a>], s: usize) -> u64 {
+        lanes[s].engine.outstanding_queries() + self.out_est[s]
+    }
+
+    /// Whether shard `s` should be treated as mid-reconfiguration for
+    /// deferral decisions (exact in per-event mode; in lookahead mode a
+    /// Replan/Arm already sent this window counts).
+    fn in_flight(&self, lanes: &[Lane<'a>], s: usize) -> bool {
+        self.in_flight_est[s] || lanes[s].engine.reconfig_in_flight()
     }
 
     /// Rolls the measured-busy window forward when `now` crosses a window
@@ -490,13 +702,13 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
     /// that closes a detector window — the only instant a loan decision
     /// can fire — the measurement describes that same window, not a stale
     /// drifted one.
-    fn roll_busy_window(&mut self, now: SimTime) {
+    fn roll_busy_window(&mut self, lanes: &[Lane<'a>], now: SimTime) {
         if self.busy_window_ns == 0 || now.as_nanos() < self.busy_window_end_ns {
             return;
         }
         let dt = (now - self.busy_snap_at).as_nanos();
-        for s in 0..self.engines.len() {
-            let busy = self.engines[s].busy_gpc_ns();
+        for (s, lane) in lanes.iter().enumerate() {
+            let busy = lane.engine.busy_gpc_ns();
             let delta = busy.saturating_sub(self.busy_snap[s]);
             self.busy_rate[s] = delta as f64 / dt as f64 / COMPUTE_SLICES as f64;
             self.busy_snap[s] = busy;
@@ -507,46 +719,34 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
         }
     }
 
-    /// Schedules `tq`'s [`CEvent::Route`] at its own arrival timestamp.
-    fn schedule_route(&mut self, tq: PinnedQuery) {
-        let key = self.route_seq;
-        self.route_seq += 1;
-        self.sim.schedule_at_keyed(
-            SimTime::from_nanos(tq.1.spec.arrival_ns),
-            key,
-            CEvent::Route(tq),
-        );
-    }
-
-    /// Schedules the fault queue's head event into the DES (the next one
-    /// is armed when this one fires, keeping the pending count at one).
-    fn schedule_next_fault(&mut self) {
-        if let Some((at, ev)) = self.fault_queue.pop_front() {
-            let key = self.fault_seq;
-            self.fault_seq += 1;
-            self.sim.schedule_at_keyed(at, key, CEvent::Fault(ev));
-        }
-    }
-
     /// Handles one arrival at its arrival instant: routes it to a shard
     /// (its pinned shard if alive, the router otherwise), applies brownout
     /// admission control against that shard's projected delay, feeds the
     /// loan controller's detector with the routed load, acts on any drift
     /// it flags (causal — the window-closing arrival exists *now*), and
-    /// offers the query to the chosen shard's frontend.
+    /// delivers the query to the chosen shard's frontend.
     ///
     /// A shed query stops here: it never counts as routed, never reaches a
     /// queue, and never feeds the drift detector — admission control acts
     /// strictly before the query becomes load (invariant 10:
     /// served-or-shed, nothing in between).
-    fn offer(&mut self, pin: Option<usize>, tq: TaggedQuerySpec, now: SimTime) {
-        self.roll_busy_window(now);
+    fn offer(
+        &mut self,
+        lanes: &mut [Lane<'a>],
+        pin: Option<usize>,
+        tq: TaggedQuerySpec,
+        now: SimTime,
+        key: u64,
+    ) {
+        self.roll_busy_window(lanes, now);
         let s = match pin {
-            Some(p) if p < self.engines.len() && self.alive[p] => p,
+            Some(p) if p < lanes.len() && self.alive[p] => p,
             _ => {
                 self.scratch.clear();
-                self.scratch
-                    .extend(self.engines.iter().map(ShardEngine::outstanding_queries));
+                for (s, lane) in lanes.iter().enumerate() {
+                    self.scratch
+                        .push(lane.engine.outstanding_queries() + self.out_est[s]);
+                }
                 self.router.pick(&self.scratch, &self.alive)
             }
         };
@@ -558,7 +758,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 .and_then(|shard| shard.models().get(tq.model))
                 .and_then(|m| m.sla_ns);
             if let Some(sla_ns) = sla {
-                if policy.should_shed(tq.model, self.estimated_delay_ns(s), sla_ns) {
+                if policy.should_shed(tq.model, self.estimated_delay_ns(lanes, s), sla_ns) {
                     self.shed_per_model[tq.model] += 1;
                     return;
                 }
@@ -573,19 +773,9 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             )
         });
         if report.is_some() {
-            self.rebalance(now);
+            self.rebalance(lanes, now, key);
         }
-        let (engines, sim) = (&mut self.engines, &mut self.sim);
-        engines[s].offer(tq, &mut |t, k, e| {
-            sim.schedule_at_keyed(
-                t,
-                k,
-                CEvent::Shard {
-                    shard: s as u32,
-                    event: e,
-                },
-            );
-        });
+        self.deliver(lanes, s, now, key, Command::Offer(tq));
     }
 
     /// Estimated demand of shard `s` in full-GPU equivalents **at live
@@ -603,11 +793,11 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
     /// borrow/reclaim decisions by the drift between the two mixes. A
     /// group momentarily dark mid-reconfiguration (no live instances)
     /// falls back to the initial plan rather than dividing by zero.
-    fn shard_demand_gpus(&self, s: usize) -> f64 {
+    fn shard_demand_gpus(&self, lanes: &[Lane<'a>], s: usize) -> f64 {
         let detector = self.detector.as_ref().expect("demand needs the detector");
         let rates = detector.observed_rates_qps();
         let shard = &self.cluster.shards[s];
-        let live = self.engines[s].live_groups();
+        let live = lanes[s].engine.live_groups();
         shard
             .models()
             .iter()
@@ -663,38 +853,64 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
         self.minus_failed(s, held)
     }
 
+    /// Active slow-GPU factors on shard `s`'s surviving base slots (a
+    /// failed slot's degrade no longer throttles anything — the GPU is
+    /// gone, not slow).
+    fn active_degrades(&self, s: usize) -> impl Iterator<Item = u32> + '_ {
+        self.degraded[s]
+            .iter()
+            .zip(self.failed_gpus[s].iter())
+            .filter(|&(_, &failed)| !failed)
+            .filter_map(|(&d, _)| d)
+    }
+
     /// Projected queueing delay on shard `s` for admission control:
     /// outstanding queries over the shard's planned capacity, scaled by
-    /// the fraction of its base GPUs still effective. Deliberately coarse
-    /// — the shed policy only needs a monotone overload signal, and this
-    /// one is O(1) per arrival. A shard with no surviving GPU projects
-    /// infinite delay (everything sheddable sheds until repair).
-    fn estimated_delay_ns(&self, s: usize) -> f64 {
+    /// the fraction of its base GPUs still effective — where "effective"
+    /// is degrade-aware: a GPU throttled 4× contributes a quarter of a
+    /// GPU ([`degraded_capacity_gpus`]). Deliberately coarse — the shed
+    /// policy only needs a monotone overload signal, and this one is O(1)
+    /// per arrival. A shard with no surviving GPU projects infinite delay
+    /// (everything sheddable sheds until repair).
+    fn estimated_delay_ns(&self, lanes: &[Lane<'a>], s: usize) -> f64 {
         let Some(budget) = self.effective_budget(s) else {
             return f64::INFINITY;
         };
         let base_gpus = self.cluster.shards[s].budget().num_gpus.max(1);
-        let cap_qps = self.cap_hint[s] * budget.num_gpus as f64 / base_gpus as f64;
+        let cap_gpus = degraded_capacity_gpus(budget.num_gpus, self.active_degrades(s));
+        let cap_qps = self.cap_hint[s] * cap_gpus / base_gpus as f64;
         if cap_qps <= 0.0 {
             return f64::INFINITY;
         }
-        self.engines[s].outstanding_queries() as f64 / cap_qps * 1e9
+        self.outstanding(lanes, s) as f64 / cap_qps * 1e9
     }
 
     /// Per-shard demand in full-GPU equivalents under the policy's
     /// [`LoanDemandModel`]: the analytical live-efficiency estimate, or
     /// the last completed measurement window's busy fractions (kept fresh
-    /// by [`roll_busy_window`](Self::roll_busy_window)).
-    fn demand_estimates(&mut self, now: SimTime) -> Vec<f64> {
+    /// by [`roll_busy_window`](Self::roll_busy_window)) — inflated by the
+    /// active degrade factors ([`degrade_inflated_demand`]), since a
+    /// throttled shard's silicon-busy measurement understates how many
+    /// *healthy* GPUs its load actually needs.
+    fn demand_estimates(&mut self, lanes: &[Lane<'a>], now: SimTime) -> Vec<f64> {
         let policy = self.cluster.loan.as_ref().expect("demand needs a policy");
-        let n = self.engines.len();
+        let n = lanes.len();
         match policy.demand_model {
             LoanDemandModel::PlannedEfficiency => {
-                (0..n).map(|s| self.shard_demand_gpus(s)).collect()
+                (0..n).map(|s| self.shard_demand_gpus(lanes, s)).collect()
             }
             LoanDemandModel::MeasuredBusy => {
-                self.roll_busy_window(now);
-                self.busy_rate.clone()
+                self.roll_busy_window(lanes, now);
+                (0..n)
+                    .map(|s| {
+                        let live = self.cluster.shards[s]
+                            .budget()
+                            .num_gpus
+                            .saturating_sub(self.failed_count(s));
+                        let effective = degraded_capacity_gpus(live, self.active_degrades(s));
+                        degrade_inflated_demand(self.busy_rate[s], live, effective)
+                    })
+                    .collect()
             }
         }
     }
@@ -706,13 +922,15 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
     /// chance. Dead shards are skipped (they drain until repair), and a
     /// shard's owned/held GPU counts are failure-adjusted so lost capacity
     /// reads as a genuine shortfall the pool can backfill.
-    fn rebalance(&mut self, now: SimTime) {
-        let demand = self.demand_estimates(now);
+    fn rebalance(&mut self, lanes: &mut [Lane<'a>], now: SimTime, key: u64) {
+        let demand = self.demand_estimates(lanes, now);
         let policy = self
             .cluster
             .loan
             .as_ref()
             .expect("rebalance requires a loan policy");
+        let (overload, underload) = (policy.overload_ratio, policy.underload_ratio);
+        let _ = (overload, underload);
         let mut deferred = false;
         // Pass 0 executes returns, pass 1 borrows — so one window's
         // reclaims can fund its loans.
@@ -722,6 +940,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                     continue;
                 }
                 let failed = self.failed_count(s);
+                let policy = self.cluster.loan.as_ref().expect("policy present");
                 let ledger = self.ledger.as_ref().expect("ledger exists with policy");
                 let base = ledger.base[s].num_gpus - failed;
                 let current = base + ledger.loaned[s];
@@ -730,11 +949,11 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 if (pass == 0 && delta >= 0) || (pass == 1 && delta <= 0) {
                     continue;
                 }
-                if self.engines[s].reconfig_in_flight() {
+                if self.in_flight(lanes, s) {
                     deferred = true;
                     continue;
                 }
-                self.apply_transfer(s, delta, now);
+                self.apply_transfer(lanes, s, delta, now, key);
             }
         }
         if !deferred {
@@ -752,11 +971,14 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
     /// Declined — no ledger mutation, no re-plan — when the
     /// failure-adjusted result could not host one GPU and one GPC per
     /// model.
-    fn apply_transfer(&mut self, s: usize, delta: i64, now: SimTime) {
-        // The caller (rebalance) skips shards mid-reconfiguration; a
-        // transfer applied to one would silently desynchronize the ledger
-        // from the shard's adopted budget.
-        debug_assert!(!self.engines[s].reconfig_in_flight());
+    fn apply_transfer(
+        &mut self,
+        lanes: &mut [Lane<'a>],
+        s: usize,
+        delta: i64,
+        now: SimTime,
+        key: u64,
+    ) {
         {
             let ledger = self.ledger.as_ref().expect("ledger exists with policy");
             let held = ledger.budget_with_loans(
@@ -804,34 +1026,29 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             self.loan_out_total - moved
         };
 
+        let cost = policy.cost;
+        let mode = policy.mode;
         let ledger = self.ledger.as_mut().expect("ledger exists with policy");
         let held = ledger.transfer(s, delta);
         let pool_free_after = ledger.pool_free;
         let budget = self
             .minus_failed(s, held)
             .expect("feasibility was checked before the transfer");
-        let extra = SimDuration::from_nanos(policy.cost.gpu_handover_ns(moved));
-        let (engines, sim) = (&mut self.engines, &mut self.sim);
-        engines[s].force_replan(
-            &ReplanRequest {
-                budget,
-                weights: &weights,
-                dists: &dists,
-                cost: &policy.cost,
-                extra_downtime: extra,
-                mode: policy.mode,
-            },
+        let extra = SimDuration::from_nanos(cost.gpu_handover_ns(moved));
+        self.deliver(
+            lanes,
+            s,
             now,
-            &mut |t, k, e| {
-                sim.schedule_at_keyed(
-                    t,
-                    k,
-                    CEvent::Shard {
-                        shard: s as u32,
-                        event: e,
-                    },
-                );
-            },
+            key,
+            Command::Replan(ArmedReplan {
+                id: 0,
+                budget,
+                weights,
+                dists,
+                cost,
+                extra_downtime: extra,
+                mode,
+            }),
         );
         self.loans.push(LoanEvent {
             at: now,
@@ -847,33 +1064,38 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
     /// waiting for statistical drift (steady traffic routed around a dead
     /// GPU may never drift enough to re-trigger the detector). The
     /// rebalance runs **before** the shard's own recovery re-plan so a
-    /// backfill borrow and the recovery land in one transition; the
-    /// recovery poke afterwards is then a no-op (or the fallback when no
+    /// backfill borrow and the recovery land in one transition; the armed
+    /// recovery afterwards is then a no-op (or the fallback when no
     /// transfer engaged).
-    fn on_fault(&mut self, event: FaultEvent, now: SimTime) {
-        let rebalance = |this: &mut Self, now| {
-            if this.cluster.loan.is_some() {
-                this.rebalance(now);
-            }
-        };
-        let requeued = match event {
-            FaultEvent::GpuFail { shard, gpu } => match self.gpu_kill(shard, gpu, now) {
-                Some(requeued) => {
-                    rebalance(self, now);
-                    self.request_recovery(shard, now);
-                    requeued
-                }
-                // Double-fail or unknown slot: a genuine no-op — no
-                // rebalance, no re-plan, no divergence from the
+    fn on_fault(&mut self, lanes: &mut [Lane<'a>], event: FaultEvent, now: SimTime, key: u64) {
+        let log_idx = self.fault_log.len();
+        // Requeue counts are harvested from the lane that executes the
+        // kill and patched into this record at the next window edge.
+        self.fault_log.push(FaultRecord {
+            at: now,
+            event,
+            requeued: 0,
+        });
+        match event {
+            FaultEvent::GpuFail { shard, gpu } => {
+                // Double-fail or unknown slot: a genuine no-op — no kill,
+                // no rebalance, no re-plan, no divergence from the
                 // single-fail run.
-                None => 0,
-            },
-            FaultEvent::GpuRepair { shard, gpu } => {
-                if self.gpu_unfail(shard, gpu) {
-                    rebalance(self, now);
-                    self.request_recovery(shard, now);
+                if self.mark_failed(shard, gpu) {
+                    self.deliver(lanes, shard, now, key, Command::Kill { gpu, log_idx });
+                    if self.cluster.loan.is_some() {
+                        self.rebalance(lanes, now, key);
+                    }
+                    self.request_recovery(lanes, shard, now, key);
                 }
-                0
+            }
+            FaultEvent::GpuRepair { shard, gpu } => {
+                if self.mark_repaired(shard, gpu) {
+                    if self.cluster.loan.is_some() {
+                        self.rebalance(lanes, now, key);
+                    }
+                    self.request_recovery(lanes, shard, now, key);
+                }
             }
             FaultEvent::GpuDegrade {
                 shard,
@@ -882,13 +1104,29 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             } => {
                 // Capacity is not lost, only slowed: no rebalance, no
                 // recovery re-plan — a degrade-aware dispatcher steers
-                // around the slow instances on its own.
-                self.gpu_degrade(shard, gpu, factor_milli);
-                0
+                // around the slow instances on its own. Double-degrades
+                // and unknown slots are no-ops.
+                if shard < self.degraded.len()
+                    && gpu < self.degraded[shard].len()
+                    && self.degraded[shard][gpu].is_none()
+                {
+                    self.degraded[shard][gpu] = Some(factor_milli);
+                    self.deliver(
+                        lanes,
+                        shard,
+                        now,
+                        key,
+                        Command::Degrade { gpu, factor_milli },
+                    );
+                }
             }
             FaultEvent::GpuRestore { shard, gpu } => {
-                self.gpu_restore(shard, gpu);
-                0
+                if shard < self.degraded.len()
+                    && gpu < self.degraded[shard].len()
+                    && self.degraded[shard][gpu].take().is_some()
+                {
+                    self.deliver(lanes, shard, now, key, Command::Restore { gpu });
+                }
             }
             FaultEvent::ShardFail { shard } => {
                 // A drain, not a kill: the router stops sending traffic
@@ -896,134 +1134,44 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 if shard < self.alive.len() {
                     self.alive[shard] = false;
                 }
-                rebalance(self, now);
-                0
+                if self.cluster.loan.is_some() {
+                    self.rebalance(lanes, now, key);
+                }
             }
             FaultEvent::ShardRepair { shard } => {
                 if shard < self.alive.len() && !self.alive[shard] {
                     self.alive[shard] = true;
-                    rebalance(self, now);
+                    if self.cluster.loan.is_some() {
+                        self.rebalance(lanes, now, key);
+                    }
                     // Rejoin with a fresh plan for the traffic observed
                     // during the outage (a no-op if PARIS lands on the
                     // running layout).
-                    self.request_recovery(shard, now);
+                    self.request_recovery(lanes, shard, now, key);
                 }
-                0
             }
-        };
-        self.fault_log.push(FaultRecord {
-            at: now,
-            event,
-            requeued,
-        });
+        }
     }
 
-    /// An abrupt GPU loss on shard `s`: marks the slot failed and kills
-    /// the instances packed on the failing GPU (their in-flight and
-    /// queued work requeues through the dispatch path), returning how
-    /// many queries that requeued. The recovery re-plan is the caller's
-    /// next step. Unknown slots and double-fails return `None` — nothing
-    /// changed, so the caller must not react either.
-    fn gpu_kill(&mut self, s: usize, gpu: usize, now: SimTime) -> Option<u64> {
-        if s >= self.engines.len() || gpu >= self.failed_gpus[s].len() || self.failed_gpus[s][gpu] {
-            return None;
-        }
-        // A fault landing mid-rolling-reconfiguration must not strand the
-        // in-flight step: the quiesced survivors are revived first (the
-        // armed ready event goes stale via its epoch stamp), then the kill
-        // and the recovery re-plan proceed against a coherent layout.
-        if self.engines[s].reconfig_in_flight() {
-            let (engines, sim) = (&mut self.engines, &mut self.sim);
-            engines[s].abort_reconfig(now, &mut |t, k, e| {
-                sim.schedule_at_keyed(
-                    t,
-                    k,
-                    CEvent::Shard {
-                        shard: s as u32,
-                        event: e,
-                    },
-                );
-            });
+    /// Marks a base GPU slot failed. Unknown slots and double-fails return
+    /// `false` — nothing changed, so the caller must not react either.
+    fn mark_failed(&mut self, s: usize, gpu: usize) -> bool {
+        if s >= self.failed_gpus.len()
+            || gpu >= self.failed_gpus[s].len()
+            || self.failed_gpus[s][gpu]
+        {
+            return false;
         }
         self.failed_gpus[s][gpu] = true;
-        // Identify the physical GPU with one bin of the deterministic
-        // first-fit-descending packing of the live layout, packed per
-        // model group (groups never share a GPU). An index past the
-        // packing is an idle GPU: capacity shrinks, nothing dies.
-        let mut bins: Vec<Vec<usize>> = Vec::new();
-        for group in self.engines[s].live_members() {
-            let sizes: Vec<ProfileSize> = group.iter().map(|&(_, size)| size).collect();
-            for bin in pack_gpus(&sizes) {
-                bins.push(bin.into_iter().map(|i| group[i].0).collect());
-            }
-        }
-        Some(match bins.get(gpu) {
-            Some(victims) => {
-                let (engines, sim) = (&mut self.engines, &mut self.sim);
-                engines[s].kill_instances(victims, now, &mut |t, k, e| {
-                    sim.schedule_at_keyed(
-                        t,
-                        k,
-                        CEvent::Shard {
-                            shard: s as u32,
-                            event: e,
-                        },
-                    );
-                })
-            }
-            None => 0,
-        })
-    }
-
-    /// A slow-GPU fault on shard `s`: identifies the physical GPU with the
-    /// same deterministic packing [`gpu_kill`](Self::gpu_kill) uses and
-    /// throttles the instances packed on it by `factor_milli / 1000`. The
-    /// victims keep serving — slower — and their worker slots are recorded
-    /// so the matching [`FaultEvent::GpuRestore`] un-throttles exactly the
-    /// silicon that was hot. Unknown slots and double-degrades are no-ops;
-    /// an idle GPU records an empty victim list (so restore still pairs).
-    fn gpu_degrade(&mut self, s: usize, gpu: usize, factor_milli: u32) {
-        if s >= self.engines.len()
-            || gpu >= self.degraded[s].len()
-            || self.degraded[s][gpu].is_some()
-        {
-            return;
-        }
-        let mut bins: Vec<Vec<usize>> = Vec::new();
-        for group in self.engines[s].live_members() {
-            let sizes: Vec<ProfileSize> = group.iter().map(|&(_, size)| size).collect();
-            for bin in pack_gpus(&sizes) {
-                bins.push(bin.into_iter().map(|i| group[i].0).collect());
-            }
-        }
-        let victims = bins.get(gpu).cloned().unwrap_or_default();
-        if !victims.is_empty() {
-            // Sub-unit factors would mean a *faster* GPU; clamp to 1.0 so a
-            // malformed plan degrades to a recorded no-op instead of
-            // panicking the dispatcher.
-            let factor = f64::from(factor_milli.max(1000)) / 1000.0;
-            self.engines[s].set_degrade(&victims, factor);
-        }
-        self.degraded[s][gpu] = Some((factor_milli, victims));
-    }
-
-    /// The slow GPU returns to full speed: un-throttles the worker slots
-    /// recorded at degrade time. Restores of healthy slots are no-ops.
-    fn gpu_restore(&mut self, s: usize, gpu: usize) {
-        if s >= self.engines.len() || gpu >= self.degraded[s].len() {
-            return;
-        }
-        if let Some((_, victims)) = self.degraded[s][gpu].take() {
-            if !victims.is_empty() {
-                self.engines[s].set_degrade(&victims, 1.0);
-            }
-        }
+        true
     }
 
     /// The failed GPU returns: restores the budget slot (the caller
     /// re-plans next). Repairs of healthy slots are no-ops (`false`).
-    fn gpu_unfail(&mut self, s: usize, gpu: usize) -> bool {
-        if s >= self.engines.len() || gpu >= self.failed_gpus[s].len() || !self.failed_gpus[s][gpu]
+    fn mark_repaired(&mut self, s: usize, gpu: usize) -> bool {
+        if s >= self.failed_gpus.len()
+            || gpu >= self.failed_gpus[s].len()
+            || !self.failed_gpus[s][gpu]
         {
             return false;
         }
@@ -1031,32 +1179,43 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
         true
     }
 
-    /// Marks shard `s` as owing a recovery re-plan and attempts it now;
-    /// if it cannot run yet it is retried after every later event of the
-    /// shard.
-    fn request_recovery(&mut self, s: usize, now: SimTime) {
+    /// Marks shard `s` as owing a recovery re-plan and (re-)arms the lane
+    /// with a fresh payload — the budget or traffic picture just changed,
+    /// so any previously armed re-plan is stale.
+    fn request_recovery(&mut self, lanes: &mut [Lane<'a>], s: usize, now: SimTime, key: u64) {
         self.pending_recovery[s] = true;
-        self.poke_recovery(s, now);
+        self.arm_recovery(lanes, s, now, key, true);
     }
 
-    /// Runs a pending recovery re-plan when possible: no reconfiguration
-    /// in flight and the effective budget (base + loans − failures) hosts
-    /// one GPU and one GPC per model — until a repair makes that true the
-    /// re-plan stays pending (survivor instances keep serving; a fully
-    /// dark group stashes arrivals, which is why a never-repaired fail
-    /// must not outlive the scenario). Plans from the loan detector's
-    /// observed traffic when one exists, the declared specs otherwise.
-    fn poke_recovery(&mut self, s: usize, now: SimTime) {
-        if !self.pending_recovery[s] || self.engines[s].reconfig_in_flight() {
+    /// Arms (or re-arms, with `force`) shard `s`'s pending recovery: an
+    /// owned re-plan payload the lane fires the moment no reconfiguration
+    /// is in flight — after any of its local events, exactly where the
+    /// sequential engine's recovery poke retried. Infeasible recoveries
+    /// (the survivor budget cannot host one GPU and one GPC per model)
+    /// disarm instead: until a repair or a loan changes the budget, the
+    /// shard keeps serving on what survives and the recovery stays owed.
+    fn arm_recovery(
+        &mut self,
+        lanes: &mut [Lane<'a>],
+        s: usize,
+        now: SimTime,
+        key: u64,
+        force: bool,
+    ) {
+        if !self.pending_recovery[s] || (!force && self.outstanding_arm[s].is_some()) {
             return;
         }
-        let Some(budget) = self.effective_budget(s) else {
-            return;
+        let feasible = match self.effective_budget(s) {
+            Some(b) => b.num_gpus >= self.n_models && b.total_gpcs >= self.n_models,
+            None => false,
         };
-        if budget.num_gpus < self.n_models || budget.total_gpcs < self.n_models {
+        if !feasible {
+            if self.outstanding_arm[s].take().is_some() {
+                self.deliver(lanes, s, now, key, Command::Disarm);
+            }
             return;
         }
-        self.pending_recovery[s] = false;
+        let budget = self.effective_budget(s).expect("feasibility checked");
         let specs = self.cluster.shards[s].models();
         let mut weights = Vec::with_capacity(specs.len());
         let mut dists: Vec<BatchDistribution> = Vec::with_capacity(specs.len());
@@ -1077,72 +1236,136 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
                 }
             }
         }
-        let (cost, mode) = (self.fault_cost, self.fault_mode);
-        let (engines, sim) = (&mut self.engines, &mut self.sim);
-        engines[s].force_replan(
-            &ReplanRequest {
-                budget,
-                weights: &weights,
-                dists: &dists,
-                cost: &cost,
-                extra_downtime: SimDuration::ZERO,
-                mode,
-            },
+        self.arm_seq += 1;
+        let id = self.arm_seq;
+        self.outstanding_arm[s] = Some(id);
+        self.deliver(
+            lanes,
+            s,
             now,
-            &mut |t, k, e| {
-                sim.schedule_at_keyed(
-                    t,
-                    k,
-                    CEvent::Shard {
-                        shard: s as u32,
-                        event: e,
-                    },
-                );
-            },
+            key,
+            Command::Arm(ArmedReplan {
+                id,
+                budget,
+                weights,
+                dists,
+                cost: self.fault_cost,
+                extra_downtime: SimDuration::ZERO,
+                mode: self.fault_mode,
+            }),
         );
     }
 
-    fn run(mut self) -> ClusterReport {
-        if let Some(tq) = self.arrivals.next() {
-            self.schedule_route(tq);
-        }
-        self.schedule_next_fault();
-        while let Some((now, ev)) = self.sim.next_event() {
-            let (shard, event) = match ev {
-                CEvent::Route((pin, tq)) => {
-                    // One-lookahead laziness: learning of arrival k at its
-                    // own instant always happens before arrival k+1's
-                    // instant (the merged stream is sorted), so the
-                    // successor's Route is never scheduled in the past.
-                    if let Some(next) = self.arrivals.next() {
-                        self.schedule_route(next);
-                    }
-                    self.offer(pin, tq, now);
-                    continue;
-                }
-                CEvent::Fault(fault) => {
-                    self.on_fault(fault, now);
-                    self.schedule_next_fault();
-                    continue;
-                }
-                CEvent::Shard { shard, event } => (shard, event),
-            };
-            let s = shard as usize;
-            let (engines, sim) = (&mut self.engines, &mut self.sim);
-            engines[s].handle(now, event, &mut |t, k, e| {
-                sim.schedule_at_keyed(t, k, CEvent::Shard { shard, event: e });
-            });
-            if self.pending_recovery[s] && !self.engines[s].reconfig_in_flight() {
-                self.poke_recovery(s, now);
+    /// Arms any pending-but-unarmed recovery whose feasibility flipped as
+    /// a side effect of this gateway item (a loan transfer grew the
+    /// survivor budget, say) — the windowed sibling of the sequential
+    /// engine's retry-on-every-event poke.
+    fn sweep_recoveries(&mut self, lanes: &mut [Lane<'a>], now: SimTime, key: u64) {
+        for s in 0..lanes.len() {
+            if self.pending_recovery[s] && self.outstanding_arm[s].is_none() {
+                self.arm_recovery(lanes, s, now, key, false);
             }
         }
+    }
 
-        let end = self.sim.now();
+    /// Collects what the lanes did since the last synchronization point:
+    /// requeue counts from executed kills (patched into the fault log) and
+    /// fired recovery ids (clearing the pending/armed bookkeeping).
+    fn harvest(&mut self, lanes: &mut [Lane<'a>]) {
+        for lane in lanes.iter_mut() {
+            for (idx, requeued) in lane.requeue_patches.drain(..) {
+                self.fault_log[idx].requeued += requeued;
+            }
+            for id in lane.fired.drain(..) {
+                if self.outstanding_arm[lane.shard] == Some(id) {
+                    self.outstanding_arm[lane.shard] = None;
+                    self.pending_recovery[lane.shard] = false;
+                }
+            }
+        }
+    }
+
+    /// Processes one gateway item at its stamp.
+    fn process(&mut self, lanes: &mut [Lane<'a>], t: SimTime, k: u64, item: GatewayItem) {
+        self.items_processed += 1;
+        self.last_item_at = self.last_item_at.max(t);
+        match item {
+            GatewayItem::Route((pin, tq)) => self.offer(lanes, pin, tq, t, k),
+            GatewayItem::Fault(ev) => self.on_fault(lanes, ev, t, k),
+        }
+    }
+
+    /// The run loop: alternate lane advancement (possibly on worker
+    /// threads) with gateway decisions, in the sync mode's window
+    /// structure, then drain the lanes to completion.
+    fn drive(&mut self, lanes: &mut Vec<Lane<'a>>, exec: &mut dyn LaneExecutor<'a>) {
+        self.prime_route();
+        self.prime_fault();
+        match self.sync {
+            SyncWindow::PerEvent => {
+                while let Some((t, k, item)) = self.pop_item() {
+                    // Every lane reaches exactly this decision's stamp, so
+                    // each coordinator read below is the sequential
+                    // shared-queue value.
+                    exec.advance_all(lanes, (t, k));
+                    self.harvest(lanes);
+                    self.process(lanes, t, k, item);
+                    self.harvest(lanes);
+                    self.sweep_recoveries(lanes, t, k);
+                }
+            }
+            SyncWindow::Lookahead(width) => {
+                let w = width.as_nanos().max(1);
+                while let Some((first, _)) = self.peek_stamp() {
+                    // The window on the absolute grid containing the next
+                    // item; empty windows are skipped wholesale.
+                    let edge_ns = (first.as_nanos() / w) * w;
+                    let end_ns = edge_ns.saturating_add(w);
+                    exec.advance_all(lanes, (SimTime::from_nanos(edge_ns), 0));
+                    self.harvest(lanes);
+                    self.out_est.iter_mut().for_each(|o| *o = 0);
+                    self.in_flight_est.iter_mut().for_each(|f| *f = false);
+                    // All of this window's decisions fire against the
+                    // edge state (plus the staleness patches); their
+                    // commands execute mid-window at exact stamps when
+                    // the lanes next advance.
+                    while let Some((t, _)) = self.peek_stamp() {
+                        if t.as_nanos() >= end_ns {
+                            break;
+                        }
+                        let (t, k, item) = self.pop_item().expect("peeked above");
+                        self.process(lanes, t, k, item);
+                        self.sweep_recoveries(lanes, t, k);
+                    }
+                }
+            }
+        }
+        exec.advance_all(lanes, (SimTime::MAX, u64::MAX));
+        self.harvest(lanes);
+    }
+
+    /// Assembles the report after the final drain.
+    fn finish(mut self, lanes: Vec<Lane<'a>>) -> ClusterReport {
+        let end = lanes
+            .iter()
+            .map(|l| l.sim.now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.last_item_at);
         self.loaned_gpu_ns +=
             self.loan_out_total as u128 * u128::from((end - self.loan_since).as_nanos());
-        let peak = self.sim.peak_pending();
-        let per_shard: Vec<MultiRunReport> =
-            self.engines.into_iter().map(|e| e.finish(peak)).collect();
+        // The gateway holds at most one primed route and one primed fault
+        // alongside the lane queues.
+        let peak: usize = lanes.iter().map(|l| l.sim.peak_pending()).sum::<usize>() + 2;
+        let events: u64 =
+            lanes.iter().map(|l| l.sim.events_processed()).sum::<u64>() + self.items_processed;
+        let per_shard: Vec<MultiRunReport> = lanes
+            .into_iter()
+            .map(|l| {
+                let lane_peak = l.sim.peak_pending();
+                l.engine.finish(lane_peak)
+            })
+            .collect();
         let histogram = LatencyHistogram::merged(per_shard.iter().map(|r| &r.histogram));
         let makespan = per_shard
             .iter()
@@ -1165,6 +1388,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> CEngine<'a, I> {
             faults: self.fault_log,
             loaned_gpu_seconds: self.loaned_gpu_ns as f64 / 1e9,
             peak_pending_events: peak,
+            events_processed: events,
             per_shard,
         }
     }

@@ -31,14 +31,16 @@
 mod cluster;
 mod faults;
 mod loan;
+mod parallel;
 mod router;
 mod shed;
 
-pub use cluster::{Cluster, ClusterReport, FaultRecord, PinnedQuery};
+pub use cluster::{cluster_threads_from_env, Cluster, ClusterReport, FaultRecord, PinnedQuery};
 pub use faults::{FaultEvent, FaultTimeline};
-pub use loan::{LoanDemandModel, LoanEvent, LoanPolicy};
+pub use loan::{degrade_inflated_demand, LoanDemandModel, LoanEvent, LoanPolicy};
+pub use parallel::{SyncWindow, WindowProfile};
 pub use router::RouterPolicy;
-pub use shed::ShedPolicy;
+pub use shed::{degraded_capacity_gpus, ShedPolicy};
 
 #[cfg(test)]
 mod tests {

@@ -100,9 +100,77 @@ impl ShedPolicy {
     }
 }
 
+/// Effective serving capacity of `live_gpus` GPUs, in full-healthy-GPU
+/// equivalents, given the active slow-GPU degrade factors among them
+/// (`factor_milli`, 1000 = full speed, 4000 = 4× slower).
+///
+/// Each degraded GPU contributes `1000 / factor` of a GPU instead of a
+/// whole one, so a shard with 4 live GPUs one of which is throttled 4×
+/// serves like 3.25 healthy GPUs — the capacity the shed policy's
+/// projected-delay estimate and the loan controller's demand inflation
+/// both reason against. Without this, a throttled shard *looks* full-size
+/// to admission control (delay estimates stay rosy while queues grow) and
+/// *looks* merely busy to the loan controller (its silicon is saturated,
+/// but with slow cycles).
+///
+/// Factors below 1000 are clamped to 1000: a "degrade" cannot add
+/// capacity. The result is never negative.
+///
+/// # Examples
+///
+/// ```
+/// use inference_cluster::degraded_capacity_gpus;
+///
+/// assert_eq!(degraded_capacity_gpus(4, []), 4.0);
+/// assert_eq!(degraded_capacity_gpus(4, [4000]), 3.25);
+/// assert_eq!(degraded_capacity_gpus(1, [2000, 2000]), 0.0);
+/// ```
+#[must_use]
+pub fn degraded_capacity_gpus(
+    live_gpus: usize,
+    factors_milli: impl IntoIterator<Item = u32>,
+) -> f64 {
+    let lost: f64 = factors_milli
+        .into_iter()
+        .map(|f| 1.0 - 1000.0 / f.max(1000) as f64)
+        .sum();
+    (live_gpus as f64 - lost).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degraded_capacity_discounts_throttled_gpus() {
+        // The satellite contract: a 4× throttle turns one of 4 GPUs into
+        // a quarter-GPU, so the shard serves like 3.25 healthy GPUs.
+        assert!((degraded_capacity_gpus(4, [4000]) - 3.25).abs() < 1e-12);
+        // Unit factor is a no-op; sub-unit factors clamp (never a bonus).
+        assert_eq!(degraded_capacity_gpus(4, [1000]), 4.0);
+        assert_eq!(degraded_capacity_gpus(4, [500]), 4.0);
+        // Healthy shard: identity.
+        assert_eq!(degraded_capacity_gpus(3, []), 3.0);
+        // Over-degraded never goes negative.
+        assert_eq!(degraded_capacity_gpus(1, [10_000, 10_000]), 0.0);
+    }
+
+    #[test]
+    fn degraded_capacity_moves_the_shed_wall() {
+        // End-to-end satellite check: the same outstanding load on the
+        // same SLA sheds on a 4×-throttled shard but admits on a healthy
+        // one, because the capacity term shrank from 4 to 3.25 GPUs.
+        let p = ShedPolicy::new(vec![0, 1]);
+        let cap_hint_qps = 100.0; // planned capacity of the 4-GPU shard
+        let outstanding = 9.0; // queries queued on the picked shard
+        let delay = |cap_gpus: f64| outstanding / (cap_hint_qps * cap_gpus / 4.0) * 1e9;
+        // Healthy: 9 queries over 100 qps projects 90 ms. Throttled: the
+        // same backlog over 81.25 qps projects ~110.8 ms. An SLA between
+        // the two flips the verdict purely on the capacity discount.
+        let sla_ns = 100_000_000u64;
+        assert!(!p.should_shed(1, delay(degraded_capacity_gpus(4, [])), sla_ns));
+        assert!(p.should_shed(1, delay(degraded_capacity_gpus(4, [4000])), sla_ns));
+    }
 
     #[test]
     fn premium_is_never_shed() {

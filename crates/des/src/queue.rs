@@ -126,6 +126,14 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// The `(time, key)` stamp of the earliest pending event, if any — the
+    /// position a windowed driver compares against a synchronization bound
+    /// without consuming the event.
+    #[must_use]
+    pub fn peek_time_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|s| (s.time, s.key))
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -145,6 +145,44 @@ impl<E> Simulation<E> {
         }
     }
 
+    /// The `(time, key)` stamp of the earliest pending event, if any.
+    ///
+    /// This is the lexicographic position the queue will pop next — what a
+    /// conservative windowed driver merges against its own pending items.
+    #[must_use]
+    pub fn peek_time_key(&self) -> Option<(SimTime, u64)> {
+        self.queue.peek_time_key()
+    }
+
+    /// Like [`next_event`](Simulation::next_event), but only pops while the
+    /// earliest pending event's `(time, key)` stamp is lexicographically
+    /// **strictly before** `bound` — the conservative-window advancement
+    /// primitive: a shard lane drains everything it already knows about up
+    /// to the next synchronization point without ever touching an event at
+    /// or beyond it.
+    ///
+    /// Unlike [`next_event_before`](Simulation::next_event_before), a
+    /// declined pop leaves the clock untouched: the lane's `now` keeps
+    /// meaning "last local activity", which windowed utilization and
+    /// loan-integral accounting rely on.
+    pub fn next_event_if_before(&mut self, bound: (SimTime, u64)) -> Option<(SimTime, E)> {
+        match self.queue.peek_time_key() {
+            Some(stamp) if stamp < bound => self.next_event(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `at` if it lags (never backwards). A windowed
+    /// driver calls this before applying an externally timestamped action
+    /// (a routed arrival, a fault) so that follow-up events the handler
+    /// schedules "now" land at the action's instant, exactly as they would
+    /// in a single shared event queue.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+
     /// Whether any events remain.
     #[must_use]
     pub fn has_pending(&self) -> bool {
@@ -245,6 +283,38 @@ mod tests {
         sim.schedule_at_keyed(t, 1, "first");
         assert_eq!(sim.next_event().map(|(_, e)| e), Some("first"));
         assert_eq!(sim.next_event().map(|(_, e)| e), Some("second"));
+    }
+
+    #[test]
+    fn bounded_pop_respects_the_time_key_order() {
+        let mut sim = Simulation::new();
+        let t = SimTime::from_nanos(100);
+        sim.schedule_at_keyed(t, 3, "k3");
+        sim.schedule_at_keyed(t, 7, "k7");
+        sim.schedule_at_keyed(SimTime::from_nanos(50), 9, "early");
+        assert_eq!(sim.peek_time_key(), Some((SimTime::from_nanos(50), 9)));
+        // Everything strictly before (100, 7) pops; (100, 7) itself stays.
+        let bound = (t, 7);
+        assert_eq!(
+            sim.next_event_if_before(bound).map(|(_, e)| e),
+            Some("early")
+        );
+        assert_eq!(sim.next_event_if_before(bound).map(|(_, e)| e), Some("k3"));
+        assert_eq!(sim.next_event_if_before(bound), None);
+        assert_eq!(sim.now(), t, "clock sits at the last popped event");
+        assert!(sim.has_pending(), "the bound event itself is untouched");
+        // A declined pop never advances the clock past the last activity.
+        assert_eq!(sim.next_event_if_before((t, 7)), None);
+        assert_eq!(sim.now(), t);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.advance_to(SimTime::from_nanos(40));
+        assert_eq!(sim.now(), SimTime::from_nanos(40));
+        sim.advance_to(SimTime::from_nanos(10));
+        assert_eq!(sim.now(), SimTime::from_nanos(40), "never backwards");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   the survivor budget; shard failures drain out of the routing
 //!   rotation; with a [`LoanPolicy`](inference_cluster::LoanPolicy) the
 //!   batch pool backfills lost capacity immediately.
+//!   [`run_with_faults_windowed`] is the same run with an explicit
+//!   [`SyncWindow`] mode and lane thread count (bit-for-bit invariant
+//!   under threads — ARCHITECTURE.md invariant 11).
 //! * [`FaultReport`] — the run's [`ClusterReport`] plus the availability
 //!   accounting: base availability (GPU-time online / GPU-time owned),
 //!   effective availability (crediting batch-pool backfill), and the
@@ -67,7 +70,9 @@
 //! ```
 
 use des_engine::SimTime;
-use inference_cluster::{Cluster, ClusterReport, FaultEvent, FaultTimeline, PinnedQuery};
+use inference_cluster::{
+    Cluster, ClusterReport, FaultEvent, FaultTimeline, PinnedQuery, SyncWindow,
+};
 use inference_server::ReportDetail;
 use mig_gpu::ResliceCostModel;
 use paris_core::ReconfigMode;
@@ -705,7 +710,40 @@ where
 {
     let timeline = plan.compile();
     let report = cluster.run_scenario(arrivals, detail, &timeline);
+    assemble_fault_report(cluster, report, detail, plan)
+}
 
+/// [`run_with_faults`] with an explicit [`SyncWindow`] mode and lane
+/// worker thread count — the entry point scenario benches use to compare
+/// per-event and lookahead synchronization, or to pin a thread count
+/// independent of `CLUSTER_THREADS`. For a fixed window mode the result
+/// is bit-for-bit identical at any thread count (invariant 11).
+#[must_use]
+pub fn run_with_faults_windowed<I>(
+    cluster: &Cluster,
+    arrivals: I,
+    detail: ReportDetail,
+    plan: &FaultPlan,
+    window: SyncWindow,
+    threads: usize,
+) -> FaultReport
+where
+    I: IntoIterator<Item = PinnedQuery>,
+{
+    let timeline = plan.compile();
+    let report = cluster.run_windowed(arrivals, detail, &timeline, window, threads);
+    assemble_fault_report(cluster, report, detail, plan)
+}
+
+/// The availability / degraded-tail / per-class post-processing shared by
+/// every fault entry point: pure bookkeeping over an already-finished
+/// cluster run, so the sync mode that produced the run cannot affect it.
+fn assemble_fault_report(
+    cluster: &Cluster,
+    report: ClusterReport,
+    detail: ReportDetail,
+    plan: &FaultPlan,
+) -> FaultReport {
     let shard_gpus: Vec<usize> = cluster
         .shards()
         .iter()

@@ -1168,6 +1168,15 @@ mod tests {
     use mig_gpu::{DeviceSpec, PerfModel};
     use paris_core::{plan_diff, ReconfigMode};
 
+    #[test]
+    fn dispatch_core_is_send() {
+        // Lane workers in the cluster crate carry a whole dispatch stack
+        // to another thread every window; the core (and everything it
+        // embeds) must stay `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<DispatchCore<'static>>();
+    }
+
     fn table(kind: ModelKind) -> ProfileTable {
         let model = kind.build();
         let perf = PerfModel::new(DeviceSpec::a100());

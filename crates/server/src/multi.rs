@@ -712,10 +712,17 @@ pub struct ReplanRequest<'a> {
 /// layer over the unified [`DispatchCore`].
 ///
 /// This is the multi-model engine behind [`MultiModelServer::run_stream`],
-/// exposed so a *cluster* can host several shards inside one shared DES:
-/// the driver owns the `Simulation`, injects arrivals ([`offer`]) and feeds
+/// exposed so a *cluster* can host shards in external simulations: the
+/// driver owns the `Simulation`, injects arrivals ([`offer`]) and feeds
 /// popped events back ([`handle`]) through a scheduling callback
-/// `(fire_time, tie_break_key, event)`. The dispatch/complete/drain bodies
+/// `(fire_time, tie_break_key, event)`. The engine never schedules
+/// anything itself and holds no shared state (it is `Send`), so a driver
+/// may give every shard a *private* event queue and advance the resulting
+/// lanes on worker threads — the shard-parallel cluster engine does
+/// exactly that, exchanging cross-shard actions only at conservative
+/// window edges (ARCHITECTURE.md invariant 11). All the engine requires of
+/// its driver is that calls arrive in nondecreasing `now` order and that
+/// same-instant calls keep one deterministic order. The dispatch/complete/drain bodies
 /// live in the core (one group per model); what this layer adds is
 /// *policy* — drift detection, PARIS re-planning from observed
 /// distributions, and the budget a cluster loan controller moves.
@@ -1059,6 +1066,17 @@ mod tests {
     use dnn_zoo::ModelKind;
     use inference_workload::{MultiTraceGenerator, PhaseSpec};
     use mig_gpu::{DeviceSpec, PerfModel};
+
+    #[test]
+    fn shard_engine_is_send() {
+        // The shard-parallel cluster driver moves engines (inside lanes)
+        // across worker threads between windows; this pins the `Send`
+        // bound at compile time so a future `Rc`/`RefCell` in the
+        // dispatch stack fails loudly here instead of deep in the
+        // cluster crate.
+        fn assert_send<T: Send>() {}
+        assert_send::<ShardEngine<'static>>();
+    }
 
     fn table(kind: ModelKind) -> ProfileTable {
         let model = kind.build();

@@ -61,7 +61,7 @@ pub use server_metrics as metrics;
 pub mod prelude {
     pub use crate::cluster::{
         Cluster, ClusterReport, FaultEvent, FaultTimeline, LoanDemandModel, LoanPolicy,
-        RouterPolicy, ShedPolicy,
+        RouterPolicy, ShedPolicy, SyncWindow,
     };
     pub use crate::des::{SimDuration, SimTime};
     pub use crate::dnn::{ModelGraph, ModelKind};

@@ -839,6 +839,104 @@ proptest! {
         }
     }
 
+    // ---------- Shard-parallel determinism ----------
+
+    #[test]
+    fn parallel_cluster_is_bit_identical_to_sequential(
+        seed in 0u64..12,
+        router in 0u64..3,
+        loan_kind in 0u64..3,
+        mode in 0u64..2,
+        mttf_s in 0.9f64..2.0,
+        mttr_s in 0.15f64..0.4,
+        degrade_factor in 1.0f64..4.0
+    ) {
+        // The shard-parallel determinism contract (ARCHITECTURE.md
+        // invariant 11): for ANY router policy, loan policy, sampled
+        // fault plan and sync-window mode, running the cluster on 2, 4 or
+        // 8 lane worker threads produces a report byte-identical to the
+        // single-thread run — compared on the full `Debug` rendering, so
+        // every record, histogram bucket, float, loan ledger entry and
+        // fault-log line must agree, not just aggregate counts.
+        use paris_elsa::cluster::{
+            Cluster, LoanDemandModel, LoanPolicy, RouterPolicy, ShedPolicy, SyncWindow,
+        };
+        use paris_elsa::dnn::ModelKind;
+        use paris_elsa::faults::FaultPlan;
+        use paris_elsa::server::{ModelSpec, MultiModelConfig, MultiModelServer};
+        use paris_elsa::workload::{MultiTraceGenerator, PhaseSpec};
+
+        let perf = PerfModel::new(DeviceSpec::a100());
+        let dist = BatchDistribution::paper_default();
+        let table =
+            ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32);
+        let shard = |gpus: usize| {
+            MultiModelServer::new(
+                vec![
+                    ModelSpec::new("premium", table.clone(), dist.clone()),
+                    ModelSpec::new("batch", table.clone(), dist.clone()),
+                ],
+                GpcBudget::new(gpus * 7, gpus),
+                MultiModelConfig::new(),
+            )
+            .unwrap()
+        };
+        let policy = match router {
+            0 => RouterPolicy::StaticHash,
+            1 => RouterPolicy::JoinShortestQueue,
+            _ => RouterPolicy::WeightedByCapacity,
+        };
+        let mut cluster = Cluster::new(vec![shard(2), shard(2), shard(2)], policy)
+            .with_shed(ShedPolicy::new(vec![0, 1]).with_margin(0.8));
+        if loan_kind > 0 {
+            let model = if loan_kind == 1 {
+                LoanDemandModel::PlannedEfficiency
+            } else {
+                LoanDemandModel::MeasuredBusy
+            };
+            cluster = cluster.with_loan(LoanPolicy::new(2, 0.15).with_demand_model(model));
+        }
+        let rate = 0.45
+            * cluster
+                .shards()
+                .iter()
+                .map(MultiModelServer::capacity_hint_qps)
+                .sum::<f64>();
+        let trace = MultiTraceGenerator::new(
+            vec![PhaseSpec::new(0.7, vec![(rate, dist.clone()), (rate, dist)])],
+            seed,
+        )
+        .generate();
+        let timeline = FaultPlan::sample_gpu_mttf(&[2, 2, 2], mttf_s, mttr_s, 0.7, seed)
+            .with_gpu_degrade(1, 0, degrade_factor, 0.1, 0.45)
+            .compile();
+        let window = if mode == 0 {
+            SyncWindow::PerEvent
+        } else {
+            SyncWindow::Lookahead(SimDuration::from_nanos(2_000_000))
+        };
+        let run = |threads: usize| {
+            cluster.run_windowed(
+                trace.iter().copied().map(|tq| (None, tq)),
+                ReportDetail::Full,
+                &timeline,
+                window,
+                threads,
+            )
+        };
+        let reference = format!("{:?}", run(1));
+        for threads in [2usize, 4, 8] {
+            let got = format!("{:?}", run(threads));
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "report diverged at {} threads ({:?})",
+                threads,
+                window
+            );
+        }
+    }
+
     // ---------- Server end-to-end ----------
 
     #[test]
