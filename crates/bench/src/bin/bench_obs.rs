@@ -1,0 +1,403 @@
+//! `bench_obs` — flight-recorder overhead and invariant-12 enforcement,
+//! behind `BENCH_obs.json`.
+//!
+//! Runs the resilience rack scenario (surge + correlated rack outage, with
+//! brownout shedding — the workload richest in trace event kinds: sheds,
+//! faults, loans, reconfig steps) and checks, in order:
+//!
+//! 1. **Zero observer effect (invariant 12).** The traced run's
+//!    [`FaultReport`] must be identical — compared through `Debug`, which
+//!    covers every field including per-query records — to the untraced
+//!    run's, at 1 and 4 worker threads.
+//! 2. **Trace thread-invariance.** The merged trace's JSONL rendering is
+//!    byte-identical at 1, 2 and 4 threads (the trace inherits
+//!    invariant 11).
+//! 3. **Disabled path is allocation-free.** A counting global allocator
+//!    watches a million disabled-hook iterations (`Option::None` guard,
+//!    exactly the engine's untraced path) allocate nothing, and two
+//!    untraced engine runs allocate the exact same count.
+//! 4. **Recorder overhead.** Traced vs untraced wall time — the median
+//!    traced/untraced ratio over many back-to-back rep pairs — as
+//!    events/sec over the recorded event count; target ≤ 15 % slowdown.
+//!    Measured on a denser 8-shard fleet under `Lookahead` windowing (the
+//!    sharded engine's production mode — per-lane event batching keeps the
+//!    recorder's chunk cache-hot), fault-free so the number isolates the
+//!    recorder from recovery work.
+//! 5. **Exact breakdown.** Per-class components from
+//!    [`paris_elsa::obs::analyze`] must sum to the measured end-to-end
+//!    latency with no residual, and the lifecycle must conserve
+//!    (`offered = routed + shed`, every arrival completes exactly once).
+//!
+//! Also writes the merged trace as `BENCH_obs.trace.json` (Chrome
+//! `trace_event` JSON — load it in `chrome://tracing` or Perfetto).
+//!
+//! Usage: `cargo run --release --bin bench_obs [--quick] [--smoke] [--seed N]`
+//!
+//! `--smoke` runs a tiny trace — CI uses it to catch bench regressions;
+//! the numbers it writes are not comparable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use paris_bench::print_table;
+use paris_bench::scenarios::{mobilenet_table, RackScenario};
+use paris_elsa::cluster::Cluster;
+use paris_elsa::faults::{
+    run_with_faults_windowed, run_with_faults_windowed_traced, FaultPlan, FaultReport,
+};
+use paris_elsa::obs::{analyze, check_conservation, chrome_trace_json, jsonl, QueryTrace};
+use paris_elsa::prelude::*;
+
+/// Counts every allocation so the disabled tracing path can be asserted
+/// allocation-free (deallocations are pass-through: the check only needs
+/// "how many allocations happened between two points").
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A million iterations of the exact shape of an engine tracing hook with
+/// the recorder detached; returns how many allocations they performed.
+fn disabled_hook_allocs() -> u64 {
+    use paris_elsa::obs::{TraceEvent, TraceSink};
+    let mut sink: Option<FlightRecorder> = std::hint::black_box(None);
+    let before = allocs();
+    for i in 0..1_000_000u64 {
+        if let Some(tr) = sink.as_mut() {
+            tr.record(SimTime::from_nanos(i), i, TraceEvent::Requeue { query: i });
+        }
+    }
+    std::hint::black_box(&sink);
+    allocs() - before
+}
+
+/// The overhead workload: an 8-shard, 4-GPU-each, two-model JSQ fleet at
+/// 40 % of capacity — dense enough that every lane records continuously.
+fn dense_fleet(
+    table: &ProfileTable,
+    duration_s: f64,
+    seed: u64,
+) -> (Cluster, Vec<TaggedQuerySpec>) {
+    use paris_elsa::cluster::RouterPolicy;
+    let dist = BatchDistribution::paper_default();
+    let gpus = 4;
+    let mk = || {
+        MultiModelServer::new(
+            vec![
+                ModelSpec::new("m0", table.clone(), dist.clone()),
+                ModelSpec::new("m1", table.clone(), dist.clone()),
+            ],
+            GpcBudget::new(gpus * 7, gpus),
+            MultiModelConfig::new().with_detail(ReportDetail::Summary),
+        )
+        .expect("shard plan builds")
+    };
+    let shards = 8;
+    let capacity: f64 = (0..shards).map(|_| mk().capacity_hint_qps()).sum();
+    let cluster = Cluster::new(
+        (0..shards).map(|_| mk()).collect(),
+        RouterPolicy::JoinShortestQueue,
+    );
+    let qps = 0.4 * capacity;
+    let trace = MultiTraceGenerator::new(
+        vec![PhaseSpec::new(
+            duration_s,
+            vec![(qps, dist.clone()), (qps, dist)],
+        )],
+        seed,
+    )
+    .generate();
+    (cluster, trace)
+}
+
+fn main() {
+    let opts = paris_bench::TrajectoryOpts::from_args(41);
+    let duration_s = opts.pick(8.0, 4.0, 1.5);
+    let table = mobilenet_table();
+    let rack = RackScenario::new(duration_s, opts.seed, &table);
+    let trace_in = rack.trace();
+    let plan = rack.plan();
+    let unpinned = || trace_in.iter().copied().map(|tq| (None, tq));
+
+    let untraced = |threads: usize| -> FaultReport {
+        run_with_faults_windowed(
+            &rack.cluster(true),
+            unpinned(),
+            ReportDetail::Full,
+            &plan,
+            SyncWindow::PerEvent,
+            threads,
+        )
+    };
+    let traced = |threads: usize| -> (FaultReport, QueryTrace) {
+        run_with_faults_windowed_traced(
+            &rack.cluster(true),
+            unpinned(),
+            ReportDetail::Full,
+            &plan,
+            SyncWindow::PerEvent,
+            threads,
+        )
+    };
+
+    // -- 1. Zero observer effect (invariant 12), threads 1 and 4 ----------
+    let alloc_mark = allocs();
+    let base1 = untraced(1);
+    let untraced_allocs_a = allocs() - alloc_mark;
+    let (rep1, trace1) = traced(1);
+    let zero_t1 = format!("{base1:?}") == format!("{rep1:?}");
+    let base4 = untraced(4);
+    let (rep4, trace4) = traced(4);
+    let zero_t4 = format!("{base4:?}") == format!("{rep4:?}");
+    let zero_observer = zero_t1 && zero_t4;
+    assert!(
+        zero_observer,
+        "invariant 12 violated: traced report differs from untraced \
+         (threads 1: {zero_t1}, threads 4: {zero_t4})"
+    );
+
+    // -- 2. Trace thread-invariance, threads {1, 2, 4} ---------------------
+    let (_, trace2) = traced(2);
+    let lines1 = jsonl(&trace1);
+    let thread_invariant = lines1 == jsonl(&trace2) && lines1 == jsonl(&trace4);
+    assert!(
+        thread_invariant,
+        "merged trace must be byte-identical at 1, 2 and 4 threads"
+    );
+
+    // -- 3. Disabled path allocation-free ----------------------------------
+    let hook_allocs = disabled_hook_allocs();
+    let alloc_mark = allocs();
+    let base_again = untraced(1);
+    let untraced_allocs_b = allocs() - alloc_mark;
+    assert_eq!(
+        format!("{base_again:?}"),
+        format!("{base1:?}"),
+        "untraced rerun must reproduce the same report"
+    );
+    let alloc_free = hook_allocs == 0 && untraced_allocs_a == untraced_allocs_b;
+    assert!(
+        alloc_free,
+        "disabled tracing path must not allocate \
+         (hook allocs {hook_allocs}, run allocs {untraced_allocs_a} vs {untraced_allocs_b})"
+    );
+
+    // -- 4. Recorder overhead, median-pair wall time on the dense fleet ----
+    // One rep is only tens of milliseconds, so timing needs many reps to
+    // shed scheduler noise on a shared host. Each rep times an untraced
+    // and a traced run back to back and the overhead is the **median
+    // rep's traced/untraced ratio**: pairing cancels whole-process
+    // slowdowns (a background burst slows both halves of a rep), and the
+    // median ignores outlier reps without the min's optimistic bias.
+    let dense_duration_s = opts.pick(2.0, 1.5, 0.5);
+    let reps = opts.pick(41, 15, 7);
+    let (fleet, fleet_trace) = dense_fleet(&table, dense_duration_s, opts.seed);
+    let fleet_unpinned = || fleet_trace.iter().copied().map(|tq| (None, tq));
+    let no_faults = FaultPlan::new();
+    let window = SyncWindow::Lookahead(SimDuration::from_millis(2));
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(reps);
+    let mut events = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = run_with_faults_windowed(
+            &fleet,
+            fleet_unpinned(),
+            ReportDetail::Summary,
+            &no_faults,
+            window,
+            1,
+        );
+        let rep_untraced = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let (traced_report, fleet_recorded) = run_with_faults_windowed_traced(
+            &fleet,
+            fleet_unpinned(),
+            ReportDetail::Summary,
+            &no_faults,
+            window,
+            1,
+        );
+        let rep_traced = t0.elapsed().as_secs_f64();
+        pairs.push((rep_untraced, rep_traced));
+        events = fleet_recorded.len();
+        drop((report, traced_report, fleet_recorded));
+    }
+    pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (untraced_secs, traced_secs) = pairs[pairs.len() / 2];
+    let overhead_pct = (traced_secs / untraced_secs - 1.0).max(0.0) * 100.0;
+    let events_per_sec_traced = events as f64 / traced_secs;
+    let events_per_sec_untraced = events as f64 / untraced_secs;
+
+    // -- 5. Exact breakdown + conservation ---------------------------------
+    let analysis = analyze(&trace1);
+    for c in &analysis.classes {
+        assert_eq!(
+            c.components_sum(),
+            c.total_latency_ns as i128,
+            "class {} breakdown must sum to end-to-end latency exactly",
+            c.group
+        );
+    }
+    let conservation = check_conservation(&trace1).expect("flight-recorder conservation");
+    let breakdown = rep1.cluster.breakdown();
+
+    let rows: Vec<Vec<String>> = analysis
+        .classes
+        .iter()
+        .map(|c| {
+            let ms = |v: u128| format!("{:.1}", v as f64 / 1e6);
+            vec![
+                c.group.to_string(),
+                c.completed.to_string(),
+                ms(c.frontend_ns),
+                ms(c.queue_ns),
+                ms(c.reconfig_wait_ns),
+                ms(c.service_clean_ns),
+                ms(c.degrade_inflation_ns),
+                format!("{:.1}", c.noise_delta_ns as f64 / 1e6),
+                ms(c.total_latency_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "exact latency breakdown (Σ ms per class), rack scenario {duration_s}s, \
+             {} events",
+            trace1.len()
+        ),
+        &[
+            "class", "done", "frontend", "queue", "reconfig", "service", "inflate", "noise",
+            "total",
+        ],
+        &rows,
+    );
+    println!(
+        "\nzero observer effect:      {zero_observer} (threads 1 & 4)\n\
+         trace thread-invariant:    {thread_invariant} (threads 1, 2, 4)\n\
+         disabled path alloc-free:  {alloc_free}\n\
+         recorder overhead:         {overhead_pct:.2}% on the dense fleet \
+         ({events_per_sec_untraced:.0} -> {events_per_sec_traced:.0} events/s, {events} events)\n\
+         conservation:              offered {} = routed {} + shed {}, \
+         arrivals {} = completed {}",
+        conservation.offered,
+        conservation.routed,
+        conservation.shed,
+        conservation.arrivals,
+        conservation.completed,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_obs/v1\",\n");
+    json.push_str("  \"model\": \"mobilenet_v1\",\n");
+    let _ = writeln!(json, "  \"duration_secs\": {duration_s},");
+    let _ = writeln!(json, "  \"seed\": {},", opts.seed);
+    let _ = writeln!(json, "  \"zero_observer_effect\": {zero_observer},");
+    let _ = writeln!(json, "  \"trace_thread_invariant\": {thread_invariant},");
+    let _ = writeln!(json, "  \"disabled_path_alloc_free\": {alloc_free},");
+    json.push_str("  \"recorder\": {\n");
+    json.push_str("    \"workload\": \"8x4gpu-jsq-lookahead2ms\",\n");
+    let _ = writeln!(json, "    \"workload_secs\": {dense_duration_s},");
+    let _ = writeln!(json, "    \"events\": {events},");
+    let _ = writeln!(
+        json,
+        "    \"events_per_sec_traced\": {events_per_sec_traced:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"events_per_sec_untraced\": {events_per_sec_untraced:.0},"
+    );
+    let _ = writeln!(json, "    \"untraced_secs\": {untraced_secs:.6},");
+    let _ = writeln!(json, "    \"traced_secs\": {traced_secs:.6},");
+    let _ = writeln!(json, "    \"traced_overhead_pct\": {overhead_pct:.3},");
+    let _ = writeln!(
+        json,
+        "    \"overhead_within_target\": {}",
+        overhead_pct <= 15.0
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"breakdown\": {\n");
+    let _ = writeln!(json, "    \"queue_ns_p50\": {},", breakdown.queue_ns_p50);
+    let _ = writeln!(json, "    \"queue_ns_p99\": {},", breakdown.queue_ns_p99);
+    let _ = writeln!(
+        json,
+        "    \"service_ns_p50\": {},",
+        breakdown.service_ns_p50
+    );
+    let _ = writeln!(
+        json,
+        "    \"service_ns_p99\": {},",
+        breakdown.service_ns_p99
+    );
+    let _ = writeln!(
+        json,
+        "    \"reconfig_wait_ns_total\": {}",
+        breakdown.reconfig_wait_ns_total
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"classes\": [\n");
+    for (i, c) in analysis.classes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"group\": {}, \"completed\": {}, \"frontend_ns\": {}, \
+             \"queue_ns\": {}, \"reconfig_wait_ns\": {}, \"service_clean_ns\": {}, \
+             \"degrade_inflation_ns\": {}, \"noise_delta_ns\": {}, \
+             \"total_latency_ns\": {}, \"sum_exact\": {}}}",
+            c.group,
+            c.completed,
+            c.frontend_ns,
+            c.queue_ns,
+            c.reconfig_wait_ns,
+            c.service_clean_ns,
+            c.degrade_inflation_ns,
+            c.noise_delta_ns,
+            c.total_latency_ns,
+            c.components_sum() == c.total_latency_ns as i128,
+        );
+        json.push_str(if i + 1 < analysis.classes.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"conservation\": {\n");
+    let _ = writeln!(json, "    \"offered\": {},", conservation.offered);
+    let _ = writeln!(json, "    \"routed\": {},", conservation.routed);
+    let _ = writeln!(json, "    \"shed\": {},", conservation.shed);
+    let _ = writeln!(json, "    \"arrivals\": {},", conservation.arrivals);
+    let _ = writeln!(json, "    \"completed\": {}", conservation.completed);
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    std::fs::write("BENCH_obs.trace.json", chrome_trace_json(&trace1))
+        .expect("write BENCH_obs.trace.json");
+    println!("\nwrote BENCH_obs.json and BENCH_obs.trace.json");
+}

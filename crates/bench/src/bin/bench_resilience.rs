@@ -36,118 +36,10 @@
 use std::fmt::Write as _;
 
 use paris_bench::print_table;
-use paris_elsa::cluster::{Cluster, RouterPolicy, ShedPolicy};
-use paris_elsa::dnn::ModelKind;
-use paris_elsa::faults::{run_with_faults, FaultPlan, FaultReport, FaultTopology};
+use paris_bench::scenarios::{mobilenet_table, RackScenario, SlowScenario};
+use paris_elsa::faults::{run_with_faults, FaultPlan, FaultReport};
 use paris_elsa::metrics::LatencyHistogram;
 use paris_elsa::prelude::*;
-
-/// Shared model table: MobileNet on A100 MIG slices.
-fn table() -> ProfileTable {
-    let perf = PerfModel::new(DeviceSpec::a100());
-    ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32)
-}
-
-// ---------------------------------------------------------------------------
-// Scenario 1: correlated rack outage + surge, with/without brownout shedding.
-// ---------------------------------------------------------------------------
-
-struct RackScenario {
-    duration_s: f64,
-    seed: u64,
-    shard_gpus: Vec<usize>,
-    gpus_per_rack: usize,
-    table: ProfileTable,
-    dist: BatchDistribution,
-    /// Per-model offered rate in the calm phases (premium and batch each).
-    calm_qps: f64,
-    /// Per-model offered rate in the surge phase.
-    surge_qps: f64,
-    outage: (f64, f64),
-}
-
-impl RackScenario {
-    fn new(duration_s: f64, seed: u64, table: &ProfileTable) -> Self {
-        let dist = BatchDistribution::paper_default();
-        let shard_gpus = vec![3, 3];
-        let fleet: f64 = shard_gpus
-            .iter()
-            .map(|&g| {
-                Self::shard(table, &dist, g)
-                    .expect("shard plan builds")
-                    .capacity_hint_qps()
-            })
-            .sum();
-        RackScenario {
-            duration_s,
-            seed,
-            shard_gpus,
-            gpus_per_rack: 2,
-            table: table.clone(),
-            dist,
-            // Calm: 50 % of fleet capacity across both models. Surge: 90 %
-            // offered while the rack outage cuts capacity to 4/6 — ~1.35×
-            // overload, where admitting everything drowns premium too.
-            calm_qps: 0.25 * fleet,
-            surge_qps: 0.45 * fleet,
-            // The outage sits inside the surge window.
-            outage: (0.3 * duration_s, 0.7 * duration_s),
-        }
-    }
-
-    fn shard(
-        table: &ProfileTable,
-        dist: &BatchDistribution,
-        gpus: usize,
-    ) -> Result<MultiModelServer, paris_elsa::paris::PlanError> {
-        MultiModelServer::new(
-            vec![
-                ModelSpec::new("premium", table.clone(), dist.clone()),
-                ModelSpec::new("batch", table.clone(), dist.clone()),
-            ],
-            GpcBudget::new(gpus * 7, gpus),
-            MultiModelConfig::new().with_detail(ReportDetail::Summary),
-        )
-    }
-
-    fn cluster(&self, shedding: bool) -> Cluster {
-        let shards = self
-            .shard_gpus
-            .iter()
-            .map(|&g| Self::shard(&self.table, &self.dist, g).expect("shard plan builds"))
-            .collect();
-        let cluster = Cluster::new(shards, RouterPolicy::JoinShortestQueue);
-        if shedding {
-            // Margin 0.5: batch browns out once its projected delay eats
-            // half the SLA budget, keeping queues short enough that
-            // premium's own slack survives the outage.
-            cluster.with_shed(ShedPolicy::new(vec![0, 1]).with_margin(0.5))
-        } else {
-            cluster
-        }
-    }
-
-    fn trace(&self) -> Vec<TaggedQuerySpec> {
-        let both = |qps: f64| vec![(qps, self.dist.clone()), (qps, self.dist.clone())];
-        MultiTraceGenerator::new(
-            vec![
-                PhaseSpec::new(0.25 * self.duration_s, both(self.calm_qps)),
-                PhaseSpec::new(0.5 * self.duration_s, both(self.surge_qps)),
-                PhaseSpec::new(0.25 * self.duration_s, both(self.calm_qps)),
-            ],
-            self.seed,
-        )
-        .generate()
-    }
-
-    fn topology(&self) -> FaultTopology {
-        FaultTopology::racks(&self.shard_gpus, self.gpus_per_rack)
-    }
-
-    fn plan(&self) -> FaultPlan {
-        FaultPlan::new().with_domain_outage(&self.topology(), "rack0", self.outage.0, self.outage.1)
-    }
-}
 
 /// Model 0 = premium, model 1 = batch throughout the rack scenario.
 struct RackRow {
@@ -225,81 +117,6 @@ fn rack_row(policy: &'static str, report: &FaultReport) -> RackRow {
 // Scenario 2: slow-GPU partial degradation, placement-aware vs blind.
 // ---------------------------------------------------------------------------
 
-struct SlowScenario {
-    duration_s: f64,
-    seed: u64,
-    gpus: usize,
-    factor: f64,
-    window: (f64, f64),
-    table: ProfileTable,
-    dist: BatchDistribution,
-    rate_qps: f64,
-}
-
-impl SlowScenario {
-    fn new(duration_s: f64, seed: u64, table: &ProfileTable) -> Self {
-        let dist = BatchDistribution::paper_default();
-        let gpus = 3;
-        let capacity = Self::shard(table, &dist, gpus, true)
-            .expect("shard plan builds")
-            .capacity_hint_qps();
-        SlowScenario {
-            duration_s,
-            seed,
-            gpus,
-            // 4× throttling on one of three GPUs for the middle half of
-            // the run: effective capacity ~75 % of nominal under the
-            // window, against a 65 % offered load — tight enough that
-            // placing onto the sick GPU visibly drags the tail.
-            factor: 4.0,
-            window: (0.25 * duration_s, 0.75 * duration_s),
-            table: table.clone(),
-            dist,
-            rate_qps: 0.65 * capacity,
-        }
-    }
-
-    fn shard(
-        table: &ProfileTable,
-        dist: &BatchDistribution,
-        gpus: usize,
-        aware: bool,
-    ) -> Result<MultiModelServer, paris_elsa::paris::PlanError> {
-        let config = MultiModelConfig::new().with_detail(ReportDetail::Summary);
-        let config = if aware {
-            config
-        } else {
-            config.with_degrade_blind()
-        };
-        MultiModelServer::new(
-            vec![ModelSpec::new("mobilenet_v1", table.clone(), dist.clone())],
-            GpcBudget::new(gpus * 7, gpus),
-            config,
-        )
-    }
-
-    fn cluster(&self, aware: bool) -> Cluster {
-        let shard =
-            Self::shard(&self.table, &self.dist, self.gpus, aware).expect("shard plan builds");
-        Cluster::new(vec![shard], RouterPolicy::JoinShortestQueue)
-    }
-
-    fn trace(&self) -> Vec<TaggedQuerySpec> {
-        MultiTraceGenerator::new(
-            vec![PhaseSpec::new(
-                self.duration_s,
-                vec![(self.rate_qps, self.dist.clone())],
-            )],
-            self.seed.wrapping_add(1),
-        )
-        .generate()
-    }
-
-    fn plan(&self) -> FaultPlan {
-        FaultPlan::new().with_gpu_degrade(0, 0, self.factor, self.window.0, self.window.1)
-    }
-}
-
 struct SlowRow {
     policy: &'static str,
     p99_ms: f64,
@@ -323,7 +140,7 @@ fn slow_row(policy: &'static str, report: &FaultReport) -> SlowRow {
 fn main() {
     let opts = paris_bench::TrajectoryOpts::from_args(41);
     let duration_s = opts.pick(12.0, 6.0, 2.0);
-    let table = table();
+    let table = mobilenet_table();
 
     // -- Scenario 1: rack outage + surge, noshed vs shed -------------------
     let rack = RackScenario::new(duration_s, opts.seed, &table);

@@ -3,6 +3,8 @@
 
 use paris_elsa::prelude::*;
 
+pub mod scenarios;
+
 /// Runtime options shared by every experiment binary.
 ///
 /// Every binary accepts `--quick` (shorter simulated windows for smoke

@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use des_engine::{SimDuration, SimTime};
+use inference_obs::{FaultKind, FlightRecorder, QueryTrace, TraceEvent, TraceSink};
 use inference_server::{MultiModelServer, MultiRunReport, ReportDetail, ShardEngine};
 use inference_workload::{BatchDistribution, DriftDetector, TaggedQuerySpec};
 use mig_gpu::COMPUTE_SLICES;
@@ -271,7 +272,53 @@ impl Cluster {
     where
         I: IntoIterator<Item = PinnedQuery>,
     {
+        self.run_windowed_inner(arrivals, detail, faults, window, threads, false)
+            .0
+    }
+
+    /// [`run_windowed`](Self::run_windowed) with the flight recorder
+    /// attached: every lane's dispatch core and the gateway record the full
+    /// query lifecycle (arrivals, routing, sheds, service, re-plans, loans,
+    /// faults), merged into one deterministic [`QueryTrace`].
+    ///
+    /// **Invariant 12 (zero observer effect):** the returned
+    /// [`ClusterReport`] is bit-for-bit the untraced `run_windowed` report,
+    /// and the trace itself is invariant under `threads` — both pinned by
+    /// the property suite.
+    #[must_use]
+    pub fn run_windowed_traced<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+        window: SyncWindow,
+        threads: usize,
+    ) -> (ClusterReport, QueryTrace)
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
+        let (report, trace) =
+            self.run_windowed_inner(arrivals, detail, faults, window, threads, true);
+        (report, trace.expect("tracing was requested"))
+    }
+
+    fn run_windowed_inner<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+        window: SyncWindow,
+        threads: usize,
+        traced: bool,
+    ) -> (ClusterReport, Option<QueryTrace>)
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
         let mut gw = Gateway::new(self, arrivals.into_iter(), faults, window);
+        if traced {
+            // The gateway records on its own lane, one past the shards.
+            gw.trace = Some(FlightRecorder::new(self.shards.len() as u32));
+        }
         let mut lanes: Vec<Lane<'_>> = self
             .shards
             .iter()
@@ -281,12 +328,11 @@ impl Cluster {
                 // Steady state per lane: one completion per partition, one
                 // reconfiguration event, the frontend backlog's pending
                 // dispatches.
-                Lane::new(
-                    s,
-                    ShardEngine::new(shard, detail),
-                    shard.budget().num_gpus,
-                    partitions + 4,
-                )
+                let mut engine = ShardEngine::new(shard, detail);
+                if traced {
+                    engine.set_trace(FlightRecorder::new(s as u32));
+                }
+                Lane::new(s, engine, shard.budget().num_gpus, partitions + 4)
             })
             .collect();
         let threads = threads.clamp(1, self.shards.len());
@@ -338,7 +384,7 @@ impl Cluster {
             .collect();
         let mut exec = ProfilingExecutor::new(thread_counts);
         gw.drive(&mut lanes, &mut exec);
-        (gw.finish(lanes), exec.into_profile())
+        (gw.finish(lanes).0, exec.into_profile())
     }
 }
 
@@ -430,6 +476,24 @@ impl ClusterReport {
     #[must_use]
     pub fn total_shed(&self) -> u64 {
         self.shed_per_model.iter().sum()
+    }
+
+    /// Fleet-wide latency decomposition: queue-wait and service-time
+    /// percentiles over the merged per-shard histograms, plus the total
+    /// reslice downtime charged by every reconfiguration on any shard.
+    /// O(1) memory and available tracing on or off — the histograms are
+    /// always maintained by the dispatch cores.
+    #[must_use]
+    pub fn breakdown(&self) -> server_metrics::LatencyBreakdown {
+        let queue = LatencyHistogram::merged(self.per_shard.iter().map(|r| &r.queue_hist));
+        let service = LatencyHistogram::merged(self.per_shard.iter().map(|r| &r.service_hist));
+        let reconfig_wait_ns_total = self
+            .per_shard
+            .iter()
+            .flat_map(|r| &r.reconfigs)
+            .map(|rc| rc.reslice_delay.as_nanos())
+            .sum();
+        server_metrics::LatencyBreakdown::from_histograms(&queue, &service, reconfig_wait_ns_total)
     }
 }
 
@@ -523,6 +587,9 @@ struct Gateway<'a, I> {
     in_flight_est: Vec<bool>,
     items_processed: u64,
     last_item_at: SimTime,
+    /// Gateway-lane flight recorder (invariant 12: `None` leaves every
+    /// decision path untouched — hooks are a discriminant test only).
+    trace: Option<FlightRecorder>,
 }
 
 impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
@@ -604,6 +671,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             in_flight_est: vec![false; n],
             items_processed: 0,
             last_item_at: SimTime::ZERO,
+            trace: None,
         }
     }
 
@@ -739,15 +807,15 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
         key: u64,
     ) {
         self.roll_busy_window(lanes, now);
-        let s = match pin {
-            Some(p) if p < lanes.len() && self.alive[p] => p,
+        let (s, pinned) = match pin {
+            Some(p) if p < lanes.len() && self.alive[p] => (p, true),
             _ => {
                 self.scratch.clear();
                 for (s, lane) in lanes.iter().enumerate() {
                     self.scratch
                         .push(lane.engine.outstanding_queries() + self.out_est[s]);
                 }
-                self.router.pick(&self.scratch, &self.alive)
+                (self.router.pick(&self.scratch, &self.alive), false)
             }
         };
         if let Some(policy) = self.cluster.shed.as_ref() {
@@ -760,11 +828,32 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             if let Some(sla_ns) = sla {
                 if policy.should_shed(tq.model, self.estimated_delay_ns(lanes, s), sla_ns) {
                     self.shed_per_model[tq.model] += 1;
+                    if let Some(tr) = &mut self.trace {
+                        tr.record(
+                            now,
+                            key,
+                            TraceEvent::Shed {
+                                model: tq.model,
+                                shard: s,
+                            },
+                        );
+                    }
                     return;
                 }
             }
         }
         self.routed[s] += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                now,
+                key,
+                TraceEvent::RouteDecision {
+                    model: tq.model,
+                    shard: s,
+                    pinned,
+                },
+            );
+        }
         let report = self.detector.as_mut().and_then(|det| {
             det.observe(
                 s * self.n_models + tq.model,
@@ -1050,6 +1139,17 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
                 mode,
             }),
         );
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                now,
+                key,
+                TraceEvent::Loan {
+                    shard: s,
+                    gpus_delta: delta,
+                    pool_free_after,
+                },
+            );
+        }
         self.loans.push(LoanEvent {
             at: now,
             shard: s,
@@ -1076,6 +1176,30 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             event,
             requeued: 0,
         });
+        if let Some(tr) = &mut self.trace {
+            let (kind, shard, gpu, factor_milli) = match event {
+                FaultEvent::GpuFail { shard, gpu } => (FaultKind::GpuFail, shard, gpu, 0),
+                FaultEvent::GpuRepair { shard, gpu } => (FaultKind::GpuRepair, shard, gpu, 0),
+                FaultEvent::GpuDegrade {
+                    shard,
+                    gpu,
+                    factor_milli,
+                } => (FaultKind::GpuDegrade, shard, gpu, factor_milli),
+                FaultEvent::GpuRestore { shard, gpu } => (FaultKind::GpuRestore, shard, gpu, 0),
+                FaultEvent::ShardFail { shard } => (FaultKind::ShardFail, shard, 0, 0),
+                FaultEvent::ShardRepair { shard } => (FaultKind::ShardRepair, shard, 0, 0),
+            };
+            tr.record(
+                now,
+                key,
+                TraceEvent::Fault {
+                    kind,
+                    shard,
+                    gpu,
+                    factor_milli,
+                },
+            );
+        }
         match event {
             FaultEvent::GpuFail { shard, gpu } => {
                 // Double-fail or unknown slot: a genuine no-op — no kill,
@@ -1344,8 +1468,9 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
         self.harvest(lanes);
     }
 
-    /// Assembles the report after the final drain.
-    fn finish(mut self, lanes: Vec<Lane<'a>>) -> ClusterReport {
+    /// Assembles the report (and, when tracing, the merged trace) after
+    /// the final drain.
+    fn finish(mut self, lanes: Vec<Lane<'a>>) -> (ClusterReport, Option<QueryTrace>) {
         let end = lanes
             .iter()
             .map(|l| l.sim.now())
@@ -1359,10 +1484,13 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
         let peak: usize = lanes.iter().map(|l| l.sim.peak_pending()).sum::<usize>() + 2;
         let events: u64 =
             lanes.iter().map(|l| l.sim.events_processed()).sum::<u64>() + self.items_processed;
+        let mut recorders: Vec<FlightRecorder> = self.trace.take().into_iter().collect();
+        let traced = !recorders.is_empty();
         let per_shard: Vec<MultiRunReport> = lanes
             .into_iter()
-            .map(|l| {
+            .map(|mut l| {
                 let lane_peak = l.sim.peak_pending();
+                recorders.extend(l.engine.take_trace());
                 l.engine.finish(lane_peak)
             })
             .collect();
@@ -1374,7 +1502,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             .unwrap_or(SimDuration::ZERO);
         let makespan_s = makespan.as_secs_f64();
         let completed = histogram.count();
-        ClusterReport {
+        let report = ClusterReport {
             routed: self.routed,
             shed_per_model: self.shed_per_model,
             histogram,
@@ -1390,6 +1518,8 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             peak_pending_events: peak,
             events_processed: events,
             per_shard,
-        }
+        };
+        let trace = traced.then(|| QueryTrace::merge(recorders));
+        (report, trace)
     }
 }

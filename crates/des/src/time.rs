@@ -61,6 +61,13 @@ impl SimTime {
         self.0
     }
 
+    /// This instant expressed in (possibly fractional) microseconds — the
+    /// unit Chrome `trace_event` timestamps use.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
     /// This instant expressed in (possibly fractional) milliseconds.
     #[must_use]
     pub fn as_millis_f64(self) -> f64 {
@@ -130,6 +137,13 @@ impl SimDuration {
     #[must_use]
     pub const fn as_nanos(self) -> u64 {
         self.0
+    }
+
+    /// The duration in (possibly fractional) microseconds — the unit Chrome
+    /// `trace_event` durations use.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
     }
 
     /// The duration in (possibly fractional) milliseconds.

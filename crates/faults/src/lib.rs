@@ -735,6 +735,52 @@ where
     assemble_fault_report(cluster, report, detail, plan)
 }
 
+/// [`run_with_faults`] with the flight recorder attached: the run also
+/// returns the merged [`QueryTrace`](inference_obs::QueryTrace) covering
+/// every query lifecycle plus the routing, loan and fault annotations.
+///
+/// Invariant 12 (zero observer effect): the [`FaultReport`] is bit-for-bit
+/// the untraced one — the availability assembly is pure post-processing of
+/// an identical cluster run.
+#[must_use]
+pub fn run_with_faults_traced<I>(
+    cluster: &Cluster,
+    arrivals: I,
+    detail: ReportDetail,
+    plan: &FaultPlan,
+) -> (FaultReport, inference_obs::QueryTrace)
+where
+    I: IntoIterator<Item = PinnedQuery>,
+{
+    run_with_faults_windowed_traced(
+        cluster,
+        arrivals,
+        detail,
+        plan,
+        SyncWindow::PerEvent,
+        inference_cluster::cluster_threads_from_env(),
+    )
+}
+
+/// [`run_with_faults_windowed`] with the flight recorder attached — the
+/// traced twin, with an explicit [`SyncWindow`] mode and thread count.
+#[must_use]
+pub fn run_with_faults_windowed_traced<I>(
+    cluster: &Cluster,
+    arrivals: I,
+    detail: ReportDetail,
+    plan: &FaultPlan,
+    window: SyncWindow,
+    threads: usize,
+) -> (FaultReport, inference_obs::QueryTrace)
+where
+    I: IntoIterator<Item = PinnedQuery>,
+{
+    let timeline = plan.compile();
+    let (report, trace) = cluster.run_windowed_traced(arrivals, detail, &timeline, window, threads);
+    (assemble_fault_report(cluster, report, detail, plan), trace)
+}
+
 /// The availability / degraded-tail / per-class post-processing shared by
 /// every fault entry point: pure bookkeeping over an already-finished
 /// cluster run, so the sync mode that produced the run cannot affect it.

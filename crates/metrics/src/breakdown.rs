@@ -1,0 +1,79 @@
+//! Queue/service latency decomposition summary.
+//!
+//! End-to-end latency percentiles say *that* a tail regressed; the
+//! breakdown says *where* — time spent waiting for a worker vs time on the
+//! silicon vs reconfiguration downtime. The fields are computed from two
+//! always-on [`LatencyHistogram`]s the dispatch core maintains (queue wait
+//! and service time per completion), so the summary exists at O(1) memory
+//! in every run, traced or not.
+
+use crate::LatencyHistogram;
+
+/// Percentile summary of the queue/service split plus the run's total
+/// charged reconfiguration downtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyBreakdown {
+    /// Median queue wait (`started − dispatched`), nanoseconds.
+    pub queue_ns_p50: u64,
+    /// p99 queue wait, nanoseconds.
+    pub queue_ns_p99: u64,
+    /// Median service time (`completed − started`), nanoseconds.
+    pub service_ns_p50: u64,
+    /// p99 service time, nanoseconds.
+    pub service_ns_p99: u64,
+    /// Total reslice downtime charged by every reconfiguration in the run,
+    /// nanoseconds.
+    pub reconfig_wait_ns_total: u64,
+}
+
+impl LatencyBreakdown {
+    /// Summarizes the two decomposition histograms (empty histograms yield
+    /// zeros) plus the run's total charged reconfiguration downtime.
+    #[must_use]
+    pub fn from_histograms(
+        queue: &LatencyHistogram,
+        service: &LatencyHistogram,
+        reconfig_wait_ns_total: u64,
+    ) -> Self {
+        let pct = |h: &LatencyHistogram, p: f64| if h.is_empty() { 0 } else { h.percentile_ns(p) };
+        LatencyBreakdown {
+            queue_ns_p50: pct(queue, 0.50),
+            queue_ns_p99: pct(queue, 0.99),
+            service_ns_p50: pct(service, 0.50),
+            service_ns_p99: pct(service, 0.99),
+            reconfig_wait_ns_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histograms_summarize_to_zero() {
+        let empty = LatencyHistogram::new();
+        let b = LatencyBreakdown::from_histograms(&empty, &empty, 7);
+        assert_eq!(b.queue_ns_p50, 0);
+        assert_eq!(b.service_ns_p99, 0);
+        assert_eq!(b.reconfig_wait_ns_total, 7);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_right_histogram() {
+        let mut queue = LatencyHistogram::new();
+        let mut service = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            queue.record(i * 1_000); // 1..100 µs
+            service.record(i * 1_000_000); // 1..100 ms
+        }
+        let b = LatencyBreakdown::from_histograms(&queue, &service, 0);
+        assert!(
+            b.queue_ns_p50 >= 49_000 && b.queue_ns_p50 <= 52_000,
+            "{b:?}"
+        );
+        assert!(b.queue_ns_p99 >= 97_000 && b.queue_ns_p99 <= 100_000);
+        assert!(b.service_ns_p50 >= 49_000_000 && b.service_ns_p50 <= 52_000_000);
+        assert!(b.service_ns_p99 > b.service_ns_p50);
+    }
+}

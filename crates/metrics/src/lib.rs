@@ -10,7 +10,9 @@
 //! * [`ThroughputPoint`] / [`latency_bounded_throughput`] — the
 //!   latency-bounded throughput metric of §VI-B,
 //! * [`WindowedTail`] — tumbling-window worst-case tail latency, the spike
-//!   statistic behind the benches' `reconfig_dip`.
+//!   statistic behind the benches' `reconfig_dip`,
+//! * [`LatencyBreakdown`] — queue/service decomposition percentiles the
+//!   run reports surface (`queue_ns_p50/p99`, `service_ns_p50/p99`).
 //!
 //! ```
 //! use server_metrics::LatencyRecorder;
@@ -19,12 +21,14 @@
 //! assert_eq!(rec.p95_ms(), 19.0);
 //! ```
 
+mod breakdown;
 mod busy;
 mod histogram;
 mod latency;
 mod throughput;
 mod windowed;
 
+pub use breakdown::LatencyBreakdown;
 pub use busy::BusyTracker;
 pub use histogram::LatencyHistogram;
 pub use latency::LatencyRecorder;

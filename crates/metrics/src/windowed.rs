@@ -71,6 +71,23 @@ impl WindowedTail {
         self.histograms.iter().filter(|h| !h.is_empty()).count()
     }
 
+    /// Number of windows allocated so far — the index one past the last
+    /// window that received a sample, **including** empty interior windows.
+    /// This is the grid length a fixed-step sampler (the observability
+    /// metric registry) iterates over.
+    #[must_use]
+    pub fn allocated_windows(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// The histogram behind window `idx`, if that window has been
+    /// allocated. Empty interior windows return an empty histogram, so a
+    /// grid sampler can read rates off every bin uniformly.
+    #[must_use]
+    pub fn histogram(&self, idx: usize) -> Option<&LatencyHistogram> {
+        self.histograms.get(idx)
+    }
+
     /// The worst window's `p`-percentile latency in milliseconds, over
     /// windows holding at least `min_count` samples (0 when nothing
     /// qualifies). Bucket-accurate, like every histogram percentile.

@@ -1,0 +1,405 @@
+//! Trace analysis: exact latency breakdowns and lifecycle conservation.
+//!
+//! The breakdown is exact **by construction**: for every completed query the
+//! components are defined as differences of the query's own stamps, so
+//!
+//! ```text
+//! frontend + plain_queue + reconfig_wait + service_clean
+//!          + degrade_inflation + noise_delta  ==  latency
+//! ```
+//!
+//! holds in integer nanoseconds with no residual. `reconfig_wait` is the part
+//! of the wait interval overlapping reconfig-step downtime (intervals are
+//! unioned first, so overlap never exceeds the wait), `degrade_inflation` is
+//! the degrade-scaled minus clean service time of the final execution, and
+//! `noise_delta` (signed) is whatever service noise added or removed.
+
+use crate::event::TraceEvent;
+use crate::recorder::QueryTrace;
+use std::collections::HashMap;
+
+/// Aggregate exact breakdown for one query class (model/group index).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassBreakdown {
+    /// Model/group index this row aggregates.
+    pub group: usize,
+    /// Completed queries in the class.
+    pub completed: u64,
+    /// Σ end-to-end latency (arrival → complete).
+    pub total_latency_ns: u128,
+    /// Σ frontend serialization wait (arrival → dispatched).
+    pub frontend_ns: u128,
+    /// Σ wait not overlapping reconfig downtime (includes aborted partial
+    /// executions of killed-and-requeued queries).
+    pub queue_ns: u128,
+    /// Σ wait overlapping reconfig-step downtime windows on the query's lane.
+    pub reconfig_wait_ns: u128,
+    /// Σ clean (profile-table) service time of the completing execution.
+    pub service_clean_ns: u128,
+    /// Σ degrade-induced inflation (degrade-scaled base − clean).
+    pub degrade_inflation_ns: u128,
+    /// Σ signed service-noise delta (actual − degrade-scaled base).
+    pub noise_delta_ns: i128,
+}
+
+impl ClassBreakdown {
+    /// Sum of all components; equals `total_latency_ns` exactly.
+    #[must_use]
+    pub fn components_sum(&self) -> i128 {
+        self.frontend_ns as i128
+            + self.queue_ns as i128
+            + self.reconfig_wait_ns as i128
+            + self.service_clean_ns as i128
+            + self.degrade_inflation_ns as i128
+            + self.noise_delta_ns
+    }
+}
+
+/// Whole-trace analysis: per-class breakdowns plus admission totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceAnalysis {
+    /// One row per query class seen, ascending by group index.
+    pub classes: Vec<ClassBreakdown>,
+    /// Gateway-level offered load (route decisions + sheds); zero when the
+    /// trace has no gateway lane.
+    pub offered: u64,
+    /// Queries the router admitted.
+    pub routed: u64,
+    /// Queries the admission controller turned away.
+    pub shed: u64,
+    /// Core-level arrivals across all lanes.
+    pub arrivals: u64,
+    /// Completed queries across all lanes.
+    pub completed: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct QueryState {
+    group: usize,
+    arrival_ns: u64,
+    dispatched_ns: u64,
+    last_start_ns: u64,
+    clean_ns: u64,
+    base_ns: u64,
+    actual_ns: u64,
+    started: bool,
+    arrived: bool,
+}
+
+/// Unions possibly-overlapping `[start, end)` intervals in place.
+fn union_intervals(intervals: &mut Vec<(u64, u64)>) {
+    intervals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for &(s, e) in intervals.iter() {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    *intervals = merged;
+}
+
+/// Length of `[s, e)` ∩ the unioned `intervals`.
+fn overlap_ns(intervals: &[(u64, u64)], s: u64, e: u64) -> u64 {
+    let mut total = 0;
+    for &(is, ie) in intervals {
+        if ie <= s {
+            continue;
+        }
+        if is >= e {
+            break;
+        }
+        total += ie.min(e) - is.max(s);
+    }
+    total
+}
+
+/// Computes the exact per-class latency breakdown and admission totals.
+#[must_use]
+pub fn analyze(trace: &QueryTrace) -> TraceAnalysis {
+    // Reconfig downtime windows per lane, unioned so overlap accounting
+    // never double-counts when steps of different groups coincide.
+    let mut downtime: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+    for r in trace.records() {
+        if let TraceEvent::ReconfigStep { downtime_ns, .. } = r.event {
+            downtime
+                .entry(r.lane)
+                .or_default()
+                .push((r.at.as_nanos(), r.at.as_nanos() + downtime_ns));
+        }
+    }
+    for intervals in downtime.values_mut() {
+        union_intervals(intervals);
+    }
+
+    let mut states: HashMap<(u32, u64), QueryState> = HashMap::new();
+    let mut classes: HashMap<usize, ClassBreakdown> = HashMap::new();
+    let mut out = TraceAnalysis::default();
+    let empty: Vec<(u64, u64)> = Vec::new();
+
+    for r in trace.records() {
+        match r.event {
+            TraceEvent::RouteDecision { .. } => {
+                out.offered += 1;
+                out.routed += 1;
+            }
+            TraceEvent::Shed { .. } => {
+                out.offered += 1;
+                out.shed += 1;
+            }
+            TraceEvent::Arrival {
+                query,
+                group,
+                dispatched_ns,
+                ..
+            } => {
+                out.arrivals += 1;
+                let st = states.entry((r.lane, query)).or_default();
+                st.group = group;
+                st.arrival_ns = r.at.as_nanos();
+                st.dispatched_ns = dispatched_ns;
+                st.arrived = true;
+            }
+            TraceEvent::ServiceStart {
+                query,
+                clean_ns,
+                base_ns,
+                actual_ns,
+                ..
+            } => {
+                let st = states.entry((r.lane, query)).or_default();
+                st.last_start_ns = r.at.as_nanos();
+                st.clean_ns = clean_ns;
+                st.base_ns = base_ns;
+                st.actual_ns = actual_ns;
+                st.started = true;
+            }
+            TraceEvent::Complete {
+                query, latency_ns, ..
+            } => {
+                out.completed += 1;
+                let Some(st) = states.get(&(r.lane, query)) else {
+                    continue;
+                };
+                if !(st.arrived && st.started) {
+                    continue;
+                }
+                let complete_ns = r.at.as_nanos();
+                let row = classes.entry(st.group).or_insert(ClassBreakdown {
+                    group: st.group,
+                    ..ClassBreakdown::default()
+                });
+                let frontend = st.dispatched_ns - st.arrival_ns;
+                let wait = st.last_start_ns - st.dispatched_ns;
+                let lanes = downtime.get(&r.lane).unwrap_or(&empty);
+                let reconfig = overlap_ns(lanes, st.dispatched_ns, st.last_start_ns);
+                let service = complete_ns - st.last_start_ns;
+                let inflation = st.base_ns - st.clean_ns;
+                let noise = service as i128 - st.base_ns as i128;
+                row.completed += 1;
+                row.total_latency_ns += u128::from(latency_ns);
+                row.frontend_ns += u128::from(frontend);
+                row.queue_ns += u128::from(wait - reconfig);
+                row.reconfig_wait_ns += u128::from(reconfig);
+                row.service_clean_ns += u128::from(st.clean_ns);
+                row.degrade_inflation_ns += u128::from(inflation);
+                row.noise_delta_ns += noise;
+            }
+            _ => {}
+        }
+    }
+
+    let mut rows: Vec<ClassBreakdown> = classes.into_values().collect();
+    rows.sort_by_key(|c| c.group);
+    out.classes = rows;
+    out
+}
+
+/// Totals returned by [`check_conservation`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConservationStats {
+    /// Gateway-level offered load (routed + shed); zero without a gateway.
+    pub offered: u64,
+    /// Route decisions observed.
+    pub routed: u64,
+    /// Sheds observed (terminal).
+    pub shed: u64,
+    /// Core arrivals across lanes.
+    pub arrivals: u64,
+    /// Completes across lanes (terminal).
+    pub completed: u64,
+}
+
+/// Checks flight-recorder conservation: every core arrival has exactly one
+/// `Complete`, and when gateway events are present, `offered = routed + shed`
+/// with every routed query arriving at exactly one core.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn check_conservation(trace: &QueryTrace) -> Result<ConservationStats, String> {
+    let mut stats = ConservationStats::default();
+    // (lane, query) -> (arrivals, completes)
+    let mut per_query: HashMap<(u32, u64), (u64, u64)> = HashMap::new();
+    for r in trace.records() {
+        match r.event {
+            TraceEvent::RouteDecision { .. } => {
+                stats.offered += 1;
+                stats.routed += 1;
+            }
+            TraceEvent::Shed { .. } => {
+                stats.offered += 1;
+                stats.shed += 1;
+            }
+            TraceEvent::Arrival { query, .. } => {
+                stats.arrivals += 1;
+                per_query.entry((r.lane, query)).or_default().0 += 1;
+            }
+            TraceEvent::Complete { query, .. } => {
+                stats.completed += 1;
+                per_query.entry((r.lane, query)).or_default().1 += 1;
+            }
+            _ => {}
+        }
+    }
+    for (&(lane, query), &(arrivals, completes)) in &per_query {
+        if arrivals != 1 {
+            return Err(format!(
+                "lane {lane} query {query}: {arrivals} arrivals (want exactly 1)"
+            ));
+        }
+        if completes != 1 {
+            return Err(format!(
+                "lane {lane} query {query}: {completes} terminal completes (want exactly 1)"
+            ));
+        }
+    }
+    if stats.completed != stats.arrivals {
+        return Err(format!(
+            "{} arrivals but {} completes",
+            stats.arrivals, stats.completed
+        ));
+    }
+    if stats.routed > 0 && stats.routed != stats.arrivals {
+        return Err(format!(
+            "{} routed but {} core arrivals",
+            stats.routed, stats.arrivals
+        ));
+    }
+    if stats.offered != stats.routed + stats.shed {
+        return Err(format!(
+            "offered {} != routed {} + shed {}",
+            stats.offered, stats.routed, stats.shed
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{FlightRecorder, TraceSink, ANNOTATION_KEY};
+    use des_engine::SimTime;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    /// One query: arrive 0, dispatched 10, reconfig [20, 60), start 100,
+    /// clean 300, base 330, actual 325 (noise −5), complete 425.
+    fn one_query_recorder() -> FlightRecorder {
+        let mut r = FlightRecorder::new(0);
+        r.record(
+            t(0),
+            0,
+            TraceEvent::Arrival {
+                query: 0,
+                group: 2,
+                batch: 4,
+                dispatched_ns: 10,
+                sla_ns: 0,
+            },
+        );
+        r.record(
+            t(20),
+            ANNOTATION_KEY,
+            TraceEvent::ReconfigStep {
+                step: 0,
+                downtime_ns: 40,
+            },
+        );
+        r.record(
+            t(100),
+            0,
+            TraceEvent::ServiceStart {
+                query: 0,
+                worker: 3,
+                gpcs: 7,
+                clean_ns: 300,
+                base_ns: 330,
+                actual_ns: 325,
+            },
+        );
+        r.record(
+            t(425),
+            0,
+            TraceEvent::Complete {
+                query: 0,
+                worker: 3,
+                latency_ns: 425,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn breakdown_components_sum_exactly() {
+        let trace = QueryTrace::merge([one_query_recorder()]);
+        let analysis = analyze(&trace);
+        assert_eq!(analysis.classes.len(), 1);
+        let c = analysis.classes[0];
+        assert_eq!(c.group, 2);
+        assert_eq!(c.frontend_ns, 10);
+        assert_eq!(c.reconfig_wait_ns, 40);
+        assert_eq!(c.queue_ns, 50); // wait 90 − reconfig 40
+        assert_eq!(c.service_clean_ns, 300);
+        assert_eq!(c.degrade_inflation_ns, 30);
+        assert_eq!(c.noise_delta_ns, -5);
+        assert_eq!(c.components_sum(), c.total_latency_ns as i128);
+        assert_eq!(c.total_latency_ns, 425);
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_trace() {
+        let trace = QueryTrace::merge([one_query_recorder()]);
+        let stats = check_conservation(&trace).expect("balanced");
+        assert_eq!((stats.arrivals, stats.completed), (1, 1));
+    }
+
+    #[test]
+    fn conservation_rejects_dropped_query() {
+        let mut r = one_query_recorder();
+        r.record(
+            t(500),
+            1,
+            TraceEvent::Arrival {
+                query: 1,
+                group: 0,
+                batch: 1,
+                dispatched_ns: 510,
+                sla_ns: 0,
+            },
+        );
+        let trace = QueryTrace::merge([r]);
+        assert!(check_conservation(&trace).is_err());
+    }
+
+    #[test]
+    fn interval_union_handles_overlap() {
+        let mut v = vec![(10, 30), (20, 40), (50, 60)];
+        union_intervals(&mut v);
+        assert_eq!(v, vec![(10, 40), (50, 60)]);
+        assert_eq!(overlap_ns(&v, 0, 100), 40);
+        assert_eq!(overlap_ns(&v, 35, 55), 10);
+    }
+}

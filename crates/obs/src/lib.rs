@@ -1,0 +1,40 @@
+//! Deterministic observability for the PARIS/ELSA engine stack.
+//!
+//! Everything here is clocked on **simulation time**, never wall time, so a
+//! trace is a pure function of the run: same seed, same trace, at any thread
+//! count. The crate provides
+//!
+//! - a query **flight recorder** ([`TraceSink`], [`FlightRecorder`]): span
+//!   events for the full query lifecycle (arrival → route/shed →
+//!   queue wait → service start/abort/requeue → complete) plus annotations
+//!   for re-plans, loans, faults, and degrades, buffered per shard lane and
+//!   merged deterministically by `(time, key, lane, seq)` into a
+//!   [`QueryTrace`];
+//! - a **metric registry** ([`MetricRegistry`]): fixed-grid counters,
+//!   gauges, and rates (per-shard outstanding, busy GPC fraction, pool GPUs
+//!   loaned, shed rate, per-model SLA-violation rate) computed *after* the
+//!   run from the trace;
+//! - **exporters** (Chrome `trace_event` JSON via [`ChromeTraceWriter`],
+//!   JSONL via [`jsonl`]) and an **analyzer** ([`analyze`],
+//!   [`check_conservation`]) whose latency breakdown sums to the measured
+//!   end-to-end latency exactly, in integer nanoseconds.
+//!
+//! **Invariant 12 — zero observer effect.** Attaching a recorder must leave
+//! every report byte-identical to the untraced run: hooks never touch RNG
+//! streams, event keys, or report state, and the disabled path is a single
+//! `Option` test (no allocation, no branch into recording code). The
+//! property suite and `bench_obs` enforce this.
+
+pub mod analyze;
+pub mod event;
+pub mod export;
+pub mod recorder;
+pub mod registry;
+
+pub use analyze::{analyze, check_conservation, ClassBreakdown, ConservationStats, TraceAnalysis};
+pub use event::{FaultKind, TraceEvent};
+pub use export::{
+    chrome_trace_json, escape_json, jsonl, jsonl_line, write_query_trace, ChromeTraceWriter,
+};
+pub use recorder::{FlightRecorder, QueryTrace, TraceRecord, TraceSink, ANNOTATION_KEY};
+pub use registry::{MetricRegistry, MetricSeries};

@@ -1,0 +1,282 @@
+//! The flight recorder: per-lane `(time, key)`-stamped buffers that merge
+//! deterministically.
+//!
+//! Each engine lane (a shard's dispatch core, or the cluster gateway) owns a
+//! private [`FlightRecorder`]. Recording is a bounds-checked `Vec` push — no
+//! locks, no clocks, no I/O — so a lane's buffer is exactly as deterministic
+//! as the lane itself, which invariant 11 already guarantees is thread-count
+//! invariant. At window close the buffers merge by `(time, key, lane, seq)`
+//! into one [`QueryTrace`], so the merged order is a pure function of the
+//! simulation too.
+//!
+//! **Invariant 12 (zero observer effect):** recording must never touch engine
+//! state — no RNG draws, no report fields, no event keys. Hooks are
+//! `if let Some(sink) = trace { ... }` on otherwise-unchanged paths, and the
+//! property suite pins byte-identical reports with tracing on vs off.
+
+use crate::event::TraceEvent;
+use des_engine::SimTime;
+use std::cell::{OnceCell, RefCell};
+
+/// Same-instant ordering key for annotation events (reconfigs, loans,
+/// faults, degrades): they sort after every query-keyed lifecycle event at
+/// the same stamp, mirroring the engine's own command-before-event layering.
+pub const ANNOTATION_KEY: u64 = u64::MAX;
+
+/// One stamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation instant the event was observed.
+    pub at: SimTime,
+    /// Same-instant tiebreak key — the query id for lifecycle events,
+    /// [`ANNOTATION_KEY`] for annotations.
+    pub key: u64,
+    /// Which recorder buffer this came from (shard index; the cluster
+    /// gateway records as `shards.len()`).
+    pub lane: u32,
+    /// Per-lane monotone sequence number — the final within-lane tiebreak.
+    pub seq: u64,
+    /// The observation itself.
+    pub event: TraceEvent,
+}
+
+/// Anything the engine can hand observations to.
+pub trait TraceSink {
+    /// Record `event` observed at `(at, key)`.
+    fn record(&mut self, at: SimTime, key: u64, event: TraceEvent);
+}
+
+/// Records per arena chunk: large enough to amortize the chunk-list
+/// bookkeeping, small enough that a quiet lane wastes little.
+const CHUNK: usize = 1024;
+
+/// A per-lane append-only trace buffer.
+///
+/// Storage is a chunked arena (like the server's `Gantt`): appending never
+/// moves earlier records, so a hot lane recording tens of thousands of
+/// events never pays the doubling-growth memcpy of a flat `Vec` — the push
+/// is the recorder's entire hot-path cost.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    lane: u32,
+    seq: u64,
+    /// The chunk being appended to — kept separate from `full` so the push
+    /// is a direct `Vec::push`, not a `last_mut()` double indirection.
+    current: Vec<TraceRecord>,
+    /// Filled chunks, each exactly `CHUNK` records.
+    full: Vec<Vec<TraceRecord>>,
+}
+
+impl FlightRecorder {
+    /// Creates an empty recorder for `lane`.
+    #[must_use]
+    pub fn new(lane: u32) -> Self {
+        FlightRecorder {
+            lane,
+            seq: 0,
+            current: Vec::new(),
+            full: Vec::new(),
+        }
+    }
+
+    /// The lane this recorder stamps onto its records.
+    #[must_use]
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Number of records buffered so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seq as usize
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Consumes the recorder, yielding its buffer in append order.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for chunk in self.full {
+            out.extend(chunk);
+        }
+        out.extend(self.current);
+        out
+    }
+
+    /// Rolls a filled `current` chunk into `full` — out of line so the
+    /// inlined push stays small.
+    #[cold]
+    fn grow(&mut self) {
+        let filled = std::mem::replace(&mut self.current, Vec::with_capacity(CHUNK));
+        if !filled.is_empty() {
+            self.full.push(filled);
+        }
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    // Inlined into the engines' hook sites (cross-crate): the push IS the
+    // traced hot path, and a call frame per record roughly doubles it.
+    #[inline]
+    fn record(&mut self, at: SimTime, key: u64, event: TraceEvent) {
+        if self.current.len() == self.current.capacity() {
+            self.grow();
+        }
+        self.current.push(TraceRecord {
+            at,
+            key,
+            lane: self.lane,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+}
+
+/// A deterministically merged trace: every lane's records in one global
+/// `(time, key, lane, seq)` order.
+///
+/// The global order is realized **lazily**: [`merge`] only takes ownership
+/// of the lane buffers, and the flatten-and-sort runs on the first
+/// [`records`] call. The sort's outcome is a pure function of the stamps
+/// either way; deferring it keeps the traced run's wall-clock cost to the
+/// per-record push alone, so the overhead number `bench_obs` reports
+/// measures the recorder, not the post-run analysis.
+///
+/// [`merge`]: QueryTrace::merge
+/// [`records`]: QueryTrace::records
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    parts: RefCell<Vec<FlightRecorder>>,
+    sorted: OnceCell<Vec<TraceRecord>>,
+}
+
+impl QueryTrace {
+    /// Merges per-lane buffers into the global order (lazily — see the
+    /// type-level docs).
+    ///
+    /// Because each buffer is already time-sorted (lanes observe their own
+    /// events in stamp order) a k-way merge would do, but a sort keeps the
+    /// invariant local: the output order depends only on the stamps, never
+    /// on the order buffers were handed in.
+    #[must_use]
+    pub fn merge(parts: impl IntoIterator<Item = FlightRecorder>) -> Self {
+        QueryTrace {
+            parts: RefCell::new(parts.into_iter().collect()),
+            sorted: OnceCell::new(),
+        }
+    }
+
+    /// The merged records in global order (realizes the sort on first use).
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        self.sorted.get_or_init(|| {
+            let parts = self.parts.take();
+            let total: usize = parts.iter().map(FlightRecorder::len).sum();
+            let mut records: Vec<TraceRecord> = Vec::with_capacity(total);
+            for part in parts {
+                for chunk in part.full {
+                    records.extend(chunk);
+                }
+                records.extend(part.current);
+            }
+            // The input is a handful of time-sorted runs, which the stable
+            // sort detects and merges instead of sorting from scratch.
+            records.sort_by_key(|r| (r.at, r.key, r.lane, r.seq));
+            records
+        })
+    }
+
+    /// Total number of records (does not realize the sort).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self.sorted.get() {
+            Some(records) => records.len(),
+            None => self.parts.borrow().iter().map(FlightRecorder::len).sum(),
+        }
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Latest stamp in the trace, or zero when empty.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.records()
+            .iter()
+            .map(|r| r.at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl PartialEq for QueryTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.records() == other.records()
+    }
+}
+
+impl Eq for QueryTrace {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(q: u64) -> TraceEvent {
+        TraceEvent::Requeue { query: q }
+    }
+
+    #[test]
+    fn merge_orders_by_time_key_lane_seq() {
+        let t = SimTime::from_nanos;
+        let mut a = FlightRecorder::new(1);
+        a.record(t(10), 5, ev(5));
+        a.record(t(20), 1, ev(1));
+        let mut b = FlightRecorder::new(0);
+        b.record(t(10), 5, ev(50));
+        b.record(t(10), ANNOTATION_KEY, ev(99));
+
+        // Hand the buffers in "wrong" order on purpose.
+        let merged = QueryTrace::merge([a, b]);
+        let lanes: Vec<u32> = merged.records().iter().map(|r| r.lane).collect();
+        let keys: Vec<u64> = merged.records().iter().map(|r| r.key).collect();
+        // (10,5,lane0) < (10,5,lane1) < (10,MAX) < (20,1)
+        assert_eq!(lanes, vec![0, 1, 0, 1]);
+        assert_eq!(keys, vec![5, 5, ANNOTATION_KEY, 1]);
+    }
+
+    #[test]
+    fn merge_is_input_order_invariant() {
+        let t = SimTime::from_nanos;
+        let mk = |lane: u32| {
+            let mut r = FlightRecorder::new(lane);
+            for i in 0..4 {
+                r.record(t(i * 7 % 13), i, ev(i));
+            }
+            r
+        };
+        let fwd = QueryTrace::merge([mk(0), mk(1), mk(2)]);
+        let rev = QueryTrace::merge([mk(2), mk(1), mk(0)]);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn seq_breaks_ties_within_a_lane() {
+        let t = SimTime::from_nanos(42);
+        let mut r = FlightRecorder::new(3);
+        r.record(t, 7, ev(70));
+        r.record(t, 7, ev(71));
+        let merged = QueryTrace::merge([r]);
+        assert_eq!(merged.records()[0].event, ev(70));
+        assert_eq!(merged.records()[1].event, ev(71));
+        assert_eq!(merged.horizon(), t);
+    }
+}

@@ -36,6 +36,7 @@
 use std::collections::VecDeque;
 
 use des_engine::{SimDuration, SimTime};
+use inference_obs::{FlightRecorder, TraceEvent, TraceSink, ANNOTATION_KEY};
 use inference_workload::QuerySpec;
 use mig_gpu::ProfileSize;
 use paris_core::{
@@ -244,7 +245,18 @@ pub struct DispatchCore<'a> {
     record_groups: Vec<usize>,
     latency: LatencyRecorder,
     histogram: LatencyHistogram,
+    /// Queue-wait decomposition (`started − dispatched`), recorded for
+    /// every completion regardless of detail or tracing — O(1) memory, the
+    /// source of the report's `queue_ns_p50/p99` summary fields.
+    queue_hist: LatencyHistogram,
+    /// Service-time decomposition (`completed − started`), same contract.
+    service_hist: LatencyHistogram,
     per_group: Vec<GroupAccum>,
+    /// Attached flight recorder; `None` (the default) is the zero-cost
+    /// disabled path — every hook is a single `Option` discriminant test.
+    /// Recording never touches RNG streams, event keys, or report state
+    /// (invariant 12: zero observer effect).
+    trace: Option<Box<FlightRecorder>>,
     /// Instant of the most recent completion — the makespan endpoint. The
     /// DES clock itself can outlive it (a trailing `ReconfigReady` fires
     /// one reslice delay after the last drain), and charging that idle
@@ -332,7 +344,10 @@ impl<'a> DispatchCore<'a> {
             record_groups: Vec::new(),
             latency: LatencyRecorder::new(),
             histogram: LatencyHistogram::new(),
+            queue_hist: LatencyHistogram::new(),
+            service_hist: LatencyHistogram::new(),
             per_group,
+            trace: None,
             last_completion: SimTime::ZERO,
             frontend_free: SimTime::ZERO,
             next_query_id: 0,
@@ -422,6 +437,20 @@ impl<'a> DispatchCore<'a> {
         )
     }
 
+    /// Attaches a flight recorder; every lifecycle and annotation event
+    /// from here on lands in its buffer. Attach before driving any events
+    /// so the trace's conservation invariant (one arrival, one terminal)
+    /// holds.
+    pub fn set_trace(&mut self, recorder: FlightRecorder) {
+        self.trace = Some(Box::new(recorder));
+    }
+
+    /// Detaches and returns the flight recorder, if one was attached.
+    /// Call before [`finish`](DispatchCore::finish) (which drops it).
+    pub fn take_trace(&mut self) -> Option<FlightRecorder> {
+        self.trace.take().map(|b| *b)
+    }
+
     /// Offers one arrival for group `group` to the serial frontend,
     /// scheduling its [`ShardEvent::Dispatch`] through `sched`. Arrivals
     /// must be offered in non-decreasing arrival order.
@@ -437,6 +466,19 @@ impl<'a> DispatchCore<'a> {
         self.frontend_free = dispatched;
         let id = self.next_query_id;
         self.next_query_id += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                arrival,
+                id,
+                TraceEvent::Arrival {
+                    query: id,
+                    group,
+                    batch: spec.batch,
+                    dispatched_ns: dispatched.as_nanos(),
+                    sla_ns: self.specs[group].sla_ns.unwrap_or(0),
+                },
+            );
+        }
         sched(
             dispatched,
             id,
@@ -512,6 +554,21 @@ impl<'a> DispatchCore<'a> {
     ) {
         let base = self.service_ns(w, query.batch);
         let duration = noisy_service_duration(self.config.service_noise, base, &mut self.noise_rng);
+        if let Some(tr) = &mut self.trace {
+            let clean = self.rows[w][query.batch.clamp(1, self.max_batch[w]) - 1];
+            tr.record(
+                now,
+                query.id.0,
+                TraceEvent::ServiceStart {
+                    query: query.id.0,
+                    worker: w,
+                    gpcs: self.slots[w].worker.size().gpcs() as u32,
+                    clean_ns: clean,
+                    base_ns: base,
+                    actual_ns: duration.as_nanos(),
+                },
+            );
+        }
         let end = self.slots[w].worker.begin(query, now, duration);
         if !self.slots[w].retiring {
             let (g, local) = (self.slots[w].group, self.slots[w].local);
@@ -536,6 +593,16 @@ impl<'a> DispatchCore<'a> {
         if self.groups[g].members.is_empty() {
             // Mid-reconfiguration with the whole group quiesced: hold the
             // query until new instances come online.
+            if let Some(tr) = &mut self.trace {
+                tr.record(
+                    now,
+                    query.id.0,
+                    TraceEvent::Stash {
+                        query: query.id.0,
+                        group: g,
+                    },
+                );
+            }
             self.groups[g].stash.push_back(query);
             return;
         }
@@ -551,6 +618,16 @@ impl<'a> DispatchCore<'a> {
                 self.begin(w, query, now, sched);
             } else {
                 let est = self.estimate_ns(w, query.batch);
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        now,
+                        query.id.0,
+                        TraceEvent::Enqueue {
+                            query: query.id.0,
+                            group: g,
+                        },
+                    );
+                }
                 self.slots[w]
                     .worker
                     .enqueue(query, SimDuration::from_nanos(est));
@@ -568,7 +645,19 @@ impl<'a> DispatchCore<'a> {
                     let w = self.groups[g].members[local as usize];
                     self.begin(w, query, now, sched);
                 }
-                None => self.groups[g].central.push_back(query),
+                None => {
+                    if let Some(tr) = &mut self.trace {
+                        tr.record(
+                            now,
+                            query.id.0,
+                            TraceEvent::Enqueue {
+                                query: query.id.0,
+                                group: g,
+                            },
+                        );
+                    }
+                    self.groups[g].central.push_back(query);
+                }
             }
         }
     }
@@ -590,6 +679,20 @@ impl<'a> DispatchCore<'a> {
         let (query, started) = self.slots[w].worker.finish(now);
         let latency_ns = (now - query.arrival).as_nanos();
         self.histogram.record(latency_ns);
+        self.queue_hist
+            .record((started - query.dispatched).as_nanos());
+        self.service_hist.record((now - started).as_nanos());
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                now,
+                query.id.0,
+                TraceEvent::Complete {
+                    query: query.id.0,
+                    worker: w,
+                    latency_ns,
+                },
+            );
+        }
         let accum = &mut self.per_group[g];
         accum.completed += 1;
         accum.histogram.record(latency_ns);
@@ -698,6 +801,16 @@ impl<'a> DispatchCore<'a> {
             let was_retiring = self.slots[w].retiring;
             let was_busy = self.slots[w].worker.busy_until().is_some();
             if let Some(q) = self.slots[w].worker.abort(now) {
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        now,
+                        q.id.0,
+                        TraceEvent::ServiceAbort {
+                            query: q.id.0,
+                            worker: w,
+                        },
+                    );
+                }
                 orphans.push((g, q));
             }
             while let Some((q, _est)) = self.slots[w].worker.pop_next() {
@@ -742,6 +855,9 @@ impl<'a> DispatchCore<'a> {
         // slots first) — deterministic, and their original ids/arrivals
         // survive, so the outage shows up as latency, never as loss.
         for (g, q) in orphans {
+            if let Some(tr) = &mut self.trace {
+                tr.record(now, q.id.0, TraceEvent::Requeue { query: q.id.0 });
+            }
             self.route(q, g, now, sched);
         }
         requeued
@@ -912,6 +1028,16 @@ impl<'a> DispatchCore<'a> {
                 self.route(q, g, now, sched);
             }
         }
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                now,
+                ANNOTATION_KEY,
+                TraceEvent::ReconfigDone {
+                    steps: rc.steps_done,
+                    aborted: true,
+                },
+            );
+        }
         self.reconfigs.push(ReconfigEvent {
             triggered_at: rc.triggered_at,
             completed_at: now,
@@ -972,6 +1098,16 @@ impl<'a> DispatchCore<'a> {
         rc.step_downtime = SimDuration::from_nanos(step.downtime_ns);
         rc.pending_added = added;
         rc.step_retired = retired;
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                now,
+                ANNOTATION_KEY,
+                TraceEvent::ReconfigStep {
+                    step: rc.steps_done,
+                    downtime_ns: step.downtime_ns,
+                },
+            );
+        }
         if draining == 0 {
             sched(
                 now + rc.step_downtime,
@@ -1059,6 +1195,16 @@ impl<'a> DispatchCore<'a> {
             Some(step) => self.start_step(step, now, sched),
             None => {
                 let rc = self.reconfig.take().expect("checked above");
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        now,
+                        ANNOTATION_KEY,
+                        TraceEvent::ReconfigDone {
+                            steps: rc.steps_done,
+                            aborted: false,
+                        },
+                    );
+                }
                 self.reconfigs.push(ReconfigEvent {
                     triggered_at: rc.triggered_at,
                     completed_at: now,
@@ -1104,6 +1250,8 @@ impl<'a> DispatchCore<'a> {
             record_models: self.record_groups,
             latency: self.latency,
             histogram: self.histogram,
+            queue_hist: self.queue_hist,
+            service_hist: self.service_hist,
             per_model: self
                 .specs
                 .iter()
@@ -1149,6 +1297,8 @@ impl<'a> DispatchCore<'a> {
             records: multi.records,
             latency: multi.latency,
             histogram: multi.histogram,
+            queue_hist: multi.queue_hist,
+            service_hist: multi.service_hist,
             makespan: multi.makespan,
             achieved_qps: multi.achieved_qps,
             partition_utilization: multi.partition_utilization,

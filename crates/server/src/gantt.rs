@@ -174,6 +174,51 @@ impl Gantt {
         &self.outages
     }
 
+    /// Appends the trace to a Chrome `trace_event` writer: execution spans
+    /// as `ph:"X"` slices on `(pid, tid = partition row)` and outage
+    /// windows — the ASCII renderer's `×` cells — as `×outage` slices on
+    /// the same rows, so chrome://tracing / Perfetto shows queries and
+    /// outages on one timeline. An outage still open at the end of the
+    /// trace extends to the trace horizon, mirroring
+    /// [`render_ascii`](Self::render_ascii).
+    pub fn write_chrome_trace(&self, w: &mut inference_obs::ChromeTraceWriter, pid: u32) {
+        for span in self.iter() {
+            w.complete_slice(
+                &format!("q{} b{}", span.query.0, span.batch),
+                "exec",
+                pid,
+                span.partition as u32,
+                span.start.as_micros_f64(),
+                (span.end.saturating_since(span.start)).as_micros_f64(),
+            );
+        }
+        if self.outages.is_empty() {
+            return;
+        }
+        let horizon_ns = self
+            .iter()
+            .map(|s| s.end.as_nanos())
+            .chain(
+                self.outages
+                    .iter()
+                    .map(|o| o.end.unwrap_or(o.start).as_nanos()),
+            )
+            .max()
+            .unwrap_or(0);
+        let horizon = SimTime::from_nanos(horizon_ns);
+        for o in &self.outages {
+            let end = o.end.unwrap_or(horizon).max(o.start);
+            w.complete_slice(
+                "\u{d7}outage",
+                "outage",
+                pid,
+                o.partition as u32,
+                o.start.as_micros_f64(),
+                end.saturating_since(o.start).as_micros_f64(),
+            );
+        }
+    }
+
     /// Renders the trace as one text row per partition, `width` characters
     /// of timeline. Busy cells show the last digit of the query id; idle
     /// cells show `·`.
@@ -316,6 +361,27 @@ mod tests {
         // Closing a row with no open outage is a no-op.
         g.close_outage(1, SimTime::from_nanos(700));
         assert_eq!(g.outages().len(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_covers_spans_and_outages() {
+        let mut g = Gantt::new(vec![ProfileSize::G1, ProfileSize::G2]);
+        g.push(span(0, 1, 0, 400));
+        g.push(span(1, 2, 0, 1_000));
+        // Row 0 dies at t=400 and never recovers: the slice must extend to
+        // the trace horizon (1 µs), like render_ascii's `×` cells.
+        g.mark_outage(0, SimTime::from_nanos(400));
+        let mut w = inference_obs::ChromeTraceWriter::new();
+        g.write_chrome_trace(&mut w, 3);
+        assert_eq!(w.events(), 3);
+        let doc = w.finish();
+        assert!(doc.contains("\"name\":\"q1 b1\""), "{doc}");
+        assert!(doc.contains("\u{d7}outage"), "{doc}");
+        assert!(doc.contains("\"pid\":3"), "{doc}");
+        assert!(
+            doc.contains("\"cat\":\"outage\",\"ph\":\"X\",\"ts\":0.4,\"dur\":0.6"),
+            "open outage runs 0.4–1.0 µs: {doc}"
+        );
     }
 
     #[test]

@@ -444,6 +444,13 @@ pub struct MultiRunReport {
     pub latency: LatencyRecorder,
     /// Combined fixed-footprint latency histogram.
     pub histogram: LatencyHistogram,
+    /// Queue-wait (`started − dispatched`) histogram across all models,
+    /// filled at every detail level — the O(1)-memory source of
+    /// [`breakdown`](Self::breakdown), tracing on or off.
+    pub queue_hist: LatencyHistogram,
+    /// Service-time (`completed − started`) histogram across all models,
+    /// filled at every detail level.
+    pub service_hist: LatencyHistogram,
     /// Per-model breakdown.
     pub per_model: Vec<ModelReport>,
     /// Time from first arrival to last completion.
@@ -483,6 +490,23 @@ impl MultiRunReport {
             ReportDetail::Full => self.latency.p95_ms(),
             ReportDetail::Summary => self.histogram.p95_ms(),
         }
+    }
+
+    /// Where latency came from: queue-wait vs service-time percentiles
+    /// from the always-on decomposition histograms, plus the total reslice
+    /// downtime charged by every completed reconfiguration.
+    #[must_use]
+    pub fn breakdown(&self) -> server_metrics::LatencyBreakdown {
+        let reconfig_wait_ns_total = self
+            .reconfigs
+            .iter()
+            .map(|rc| rc.reslice_delay.as_nanos())
+            .sum();
+        server_metrics::LatencyBreakdown::from_histograms(
+            &self.queue_hist,
+            &self.service_hist,
+            reconfig_wait_ns_total,
+        )
     }
 
     /// The worst per-model exact SLA violation rate (the metric a
@@ -797,6 +821,18 @@ impl<'a> ShardEngine<'a> {
             budget: server.budget,
             detector,
         }
+    }
+
+    /// Attaches a flight recorder: the dispatch core records the full
+    /// lifecycle of every query it handles (invariant 12 — attaching a
+    /// recorder never changes simulation behaviour or report bytes).
+    pub fn set_trace(&mut self, recorder: inference_obs::FlightRecorder) {
+        self.core.set_trace(recorder);
+    }
+
+    /// Detaches and returns the flight recorder, if one was attached.
+    pub fn take_trace(&mut self) -> Option<inference_obs::FlightRecorder> {
+        self.core.take_trace()
     }
 
     /// Offers one tagged arrival to the shard's serial frontend, scheduling

@@ -174,6 +174,13 @@ pub struct RunReport {
     pub latency: LatencyRecorder,
     /// Fixed-footprint latency histogram, filled at every detail level.
     pub histogram: LatencyHistogram,
+    /// Queue-wait (`started − dispatched`) histogram, filled at every
+    /// detail level — the O(1)-memory source of
+    /// [`breakdown`](Self::breakdown), tracing on or off.
+    pub queue_hist: LatencyHistogram,
+    /// Service-time (`completed − started`) histogram, filled at every
+    /// detail level.
+    pub service_hist: LatencyHistogram,
     /// Time from first arrival to last completion.
     pub makespan: SimDuration,
     /// Completed queries divided by the makespan.
@@ -220,6 +227,14 @@ impl RunReport {
             return 0.0;
         }
         self.partition_utilization.iter().sum::<f64>() / self.partition_utilization.len() as f64
+    }
+
+    /// Where latency came from: queue-wait vs service-time percentiles,
+    /// computed from the always-on decomposition histograms (single-server
+    /// runs never reconfigure, so the reconfig component is 0).
+    #[must_use]
+    pub fn breakdown(&self) -> server_metrics::LatencyBreakdown {
+        server_metrics::LatencyBreakdown::from_histograms(&self.queue_hist, &self.service_hist, 0)
     }
 
     /// Fraction of queries whose latency exceeded `sla_ns`.
@@ -500,6 +515,8 @@ impl InferenceServer {
         let mut records: Vec<QueryRecord> = Vec::with_capacity(trace.len());
         let mut latency = LatencyRecorder::new();
         let mut histogram = LatencyHistogram::new();
+        let mut queue_hist = LatencyHistogram::new();
+        let mut service_hist = LatencyHistogram::new();
         let mut sla_violations = 0u64;
 
         while let Some((now, event)) = sim.next_event() {
@@ -558,6 +575,8 @@ impl InferenceServer {
                     };
                     latency.record(record.latency().as_nanos());
                     histogram.record(record.latency().as_nanos());
+                    queue_hist.record((started - query.dispatched).as_nanos());
+                    service_hist.record((now - started).as_nanos());
                     if let Some(sla) = self.config.sla_ns {
                         sla_violations += u64::from(record.latency().as_nanos() > sla);
                     }
@@ -613,6 +632,8 @@ impl InferenceServer {
             records,
             latency,
             histogram,
+            queue_hist,
+            service_hist,
             makespan,
             achieved_qps,
             partition_utilization,
@@ -687,6 +708,9 @@ mod tests {
     fn assert_reports_identical(a: &RunReport, b: &RunReport) {
         assert_eq!(a.records, b.records);
         assert_eq!(a.latency, b.latency);
+        assert_eq!(a.queue_hist, b.queue_hist);
+        assert_eq!(a.service_hist, b.service_hist);
+        assert_eq!(a.breakdown(), b.breakdown());
         assert_eq!(a.partition_utilization, b.partition_utilization);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.achieved_qps, b.achieved_qps);

@@ -23,7 +23,10 @@
 //!   admission control ([`cluster::ShedPolicy`]),
 //! * [`faults`] — fault injection & recovery: seedable GPU/shard outage
 //!   scenarios with failure domains (racks), slow-GPU degradation,
-//!   drain-and-redistribute, availability accounting.
+//!   drain-and-redistribute, availability accounting,
+//! * [`obs`] — deterministic observability: DES-clock query flight
+//!   recorder, metric registry, Chrome-trace/JSONL exporters, and an
+//!   exact latency-breakdown analyzer (zero observer effect).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use des_engine as des;
 pub use dnn_zoo as dnn;
 pub use inference_cluster as cluster;
 pub use inference_faults as faults;
+pub use inference_obs as obs;
 pub use inference_server as server;
 pub use inference_workload as workload;
 pub use mig_gpu as gpu;
@@ -68,7 +72,12 @@ pub mod prelude {
     pub use crate::faults::{run_with_faults, FaultDomain, FaultPlan, FaultReport, FaultTopology};
     pub use crate::gpu::{DeviceSpec, GpuLayout, PerfModel, ProfileSize};
     pub use crate::metrics::{
-        latency_bounded_throughput, LatencyRecorder, ThroughputPoint, WindowedTail,
+        latency_bounded_throughput, LatencyBreakdown, LatencyRecorder, ThroughputPoint,
+        WindowedTail,
+    };
+    pub use crate::obs::{
+        analyze, check_conservation, ChromeTraceWriter, FlightRecorder, MetricRegistry, QueryTrace,
+        TraceEvent, TraceSink,
     };
     pub use crate::paris::{
         homogeneous_plan, random_plan, Elsa, ElsaConfig, GpcBudget, Paris, PartitionPlan,

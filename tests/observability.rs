@@ -1,0 +1,256 @@
+//! Observability-layer integration tests: invariant 12 (zero observer
+//! effect), trace determinism across thread counts, and the flight
+//! recorder's conservation / exact-breakdown guarantees.
+//!
+//! The property test is the contract the whole `obs` crate hangs off:
+//! attaching the recorder must leave the fault report **byte-identical**
+//! (full `Debug` rendering) to the untraced run, for any router policy,
+//! sampled fault plan, sync-window mode and lane thread count. The unit
+//! tests pin what the trace itself must satisfy: offered = routed + shed,
+//! arrivals = completed, and per-class latency components that sum to the
+//! measured end-to-end latency in integer nanoseconds with no residual.
+
+use paris_elsa::cluster::{Cluster, RouterPolicy, ShedPolicy, SyncWindow};
+use paris_elsa::dnn::ModelKind;
+use paris_elsa::faults::{
+    run_with_faults_windowed, run_with_faults_windowed_traced, FaultPlan, FaultTopology,
+};
+use paris_elsa::obs::{analyze, check_conservation, MetricRegistry, QueryTrace};
+use paris_elsa::prelude::*;
+use proptest::prelude::*;
+
+fn mobilenet_table() -> ProfileTable {
+    let perf = PerfModel::new(DeviceSpec::a100());
+    ProfileTable::profile(&ModelKind::MobileNet.build(), &perf, &ProfileSize::ALL, 32)
+}
+
+/// A two-model shard on `gpus` GPUs, summary detail (the scenario-bench
+/// configuration, scaled down).
+fn shard(table: &ProfileTable, gpus: usize) -> MultiModelServer {
+    let dist = BatchDistribution::paper_default();
+    MultiModelServer::new(
+        vec![
+            ModelSpec::new("premium", table.clone(), dist.clone()),
+            ModelSpec::new("batch", table.clone(), dist),
+        ],
+        GpcBudget::new(gpus * 7, gpus),
+        MultiModelConfig::new().with_detail(ReportDetail::Summary),
+    )
+    .expect("shard plan builds")
+}
+
+/// Two 2-GPU shards with brownout shedding on both classes.
+fn small_cluster(table: &ProfileTable, policy: RouterPolicy) -> Cluster {
+    Cluster::new(vec![shard(table, 2), shard(table, 2)], policy)
+        .with_shed(ShedPolicy::new(vec![0, 1]).with_margin(0.5))
+}
+
+/// Two equal-rate arrival streams (premium + batch) at `frac` of fleet
+/// capacity combined, over `duration_s` simulated seconds.
+fn arrivals(cluster: &Cluster, duration_s: f64, frac: f64, seed: u64) -> Vec<TaggedQuerySpec> {
+    let dist = BatchDistribution::paper_default();
+    let fleet: f64 = cluster
+        .shards()
+        .iter()
+        .map(MultiModelServer::capacity_hint_qps)
+        .sum();
+    let per_model = 0.5 * frac * fleet;
+    MultiTraceGenerator::new(
+        vec![PhaseSpec::new(
+            duration_s,
+            vec![(per_model, dist.clone()), (per_model, dist)],
+        )],
+        seed,
+    )
+    .generate()
+}
+
+/// The unit suite's fixture: a mid-run rack outage on shard 0 under
+/// moderate overload, traced at the given sync window and thread count.
+fn traced_outage_run(
+    table: &ProfileTable,
+    window: SyncWindow,
+    threads: usize,
+) -> (paris_elsa::faults::FaultReport, QueryTrace) {
+    let cluster = small_cluster(table, RouterPolicy::JoinShortestQueue);
+    let trace_in = arrivals(&cluster, 1.0, 0.8, 7);
+    let topology = FaultTopology::racks(&[2, 2], 2);
+    let plan = FaultPlan::new().with_domain_outage(&topology, "rack0", 0.3, 0.7);
+    run_with_faults_windowed_traced(
+        &cluster,
+        trace_in.iter().copied().map(|tq| (None, tq)),
+        ReportDetail::Summary,
+        &plan,
+        window,
+        threads,
+    )
+}
+
+#[test]
+fn flight_recorder_conserves_queries() {
+    let table = mobilenet_table();
+    let (report, trace) = traced_outage_run(&table, SyncWindow::PerEvent, 1);
+    assert!(!trace.is_empty(), "outage run must record events");
+
+    let stats = check_conservation(&trace).expect("per-query lifecycle balances");
+    assert_eq!(stats.offered, stats.routed + stats.shed, "admission ledger");
+    assert_eq!(stats.arrivals, stats.completed, "lifecycle conservation");
+    assert!(stats.shed > 0, "the outage must brown out some batch load");
+    assert_eq!(
+        stats.completed,
+        report.cluster.completed(),
+        "trace-counted completions match the report"
+    );
+}
+
+#[test]
+fn breakdown_components_sum_exactly() {
+    let table = mobilenet_table();
+    let (_, trace) = traced_outage_run(&table, SyncWindow::PerEvent, 1);
+    let analysis = analyze(&trace);
+    assert_eq!(analysis.classes.len(), 2, "premium and batch rows");
+    for class in &analysis.classes {
+        assert!(
+            class.completed > 0,
+            "class {} completed nothing",
+            class.group
+        );
+        assert_eq!(
+            class.components_sum(),
+            class.total_latency_ns as i128,
+            "class {} breakdown must sum to end-to-end latency exactly",
+            class.group
+        );
+    }
+    let stats = check_conservation(&trace).expect("conserved");
+    assert_eq!(
+        analysis.classes.iter().map(|c| c.completed).sum::<u64>(),
+        stats.completed,
+        "per-class completions partition the total"
+    );
+}
+
+#[test]
+fn trace_is_thread_count_invariant() {
+    let table = mobilenet_table();
+    for window in [
+        SyncWindow::PerEvent,
+        SyncWindow::Lookahead(SimDuration::from_nanos(2_000_000)),
+    ] {
+        let (report1, trace1) = traced_outage_run(&table, window, 1);
+        let (report4, trace4) = traced_outage_run(&table, window, 4);
+        assert_eq!(
+            format!("{report1:?}"),
+            format!("{report4:?}"),
+            "report diverged across thread counts ({window:?})"
+        );
+        assert_eq!(
+            trace1, trace4,
+            "trace diverged across thread counts ({window:?})"
+        );
+    }
+}
+
+#[test]
+fn metric_registry_covers_the_run() {
+    let table = mobilenet_table();
+    let (_, trace) = traced_outage_run(&table, SyncWindow::PerEvent, 1);
+    let window_ns = 100_000_000;
+    let registry = MetricRegistry::from_trace(&trace, window_ns, &[14, 14]);
+    for s in 0..2 {
+        let busy = registry
+            .get(&format!("shard{s}/busy_gpc_fraction"))
+            .unwrap_or_else(|| panic!("shard{s} busy series"));
+        assert!(!busy.values.is_empty());
+        assert!(
+            busy.values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "busy-GPC fraction is a fraction"
+        );
+        assert!(
+            registry.get(&format!("shard{s}/outstanding")).is_some(),
+            "shard{s} outstanding series"
+        );
+    }
+    let shed = registry.get("fleet/shed_rate").expect("fleet shed series");
+    assert!(
+        shed.values.iter().any(|&v| v > 0.0),
+        "the outage window must show sheds on the grid"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 12 (ARCHITECTURE.md): attaching the flight recorder is a
+    /// pure observation — for ANY router policy, fault plan, sync-window
+    /// mode and lane thread count, the traced run's report is byte-identical
+    /// (full `Debug` rendering) to the untraced run's, and the trace itself
+    /// is identical across thread counts.
+    #[test]
+    fn tracing_is_zero_observer_effect(
+        seed in 0u64..8,
+        router in 0u64..3,
+        fault_kind in 0u64..4,
+        mode in 0u64..2,
+        degrade_factor in 1.5f64..4.0,
+    ) {
+        let table = mobilenet_table();
+        let policy = match router {
+            0 => RouterPolicy::StaticHash,
+            1 => RouterPolicy::JoinShortestQueue,
+            _ => RouterPolicy::WeightedByCapacity,
+        };
+        let cluster = small_cluster(&table, policy);
+        let trace_in = arrivals(&cluster, 0.4, 0.7, seed);
+        let plan = match fault_kind {
+            0 => FaultPlan::new(),
+            1 => FaultPlan::new().with_gpu_degrade(1, 0, degrade_factor, 0.1, 0.3),
+            2 => FaultPlan::new().with_domain_outage(
+                &FaultTopology::racks(&[2, 2], 2),
+                "rack0",
+                0.1,
+                0.3,
+            ),
+            _ => FaultPlan::sample_gpu_mttf(&[2, 2], 0.9, 0.2, 0.4, seed),
+        };
+        let window = if mode == 0 {
+            SyncWindow::PerEvent
+        } else {
+            SyncWindow::Lookahead(SimDuration::from_nanos(2_000_000))
+        };
+
+        let mut traces: Vec<QueryTrace> = Vec::new();
+        for threads in [1usize, 4] {
+            let untraced = run_with_faults_windowed(
+                &cluster,
+                trace_in.iter().copied().map(|tq| (None, tq)),
+                ReportDetail::Full,
+                &plan,
+                window,
+                threads,
+            );
+            let (traced, trace) = run_with_faults_windowed_traced(
+                &cluster,
+                trace_in.iter().copied().map(|tq| (None, tq)),
+                ReportDetail::Full,
+                &plan,
+                window,
+                threads,
+            );
+            prop_assert_eq!(
+                format!("{untraced:?}"),
+                format!("{traced:?}"),
+                "observer effect at {} threads ({:?})",
+                threads,
+                window
+            );
+            prop_assert!(!trace.is_empty(), "a loaded run must record events");
+            traces.push(trace);
+        }
+        prop_assert!(
+            traces[0] == traces[1],
+            "trace diverged between 1 and 4 threads ({:?})",
+            window
+        );
+    }
+}
