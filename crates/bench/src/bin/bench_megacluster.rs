@@ -79,7 +79,8 @@ impl Scenario {
         )
         .generate();
         let cluster = Cluster::new(vec![shard; shards], RouterPolicy::JoinShortestQueue)
-            .with_loan(LoanPolicy::new(pool_gpus, 0.25));
+            .with_loan(LoanPolicy::new(pool_gpus, 0.25))
+            .with_lane_capacity(offered_qps);
         // A GPU dies on shard 3 and a whole shard drops out of rotation
         // mid-run; both repair before the end, so the run exercises kill +
         // requeue + recovery re-plan + drain/rejoin at fleet scale.
@@ -210,6 +211,19 @@ fn main() {
     };
     let pe_curve = curve_of(&per_event);
     let la_curve = curve_of(&lookahead);
+    // New/old single-thread events/sec against the artifact this run is
+    // about to overwrite (the first curve entry after each mode key is
+    // the threads=1 point).
+    let prev = std::fs::read_to_string("BENCH_megacluster.json").ok();
+    let vs_prev = |mode: &str, curve: &[(usize, f64, f64, f64)]| -> String {
+        prev.as_deref()
+            .and_then(|p| {
+                paris_bench::scrape_number_after(p, &format!("\"{mode}\":"), "events_per_sec")
+            })
+            .map_or("null".to_string(), |old| format!("{:.3}", curve[0].2 / old))
+    };
+    let pe_vs_prev = vs_prev("per_event", &pe_curve);
+    let la_vs_prev = vs_prev("lookahead", &la_curve);
     let speedup_at_4 = la_curve
         .iter()
         .find(|&&(k, ..)| k == 4)
@@ -320,6 +334,10 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"lookahead_speedup_at_4_threads\": {speedup_at_4:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_vs_prev\": {{\"per_event\": {pe_vs_prev}, \"lookahead\": {la_vs_prev}}},"
     );
     let _ = writeln!(
         json,

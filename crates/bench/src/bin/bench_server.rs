@@ -34,15 +34,26 @@ fn measure(
     server: &InferenceServer,
     trace: &[QuerySpec],
     reference: bool,
+    reps: usize,
 ) -> Measurement {
-    let start = Instant::now();
-    let report = if reference {
-        server.run_reference(trace)
-    } else {
-        server.run_with_detail(trace, ReportDetail::Summary)
-    };
-    let wall_s = start.elapsed().as_secs_f64();
-    assert_eq!(report.completed(), trace.len() as u64, "all queries served");
+    // Best-of-N: the run is deterministic, so the fastest repetition is the
+    // one least perturbed by scheduler/frequency noise. The extra warmup
+    // iteration (untimed, discarded) pays the cold-cache and page-fault
+    // cost so the timed repetitions start from a steady state.
+    let warmup = usize::from(reps > 1);
+    let mut wall_s = f64::INFINITY;
+    for rep in 0..reps.max(1) + warmup {
+        let start = Instant::now();
+        let report = if reference {
+            server.run_reference(trace)
+        } else {
+            server.run_with_detail(trace, ReportDetail::Summary)
+        };
+        if rep >= warmup {
+            wall_s = wall_s.min(start.elapsed().as_secs_f64());
+        }
+        assert_eq!(report.completed(), trace.len() as u64, "all queries served");
+    }
     // Two DES events per query: one dispatch, one completion.
     let events = 2.0 * trace.len() as f64;
     Measurement {
@@ -64,12 +75,32 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Snapshot the previous artifact before this run overwrites it: the
+    // regenerated JSON records new/old fast-path events/sec per config.
+    let prev = std::fs::read_to_string("BENCH_server.json").ok();
+
+    // The fast path is cheap to repeat, so it gets more best-of samples
+    // than the (up to 50× slower) reference path.
+    let fast_reps: usize = opts.pick(9, 3, 1);
+    let ref_reps: usize = opts.pick(3, 2, 1);
     let mut results: Vec<Measurement> = Vec::new();
     for n in paris_bench::DISPATCH_BENCH_PARTITIONS {
         let (fifs, elsa, trace) = paris_bench::dispatch_workload(n, queries);
         for (scheduler, server) in [("fifs", &fifs), ("elsa", &elsa)] {
-            results.push(measure((scheduler, "fast"), server, &trace, false));
-            results.push(measure((scheduler, "reference"), server, &trace, true));
+            results.push(measure(
+                (scheduler, "fast"),
+                server,
+                &trace,
+                false,
+                fast_reps,
+            ));
+            results.push(measure(
+                (scheduler, "reference"),
+                server,
+                &trace,
+                true,
+                ref_reps,
+            ));
         }
     }
 
@@ -130,6 +161,22 @@ fn main() {
     for (i, (name, s)) in speedups.iter().enumerate() {
         let _ = write!(json, "    \"{name}\": {s:.2}");
         json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n  \"speedup_vs_prev\": {\n");
+    let fast: Vec<&Measurement> = results.iter().filter(|m| m.path == "fast").collect();
+    for (i, m) in fast.iter().enumerate() {
+        let anchor = format!(
+            "\"scheduler\": \"{}\", \"partitions\": {}, \"path\": \"fast\"",
+            m.scheduler, m.partitions
+        );
+        let ratio = prev
+            .as_deref()
+            .and_then(|p| paris_bench::scrape_number_after(p, &anchor, "events_per_sec"))
+            .map_or("null".to_string(), |old| {
+                format!("{:.3}", m.events_per_sec / old)
+            });
+        let _ = write!(json, "    \"{}_{}\": {ratio}", m.scheduler, m.partitions);
+        json.push_str(if i + 1 < fast.len() { ",\n" } else { "\n" });
     }
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

@@ -51,6 +51,22 @@ impl Default for ExperimentOpts {
     }
 }
 
+/// Scrapes the first `"key": <number>` appearing after `anchor` in a JSON
+/// text — enough to read a metric back out of a previously generated
+/// `BENCH_*.json` without a JSON parser. The trajectory benches use this
+/// to compute `speedup_vs_prev` against the checked-in artifact before
+/// overwriting it.
+#[must_use]
+pub fn scrape_number_after(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(anchor)? + anchor.len()..];
+    let needle = format!("\"{key}\":");
+    let after = rest[rest.find(&needle)? + needle.len()..].trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
 /// Parses `--<name> <value>` from the process arguments.
 #[must_use]
 pub fn arg_value<T: std::str::FromStr>(name: &str) -> Option<T> {

@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use des_engine::{SimDuration, SimTime};
+use des_engine::{pack_stamp, SimDuration, SimTime};
 use inference_obs::{FaultKind, FlightRecorder, QueryTrace, TraceEvent, TraceSink};
 use inference_server::{MultiModelServer, MultiRunReport, ReportDetail, ShardEngine};
 use inference_workload::{BatchDistribution, DriftDetector, TaggedQuerySpec};
@@ -122,6 +122,10 @@ pub struct Cluster {
     router: RouterPolicy,
     loan: Option<LoanPolicy>,
     shed: Option<ShedPolicy>,
+    /// Per-shard lane event-queue capacity hints
+    /// ([`lane_capacity_hints`](Self::lane_capacity_hints)); purely an
+    /// allocation knob, never observable in any report.
+    lane_capacity: Option<Vec<usize>>,
 }
 
 impl Cluster {
@@ -148,6 +152,7 @@ impl Cluster {
             router,
             loan: None,
             shed: None,
+            lane_capacity: None,
         }
     }
 
@@ -166,6 +171,57 @@ impl Cluster {
     pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
         self.shed = Some(shed);
         self
+    }
+
+    /// Pre-sizes every shard lane's event queue (and, in lookahead mode,
+    /// its command mailbox) for the given offered load — computed once via
+    /// [`lane_capacity_hints`](Self::lane_capacity_hints) and applied by
+    /// every run entry point. Purely an allocation knob: reports are
+    /// bit-for-bit identical with or without it; with it, a steady-state
+    /// run performs no lane-queue reallocation after construction.
+    #[must_use]
+    pub fn with_lane_capacity(mut self, offered_qps: f64) -> Self {
+        self.lane_capacity = Some(self.lane_capacity_hints(offered_qps));
+        self
+    }
+
+    /// Per-shard lane event-queue capacity hints for an offered load.
+    ///
+    /// A lane's queue holds one completion event per busy partition, at
+    /// most one reconfiguration timer, plus the frontend backlog's pending
+    /// dispatches — the only unbounded term, proportional to the shard's
+    /// share of the offered load times how long queries linger. The hint
+    /// bounds that share by the shard's capacity-weighted fraction of
+    /// `offered_qps` sustained for a conservative sojourn window (4× the
+    /// largest per-model SLA, or 80 ms without SLAs — transient overload
+    /// during faults holds queries well past a healthy sojourn):
+    /// `2·partitions + 16 + share_qps · sojourn`.
+    #[must_use]
+    pub fn lane_capacity_hints(&self, offered_qps: f64) -> Vec<usize> {
+        let total: f64 = self
+            .shards
+            .iter()
+            .map(MultiModelServer::capacity_hint_qps)
+            .sum();
+        self.shards
+            .iter()
+            .map(|shard| {
+                let partitions: usize = shard.groups().iter().map(Vec::len).sum();
+                let share = if total > 0.0 {
+                    shard.capacity_hint_qps() / total
+                } else {
+                    1.0 / self.shards.len() as f64
+                };
+                let sojourn_ns = shard
+                    .models()
+                    .iter()
+                    .filter_map(|m| m.sla_ns)
+                    .max()
+                    .map_or(80_000_000, |sla| sla.saturating_mul(4));
+                let backlog = (offered_qps.max(0.0) * share * sojourn_ns as f64 / 1e9).ceil();
+                2 * partitions + 16 + backlog as usize
+            })
+            .collect()
     }
 
     /// The hosted shards.
@@ -194,9 +250,33 @@ impl Cluster {
 
     /// Simulates the cluster over a materialized tagged trace at the first
     /// shard's configured detail.
+    ///
+    /// The materialized trace is also the lane pre-sizing profile: unless
+    /// [`with_lane_capacity`](Self::with_lane_capacity) already pinned
+    /// hints, the trace's own offered rate sizes every lane's event queue
+    /// up front ([`lane_capacity_hints`](Self::lane_capacity_hints)).
     #[must_use]
     pub fn run(&self, trace: &[TaggedQuerySpec]) -> ClusterReport {
-        self.run_stream(trace.iter().copied(), self.shards[0].config().detail)
+        let hints = if self.lane_capacity.is_none() {
+            let span_ns = match (trace.first(), trace.last()) {
+                (Some(f), Some(l)) => l.spec.arrival_ns.saturating_sub(f.spec.arrival_ns),
+                _ => 0,
+            };
+            (span_ns > 0)
+                .then(|| self.lane_capacity_hints(trace.len() as f64 / (span_ns as f64 / 1e9)))
+        } else {
+            None
+        };
+        self.run_windowed_inner(
+            trace.iter().copied().map(|tq| (None, tq)),
+            self.shards[0].config().detail,
+            &FaultTimeline::empty(),
+            SyncWindow::PerEvent,
+            cluster_threads_from_env(),
+            false,
+            hints.as_deref(),
+        )
+        .0
     }
 
     /// Simulates the cluster over a *streamed* tagged arrival sequence
@@ -272,7 +352,7 @@ impl Cluster {
     where
         I: IntoIterator<Item = PinnedQuery>,
     {
-        self.run_windowed_inner(arrivals, detail, faults, window, threads, false)
+        self.run_windowed_inner(arrivals, detail, faults, window, threads, false, None)
             .0
     }
 
@@ -298,10 +378,26 @@ impl Cluster {
         I: IntoIterator<Item = PinnedQuery>,
     {
         let (report, trace) =
-            self.run_windowed_inner(arrivals, detail, faults, window, threads, true);
+            self.run_windowed_inner(arrivals, detail, faults, window, threads, true, None);
         (report, trace.expect("tracing was requested"))
     }
 
+    /// The event-queue capacity for lane `s`: an explicit hint when one
+    /// was provided (call-site override first, then the cluster-level
+    /// [`with_lane_capacity`](Self::with_lane_capacity) hints), otherwise
+    /// the structural floor — one completion per partition, one
+    /// reconfiguration timer, a small dispatch margin.
+    fn lane_capacity(&self, s: usize, hints: Option<&[usize]>) -> usize {
+        hints
+            .or(self.lane_capacity.as_deref())
+            .and_then(|h| h.get(s).copied())
+            .unwrap_or_else(|| {
+                let partitions: usize = self.shards[s].groups().iter().map(Vec::len).sum();
+                partitions + 4
+            })
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_windowed_inner<I>(
         &self,
         arrivals: I,
@@ -310,6 +406,7 @@ impl Cluster {
         window: SyncWindow,
         threads: usize,
         traced: bool,
+        hints: Option<&[usize]>,
     ) -> (ClusterReport, Option<QueryTrace>)
     where
         I: IntoIterator<Item = PinnedQuery>,
@@ -324,15 +421,18 @@ impl Cluster {
             .iter()
             .enumerate()
             .map(|(s, shard)| {
-                let partitions: usize = shard.groups().iter().map(Vec::len).sum();
-                // Steady state per lane: one completion per partition, one
-                // reconfiguration event, the frontend backlog's pending
-                // dispatches.
                 let mut engine = ShardEngine::new(shard, detail);
                 if traced {
                     engine.set_trace(FlightRecorder::new(s as u32));
                 }
-                Lane::new(s, engine, shard.budget().num_gpus, partitions + 4)
+                let capacity = self.lane_capacity(s, hints);
+                // Commands only queue in lookahead mode; a window's worth
+                // of offers is far below the event-queue backlog bound.
+                let mailbox = match window {
+                    SyncWindow::Lookahead(_) => capacity,
+                    SyncWindow::PerEvent => 0,
+                };
+                Lane::new(s, engine, shard.budget().num_gpus, capacity, mailbox)
             })
             .collect();
         let threads = threads.clamp(1, self.shards.len());
@@ -373,12 +473,17 @@ impl Cluster {
             .iter()
             .enumerate()
             .map(|(s, shard)| {
-                let partitions: usize = shard.groups().iter().map(Vec::len).sum();
+                let capacity = self.lane_capacity(s, None);
+                let mailbox = match window {
+                    SyncWindow::Lookahead(_) => capacity,
+                    SyncWindow::PerEvent => 0,
+                };
                 Lane::new(
                     s,
                     ShardEngine::new(shard, detail),
                     shard.budget().num_gpus,
-                    partitions + 4,
+                    capacity,
+                    mailbox,
                 )
             })
             .collect();
@@ -660,7 +765,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             next_fault: None,
             fault_cost: faults.cost,
             fault_mode: faults.mode,
-            fault_log: Vec::new(),
+            fault_log: Vec::with_capacity(faults.events().len()),
             fault_seq: 0,
             busy_window_ns,
             busy_window_end_ns: busy_window_ns,
@@ -742,7 +847,7 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
                 Command::Replan(_) | Command::Arm(_) => self.in_flight_est[s] = true,
                 _ => {}
             }
-            lanes[s].mailbox.push_back((t, k, cmd));
+            lanes[s].mailbox.push_back((pack_stamp(t, k), cmd));
         } else {
             lanes[s].apply(t, cmd);
         }

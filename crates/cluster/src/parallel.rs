@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 use std::sync::mpsc;
 
-use des_engine::{SimDuration, SimTime, Simulation};
+use des_engine::{pack_stamp, unpack_time, SimDuration, SimTime, Simulation};
 use inference_server::{ReplanRequest, ShardEngine, ShardEvent};
 use inference_workload::{BatchDistribution, TaggedQuerySpec};
 use mig_gpu::{ProfileSize, ResliceCostModel};
@@ -130,10 +130,14 @@ pub(crate) struct Lane<'a> {
     pub shard: usize,
     pub engine: ShardEngine<'a>,
     pub sim: Simulation<ShardEvent>,
-    /// Commands stamped `(time, key)`, non-decreasing — the deterministic
-    /// mailbox. Only used in [`SyncWindow::Lookahead`]; per-event windows
-    /// apply commands synchronously through the same code path.
-    pub mailbox: VecDeque<(SimTime, u64, Command)>,
+    /// Commands stamped with the **packed** `(time << 64) | key` stamp the
+    /// event queues order by ([`pack_stamp`]), non-decreasing — the
+    /// deterministic mailbox. The coordinator packs each command's stamp
+    /// once at delivery; the merge loop in [`advance`](Lane::advance) then
+    /// compares single integers against the lane queue's own packed front.
+    /// Only used in [`SyncWindow::Lookahead`]; per-event windows apply
+    /// commands synchronously through the same code path.
+    pub mailbox: VecDeque<(u128, Command)>,
     /// Armed recovery re-plan waiting for the in-flight transition to end.
     armed: Option<ArmedReplan>,
     /// Highest recovery id this lane ever fired (stale re-arm guard).
@@ -147,12 +151,21 @@ pub(crate) struct Lane<'a> {
 }
 
 impl<'a> Lane<'a> {
-    pub fn new(shard: usize, engine: ShardEngine<'a>, num_gpus: usize, capacity: usize) -> Self {
+    /// `capacity` pre-sizes the lane's event queue (see
+    /// `Cluster::lane_capacity_hints`); `mailbox_capacity` pre-sizes the
+    /// command mailbox (zero in per-event mode, where commands never queue).
+    pub fn new(
+        shard: usize,
+        engine: ShardEngine<'a>,
+        num_gpus: usize,
+        capacity: usize,
+        mailbox_capacity: usize,
+    ) -> Self {
         Lane {
             shard,
             engine,
             sim: Simulation::with_capacity(capacity),
-            mailbox: VecDeque::new(),
+            mailbox: VecDeque::with_capacity(mailbox_capacity),
             armed: None,
             last_fired: 0,
             fired: Vec::new(),
@@ -162,27 +175,30 @@ impl<'a> Lane<'a> {
     }
 
     /// Advances this lane up to (strictly before) `bound`: local events and
-    /// mailboxed commands merge by `(time, key)` stamp, commands first at
-    /// equal stamps — the same order a single shared event queue would have
-    /// produced with the gateway's items keyed at their stamps.
+    /// mailboxed commands merge by packed `(time, key)` stamp, commands
+    /// first at equal stamps — the same order a single shared event queue
+    /// would have produced with the gateway's items keyed at their stamps.
+    /// Every comparison in the loop is a single `u128` compare: the bound
+    /// is packed once, the mailbox stores pre-packed stamps, and the lane
+    /// queue exposes its front as a packed stamp.
     pub fn advance(&mut self, bound: (SimTime, u64)) {
+        let bound = pack_stamp(bound.0, bound.1);
         loop {
-            let next_cmd = self.mailbox.front().map(|&(t, k, _)| (t, k));
-            let next_ev = self.sim.peek_time_key();
-            let take_cmd = match (next_cmd, next_ev) {
+            let next_cmd = self.mailbox.front().map(|&(s, _)| s);
+            let take_cmd = match (next_cmd, self.sim.peek_stamp()) {
                 (Some(c), Some(e)) => c <= e,
                 (Some(_), None) => true,
                 (None, _) => false,
             };
             if take_cmd {
-                let (t, k) = next_cmd.expect("checked above");
-                if (t, k) >= bound {
+                let stamp = next_cmd.expect("checked above");
+                if stamp >= bound {
                     break;
                 }
-                let (_, _, cmd) = self.mailbox.pop_front().expect("checked above");
-                self.apply(t, cmd);
+                let (_, cmd) = self.mailbox.pop_front().expect("checked above");
+                self.apply(unpack_time(stamp), cmd);
             } else {
-                let Some((now, event)) = self.sim.next_event_if_before(bound) else {
+                let Some((now, event)) = self.sim.next_event_if_before_stamp(bound) else {
                     break;
                 };
                 self.handle_event(now, event);
@@ -331,6 +347,10 @@ impl WindowProfile {
 pub(crate) struct ProfilingExecutor {
     thread_counts: Vec<usize>,
     snap: Vec<u64>,
+    /// Per-window scratch, reused across the run's thousands of windows so
+    /// profiling allocates nothing after the first window.
+    deltas: Vec<u64>,
+    buckets: Vec<u64>,
     profile: WindowProfile,
 }
 
@@ -339,6 +359,8 @@ impl ProfilingExecutor {
         ProfilingExecutor {
             thread_counts: thread_counts.to_vec(),
             snap: Vec::new(),
+            deltas: Vec::new(),
+            buckets: Vec::new(),
             profile: WindowProfile {
                 windows: 0,
                 lane_events: 0,
@@ -358,24 +380,24 @@ impl<'a> LaneExecutor<'a> for ProfilingExecutor {
         for lane in lanes.iter_mut() {
             lane.advance(bound);
         }
-        let deltas: Vec<u64> = lanes
-            .iter()
-            .map(|l| {
-                let d = l.sim.events_processed() - self.snap[l.shard];
-                self.snap[l.shard] = l.sim.events_processed();
-                d
-            })
-            .collect();
+        let (snap, deltas) = (&mut self.snap, &mut self.deltas);
+        deltas.clear();
+        deltas.extend(lanes.iter().map(|l| {
+            let d = l.sim.events_processed() - snap[l.shard];
+            snap[l.shard] = l.sim.events_processed();
+            d
+        }));
         let window_total: u64 = deltas.iter().sum();
         self.profile.windows += 1;
         self.profile.lane_events += window_total;
         for (idx, &k) in self.thread_counts.iter().enumerate() {
             let workers = k.clamp(1, lanes.len());
-            let mut buckets = vec![0u64; workers];
-            for (lane, &d) in lanes.iter().zip(&deltas) {
-                buckets[lane.shard % workers] += d;
+            self.buckets.clear();
+            self.buckets.resize(workers, 0);
+            for (lane, &d) in lanes.iter().zip(deltas.iter()) {
+                self.buckets[lane.shard % workers] += d;
             }
-            self.profile.critical_path[idx].1 += buckets.iter().copied().max().unwrap_or(0);
+            self.profile.critical_path[idx].1 += self.buckets.iter().copied().max().unwrap_or(0);
         }
     }
 }
@@ -393,6 +415,13 @@ struct AdvanceJob<'a> {
 pub(crate) struct WorkerPool<'a> {
     jobs: Vec<mpsc::Sender<AdvanceJob<'a>>>,
     done: Vec<mpsc::Receiver<Vec<Lane<'a>>>>,
+    /// Per-worker lane buckets: each window the filled buckets move into
+    /// the jobs and the emptied vectors come home through `done`, so the
+    /// steady state ships lanes both ways with zero allocation.
+    buckets: Vec<Vec<Lane<'a>>>,
+    sent: Vec<bool>,
+    /// Shard-indexed return slots, reused across windows.
+    slots: Vec<Option<Lane<'a>>>,
 }
 
 impl<'a> WorkerPool<'a> {
@@ -422,7 +451,13 @@ impl<'a> WorkerPool<'a> {
             jobs.push(job_tx);
             done.push(done_rx);
         }
-        WorkerPool { jobs, done }
+        WorkerPool {
+            jobs,
+            done,
+            buckets: Vec::new(),
+            sent: Vec::new(),
+            slots: Vec::new(),
+        }
     }
 }
 
@@ -430,16 +465,18 @@ impl<'a> LaneExecutor<'a> for WorkerPool<'a> {
     fn advance_all(&mut self, lanes: &mut Vec<Lane<'a>>, bound: (SimTime, u64)) {
         let n = lanes.len();
         let workers = self.jobs.len();
-        let mut buckets: Vec<Vec<Lane<'a>>> = (0..workers).map(|_| Vec::new()).collect();
+        self.buckets.resize_with(workers, Vec::new);
         for lane in lanes.drain(..) {
-            buckets[lane.shard % workers].push(lane);
+            self.buckets[lane.shard % workers].push(lane);
         }
-        let mut sent = vec![false; workers];
-        for (w, bucket) in buckets.into_iter().enumerate() {
-            if bucket.is_empty() {
+        self.sent.clear();
+        self.sent.resize(workers, false);
+        for w in 0..workers {
+            if self.buckets[w].is_empty() {
                 continue;
             }
-            sent[w] = true;
+            self.sent[w] = true;
+            let bucket = std::mem::take(&mut self.buckets[w]);
             self.jobs[w]
                 .send(AdvanceJob {
                     lanes: bucket,
@@ -447,17 +484,24 @@ impl<'a> LaneExecutor<'a> for WorkerPool<'a> {
                 })
                 .expect("worker alive for the whole run");
         }
-        let mut slots: Vec<Option<Lane<'a>>> = (0..n).map(|_| None).collect();
-        for (w, &was_sent) in sent.iter().enumerate() {
-            if !was_sent {
+        self.slots.clear();
+        self.slots.resize_with(n, || None);
+        for w in 0..workers {
+            if !self.sent[w] {
                 continue;
             }
-            let advanced = self.done[w].recv().expect("worker alive for the whole run");
-            for lane in advanced {
+            let mut advanced = self.done[w].recv().expect("worker alive for the whole run");
+            for lane in advanced.drain(..) {
                 let home = lane.shard;
-                slots[home] = Some(lane);
+                self.slots[home] = Some(lane);
             }
+            // The drained vector keeps its capacity for next window's bucket.
+            self.buckets[w] = advanced;
         }
-        lanes.extend(slots.into_iter().map(|s| s.expect("every lane comes home")));
+        lanes.extend(
+            self.slots
+                .drain(..)
+                .map(|s| s.expect("every lane comes home")),
+        );
     }
 }

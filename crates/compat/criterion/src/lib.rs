@@ -132,9 +132,25 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark: its name and per-iteration timing. Real
+/// criterion persists these to `target/criterion`; the shim hands them
+/// back so callers can write their own artifacts (ops/sec JSON, tables).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name as passed to `bench_function`.
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Best (minimum) batch-amortized iteration time, nanoseconds.
+    pub best_ns: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
 /// The top-level harness: registers and runs benchmarks immediately.
 pub struct Criterion {
     budget: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -146,6 +162,7 @@ impl Default for Criterion {
             .unwrap_or(300u64);
         Criterion {
             budget: Duration::from_millis(ms),
+            results: Vec::new(),
         }
     }
 }
@@ -156,15 +173,29 @@ impl Criterion {
         let mut b = Bencher::new(self.budget);
         f(&mut b);
         match b.sample {
-            Some(s) => println!(
-                "bench {name:<52} mean {:>12} (best {:>12}, {} iters)",
-                format_ns(s.mean_ns),
-                format_ns(s.best_ns),
-                s.iters
-            ),
+            Some(s) => {
+                println!(
+                    "bench {name:<52} mean {:>12} (best {:>12}, {} iters)",
+                    format_ns(s.mean_ns),
+                    format_ns(s.best_ns),
+                    s.iters
+                );
+                self.results.push(BenchResult {
+                    name: name.trim_start().to_string(),
+                    mean_ns: s.mean_ns,
+                    best_ns: s.best_ns,
+                    iters: s.iters,
+                });
+            }
             None => println!("bench {name:<52} (no measurement taken)"),
         }
         self
+    }
+
+    /// All results measured so far, in execution order.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Opens a named group of related benchmarks.
@@ -236,6 +267,10 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+        let results = c.results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "noop");
+        assert!(results[0].mean_ns >= 0.0 && results[0].iters >= 1);
     }
 
     #[test]

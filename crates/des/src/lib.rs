@@ -39,6 +39,6 @@ mod queue;
 mod sim;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{pack_stamp, unpack_time, EventQueue};
 pub use sim::Simulation;
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,6 @@
 //! The simulation driver: a clock plus an event queue.
 
-use crate::queue::EventQueue;
+use crate::queue::{pack_stamp, EventQueue};
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event simulation: a monotonically advancing clock and a queue
@@ -94,6 +94,15 @@ impl<E> Simulation<E> {
         self.peak_pending
     }
 
+    /// Events the queue can hold before its heap or payload slab
+    /// reallocates — see [`EventQueue::capacity`](crate::EventQueue::capacity).
+    /// A run whose [`peak_pending`](Self::peak_pending) stays at or below
+    /// the construction-time capacity never grew the queue.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
     /// Schedules `event` at the absolute instant `at`.
     ///
     /// Events scheduled in the past are clamped to fire "now": simulated time
@@ -127,6 +136,24 @@ impl<E> Simulation<E> {
         self.now = time;
         self.processed += 1;
         Some((time, event))
+    }
+
+    /// Schedules `event` at `(at, key)` and advances to the earliest
+    /// pending event in one fused step — exactly
+    /// [`schedule_at_keyed`](Self::schedule_at_keyed) followed by
+    /// [`next_event`](Self::next_event), including the past-clamp, the
+    /// high-water accounting and the processed count. Always returns an
+    /// event (the queue is nonempty after the push). The streamed server
+    /// drivers hold each handler's final schedule in a one-slot register
+    /// and feed it here, turning the dispatch/complete cycle's push + pop
+    /// pair into one [`EventQueue::push_pop`](crate::EventQueue::push_pop).
+    pub fn push_pop(&mut self, at: SimTime, key: u64, event: E) -> (SimTime, E) {
+        self.peak_pending = self.peak_pending.max(self.queue.len() + 1);
+        let (time, event) = self.queue.push_pop(at.max(self.now), key, event);
+        debug_assert!(time >= self.now, "event queue produced time travel");
+        self.now = time;
+        self.processed += 1;
+        (time, event)
     }
 
     /// Like [`next_event`](Simulation::next_event), but returns `None`
@@ -166,7 +193,24 @@ impl<E> Simulation<E> {
     /// meaning "last local activity", which windowed utilization and
     /// loan-integral accounting rely on.
     pub fn next_event_if_before(&mut self, bound: (SimTime, u64)) -> Option<(SimTime, E)> {
-        match self.queue.peek_time_key() {
+        self.next_event_if_before_stamp(pack_stamp(bound.0, bound.1))
+    }
+
+    /// The packed `(time << 64) | key` stamp of the earliest pending event,
+    /// if any — [`peek_time_key`](Self::peek_time_key) as one integer. The
+    /// packing is bijective (see [`pack_stamp`]), so comparing stamps is
+    /// exactly comparing `(time, key)` pairs lexicographically.
+    #[must_use]
+    pub fn peek_stamp(&self) -> Option<u128> {
+        self.queue.peek_stamp()
+    }
+
+    /// [`next_event_if_before`](Self::next_event_if_before) against a
+    /// pre-[`pack_stamp`]ed bound: the windowed drivers pack each
+    /// synchronization bound once and merge mailboxed commands against
+    /// lane events with single-integer compares.
+    pub fn next_event_if_before_stamp(&mut self, bound: u128) -> Option<(SimTime, E)> {
+        match self.queue.peek_stamp() {
             Some(stamp) if stamp < bound => self.next_event(),
             _ => None,
         }

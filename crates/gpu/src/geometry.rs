@@ -144,9 +144,68 @@ impl GpuLayout {
     }
 
     /// Whether the multiset of profiles fits on one GPU.
+    ///
+    /// Feasibility depends only on the per-size counts, and once the GPC
+    /// budget prunes impossible vectors the count space is tiny (≤ 384
+    /// entries), so the backtracking search runs once per process to fill a
+    /// table and every query after that is a lookup. Packing heuristics
+    /// probe `fits` per (instance, GPU) pair on every re-plan, which makes
+    /// this the hot path of [`PartitionPlan`]-style planners.
+    ///
+    /// [`PartitionPlan`]: https://docs.rs/paris-core
     #[must_use]
     pub fn fits(profiles: &[ProfileSize]) -> bool {
-        Self::place(profiles).is_ok()
+        let mut counts = [0usize; 5];
+        let mut gpcs = 0usize;
+        for &p in profiles {
+            counts[match p {
+                ProfileSize::G1 => 0,
+                ProfileSize::G2 => 1,
+                ProfileSize::G3 => 2,
+                ProfileSize::G4 => 3,
+                ProfileSize::G7 => 4,
+            }] += 1;
+            gpcs += p.gpcs();
+        }
+        // Every instance needs `gpcs` real compute slices from a disjoint
+        // span, so any multiset over 7 GPCs is infeasible outright. That
+        // bound also caps the per-size counts (7×G1, 3×G2, 2×G3, 1×G4,
+        // 1×G7), keeping the index below inside the table.
+        if gpcs > COMPUTE_SLICES {
+            return false;
+        }
+        let [c1, c2, c3, c4, c7] = counts;
+        Self::fits_table()[c1 + 8 * (c2 + 4 * (c3 + 3 * (c4 + 2 * c7)))]
+    }
+
+    /// Lazily built table of [`Self::fits`] answers for every count vector
+    /// reachable under the 7-GPC bound, indexed as
+    /// `c1 + 8·(c2 + 4·(c3 + 3·(c4 + 2·c7)))`.
+    fn fits_table() -> &'static [bool; 384] {
+        static TABLE: std::sync::OnceLock<[bool; 384]> = std::sync::OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut table = [false; 384];
+            let mut profiles = Vec::with_capacity(COMPUTE_SLICES);
+            for c7 in 0..2 {
+                for c4 in 0..2 {
+                    for c3 in 0..3 {
+                        for c2 in 0..4 {
+                            for c1 in 0..8 {
+                                profiles.clear();
+                                profiles.extend(std::iter::repeat_n(ProfileSize::G7, c7));
+                                profiles.extend(std::iter::repeat_n(ProfileSize::G4, c4));
+                                profiles.extend(std::iter::repeat_n(ProfileSize::G3, c3));
+                                profiles.extend(std::iter::repeat_n(ProfileSize::G2, c2));
+                                profiles.extend(std::iter::repeat_n(ProfileSize::G1, c1));
+                                table[c1 + 8 * (c2 + 4 * (c3 + 3 * (c4 + 2 * c7)))] =
+                                    Self::place(&profiles).is_ok();
+                            }
+                        }
+                    }
+                }
+            }
+            table
+        })
     }
 
     /// The placed instances as `(profile, start slice)` pairs, ordered by

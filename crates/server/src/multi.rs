@@ -695,15 +695,32 @@ impl MultiModelServer {
         if let Some(tq) = arrivals.next() {
             engine.offer(tq, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
         }
-        while let Some((now, event)) = sim.next_event() {
+        // One-slot deferred-push register fusing each handler's last
+        // schedule with the next pop — see the single-model driver in
+        // `server.rs` for the full rationale.
+        let mut held: Option<(SimTime, u64, ShardEvent)> = None;
+        loop {
+            let next = match held.take() {
+                Some((t, k, e)) => Some(sim.push_pop(t, k, e)),
+                None => sim.next_event(),
+            };
+            let Some((now, event)) = next else { break };
             // Keep the pipeline primed: handling a dispatch is the moment
             // its successor enters the queue, so pending stays O(P).
             if matches!(event, ShardEvent::Dispatch(..)) {
                 if let Some(tq) = arrivals.next() {
-                    engine.offer(tq, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+                    engine.offer(tq, &mut |t, k, e| {
+                        if let Some((pt, pk, pe)) = held.replace((t, k, e)) {
+                            sim.schedule_at_keyed(pt, pk, pe);
+                        }
+                    });
                 }
             }
-            engine.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+            engine.handle(now, event, &mut |t, k, e| {
+                if let Some((pt, pk, pe)) = held.replace((t, k, e)) {
+                    sim.schedule_at_keyed(pt, pk, pe);
+                }
+            });
         }
         engine.finish(sim.peak_pending())
     }

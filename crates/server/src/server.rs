@@ -451,15 +451,34 @@ impl InferenceServer {
         if let Some(spec) = arrivals.next() {
             core.offer(0, spec, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
         }
-        while let Some((now, event)) = sim.next_event() {
+        // One-slot deferred-push register: each handler's *last* schedule
+        // is held back and fused with the next pop (`Simulation::push_pop`)
+        // — order-preserving, since a later schedule flushes the held one
+        // first. Nothing reads the queue between a handler's schedules and
+        // the next pop, so the deferral is invisible.
+        let mut held: Option<(SimTime, u64, ShardEvent)> = None;
+        loop {
+            let next = match held.take() {
+                Some((t, k, e)) => Some(sim.push_pop(t, k, e)),
+                None => sim.next_event(),
+            };
+            let Some((now, event)) = next else { break };
             // Keep the pipeline primed: handling a dispatch is the moment
             // its successor enters the queue, so pending stays O(P).
             if matches!(event, ShardEvent::Dispatch(..)) {
                 if let Some(spec) = arrivals.next() {
-                    core.offer(0, spec, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+                    core.offer(0, spec, &mut |t, k, e| {
+                        if let Some((pt, pk, pe)) = held.replace((t, k, e)) {
+                            sim.schedule_at_keyed(pt, pk, pe);
+                        }
+                    });
                 }
             }
-            core.handle(now, event, &mut |t, k, e| sim.schedule_at_keyed(t, k, e));
+            core.handle(now, event, &mut |t, k, e| {
+                if let Some((pt, pk, pe)) = held.replace((t, k, e)) {
+                    sim.schedule_at_keyed(pt, pk, pe);
+                }
+            });
         }
         core.finish_single(sim.peak_pending())
     }

@@ -126,6 +126,80 @@ proptest! {
         prop_assert_eq!(popped, times.len());
     }
 
+    /// Random interleavings of every `EventQueue` operation against a
+    /// `BinaryHeap` oracle that mirrors the sequence-number contract
+    /// (unkeyed pushes key by `next_seq`; `pop_push` consumes one sequence
+    /// number; the `push_pop` passthrough consumes none; `clear` keeps the
+    /// counter running). Pop results, lengths, and front stamps must agree
+    /// at every step, and the final drain must be identical.
+    #[test]
+    fn event_queue_matches_binary_heap_oracle(
+        ops in prop::collection::vec((0u8..100, 0u64..2_000, 0u64..8), 1..400)
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        use paris_elsa::des::{pack_stamp, EventQueue};
+
+        let time_of = |stamp: u128| SimTime::from_nanos((stamp >> 64) as u64);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut oracle: BinaryHeap<Reverse<(u128, u64, u32)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut next_id: u32 = 0;
+        for &(op, raw_t, k) in &ops {
+            // A sprinkle of far-future times exercises calendar re-slides.
+            let t = SimTime::from_nanos(if raw_t % 53 == 0 { raw_t * 1_000_000 } else { raw_t });
+            match op {
+                0..=29 => {
+                    oracle.push(Reverse((pack_stamp(t, seq), seq, next_id)));
+                    seq += 1;
+                    q.push(t, next_id);
+                    next_id += 1;
+                }
+                30..=49 => {
+                    oracle.push(Reverse((pack_stamp(t, k), seq, next_id)));
+                    seq += 1;
+                    q.push_keyed(t, k, next_id);
+                    next_id += 1;
+                }
+                50..=69 => {
+                    let want = oracle.pop().map(|Reverse((s, _, id))| (time_of(s), id));
+                    prop_assert_eq!(q.pop(), want);
+                }
+                70..=84 => {
+                    let want = oracle.pop().map(|Reverse((s, _, id))| (time_of(s), id));
+                    oracle.push(Reverse((pack_stamp(t, k), seq, next_id)));
+                    seq += 1;
+                    prop_assert_eq!(q.pop_push(t, k, next_id), want);
+                    next_id += 1;
+                }
+                85..=96 => {
+                    let stamp = pack_stamp(t, k);
+                    let want = match oracle.peek() {
+                        Some(&Reverse((s, _, _))) if stamp >= s => {
+                            let Reverse((s, _, id)) = oracle.pop().expect("peeked nonempty");
+                            oracle.push(Reverse((stamp, seq, next_id)));
+                            seq += 1;
+                            (time_of(s), id)
+                        }
+                        _ => (t, next_id),
+                    };
+                    prop_assert_eq!(q.push_pop(t, k, next_id), want);
+                    next_id += 1;
+                }
+                _ => {
+                    oracle.clear();
+                    q.clear();
+                }
+            }
+            prop_assert_eq!(q.len(), oracle.len());
+            prop_assert_eq!(q.peek_stamp(), oracle.peek().map(|&Reverse((s, _, _))| s));
+        }
+        while let Some(Reverse((s, _, id))) = oracle.pop() {
+            prop_assert_eq!(q.pop(), Some((time_of(s), id)));
+        }
+        prop_assert!(q.is_empty());
+    }
+
     // ---------- Performance model ----------
 
     #[test]
