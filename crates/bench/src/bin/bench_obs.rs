@@ -1,4 +1,4 @@
-//! `bench_obs` — flight-recorder overhead and invariant-12 enforcement,
+//! `bench_obs` — observability overhead and invariant-12/13 enforcement,
 //! behind `BENCH_obs.json`.
 //!
 //! Runs the resilience rack scenario (surge + correlated rack outage, with
@@ -16,20 +16,35 @@
 //!    watches a million disabled-hook iterations (`Option::None` guard,
 //!    exactly the engine's untraced path) allocate nothing, and two
 //!    untraced engine runs allocate the exact same count.
-//! 4. **Recorder overhead.** Traced vs untraced wall time — the median
-//!    traced/untraced ratio over many back-to-back rep pairs — as
-//!    events/sec over the recorded event count; target ≤ 15 % slowdown.
-//!    Measured on a denser 8-shard fleet under `Lookahead` windowing (the
-//!    sharded engine's production mode — per-lane event batching keeps the
-//!    recorder's chunk cache-hot), fault-free so the number isolates the
-//!    recorder from recovery work.
+//! 4. **Recorder and online-plane overhead.** Untraced vs traced vs
+//!    online wall time — the median ratio over many back-to-back rep
+//!    triples — as events/sec over the recorded event count. Measured on
+//!    a 32-shard megacluster-density fleet under `Lookahead` windowing
+//!    (the sharded engine's production mode), fault-free so the number
+//!    isolates observability from recovery work. At this density the
+//!    retained trace outgrows the cache hierarchy and the recorder pays
+//!    its real memory cost; the enforced relation is that the streaming
+//!    plane stays cheaper — `online_overhead_pct ≤ traced_overhead_pct`
+//!    (CI guards it) — plus a loose ≤ 60 % ceiling on the recorder
+//!    itself.
 //! 5. **Exact breakdown.** Per-class components from
-//!    [`paris_elsa::obs::analyze`] must sum to the measured end-to-end
+//!    [`paris_elsa::obs::analyze()`] must sum to the measured end-to-end
 //!    latency with no residual, and the lifecycle must conserve
 //!    (`offered = routed + shed`, every arrival completes exactly once).
+//! 6. **Online plane ≡ trace oracle (invariant 13).** The live
+//!    [`MetricRegistry`] streamed by the instrumented rack run equals
+//!    `MetricRegistry::from_trace` of the same run's trace byte for byte,
+//!    at 1 and 4 threads, and the registry itself is thread-invariant.
+//!    Peak live allocator bytes under the online plane must stay strictly
+//!    below trace retention's.
+//! 7. **SLO alerts + causal attribution.** The rack outage must fire at
+//!    least one deterministic burn-rate alert (identical log at 1 and 4
+//!    threads), and each alert's worst window attributes its p99 excess
+//!    to ranked causes that sum with **zero residual**.
 //!
 //! Also writes the merged trace as `BENCH_obs.trace.json` (Chrome
-//! `trace_event` JSON — load it in `chrome://tracing` or Perfetto).
+//! `trace_event` JSON, including SLO alert rows — load it in
+//! `chrome://tracing` or Perfetto).
 //!
 //! Usage: `cargo run --release --bin bench_obs [--quick] [--smoke] [--seed N]`
 //!
@@ -45,35 +60,52 @@ use paris_bench::print_table;
 use paris_bench::scenarios::{mobilenet_table, RackScenario};
 use paris_elsa::cluster::Cluster;
 use paris_elsa::faults::{
-    run_with_faults_windowed, run_with_faults_windowed_traced, FaultPlan, FaultReport,
+    run_with_faults_windowed, run_with_faults_windowed_instrumented,
+    run_with_faults_windowed_observed, run_with_faults_windowed_traced, FaultPlan, FaultReport,
 };
-use paris_elsa::obs::{analyze, check_conservation, chrome_trace_json, jsonl, QueryTrace};
+use paris_elsa::obs::{
+    alert_records, analyze, attribute_alerts, check_conservation, evaluate_slos, jsonl,
+    write_alert_rows, write_query_trace, ChromeTraceWriter, MetricRegistry, QueryTrace, SloSpec,
+};
 use paris_elsa::prelude::*;
 
-/// Counts every allocation so the disabled tracing path can be asserted
-/// allocation-free (deallocations are pass-through: the check only needs
-/// "how many allocations happened between two points").
+/// Counts every allocation, and tracks live/peak heap bytes, so the
+/// disabled tracing path can be asserted allocation-free and the online
+/// plane's peak footprint compared against trace retention's.
+/// Deallocations only shrink the live counter — the checks need "how many
+/// allocations happened" and "how high did live bytes get" between two
+/// points.
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn note_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        note_alloc(layout.size());
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        note_alloc(new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        note_alloc(layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 }
@@ -83,6 +115,18 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Resets the peak-bytes watermark to the current live bytes and returns
+/// the live level — call before a run whose peak is being measured.
+fn reset_peak() -> u64 {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+    live
+}
+
+fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
 }
 
 /// A million iterations of the exact shape of an engine tracing hook with
@@ -100,8 +144,10 @@ fn disabled_hook_allocs() -> u64 {
     allocs() - before
 }
 
-/// The overhead workload: an 8-shard, 4-GPU-each, two-model JSQ fleet at
-/// 40 % of capacity — dense enough that every lane records continuously.
+/// The overhead workload: a 32-shard, 4-GPU-each, two-model JSQ fleet at
+/// 40 % of capacity — megacluster density, so a retained trace outgrows
+/// the last-level cache and the recorder pays its real memory cost, the
+/// regime the online-vs-traced comparison is about.
 fn dense_fleet(
     table: &ProfileTable,
     duration_s: f64,
@@ -121,7 +167,7 @@ fn dense_fleet(
         )
         .expect("shard plan builds")
     };
-    let shards = 8;
+    let shards = 32;
     let capacity: f64 = (0..shards).map(|_| mk().capacity_hint_qps()).sum();
     let cluster = Cluster::new(
         (0..shards).map(|_| mk()).collect(),
@@ -211,20 +257,22 @@ fn main() {
          (hook allocs {hook_allocs}, run allocs {untraced_allocs_a} vs {untraced_allocs_b})"
     );
 
-    // -- 4. Recorder overhead, median-pair wall time on the dense fleet ----
+    // -- 4. Observability overhead, median wall time on the dense fleet ----
     // One rep is only tens of milliseconds, so timing needs many reps to
-    // shed scheduler noise on a shared host. Each rep times an untraced
-    // and a traced run back to back and the overhead is the **median
-    // rep's traced/untraced ratio**: pairing cancels whole-process
-    // slowdowns (a background burst slows both halves of a rep), and the
-    // median ignores outlier reps without the min's optimistic bias.
+    // shed scheduler noise on a shared host. Each rep times an untraced,
+    // a traced, and an online run back to back; each overhead is the
+    // **median rep's ratio against its own untraced half**: the grouping
+    // cancels whole-process slowdowns (a background burst slows all
+    // thirds of a rep), and the median ignores outlier reps without the
+    // min's optimistic bias.
+    let online_window_ns: u64 = 100_000_000;
     let dense_duration_s = opts.pick(2.0, 1.5, 0.5);
     let reps = opts.pick(41, 15, 7);
     let (fleet, fleet_trace) = dense_fleet(&table, dense_duration_s, opts.seed);
     let fleet_unpinned = || fleet_trace.iter().copied().map(|tq| (None, tq));
     let no_faults = FaultPlan::new();
     let window = SyncWindow::Lookahead(SimDuration::from_millis(2));
-    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(reps);
+    let mut triples: Vec<(f64, f64, f64)> = Vec::with_capacity(reps);
     let mut events = 0;
     for _ in 0..reps {
         let t0 = Instant::now();
@@ -238,6 +286,17 @@ fn main() {
         );
         let rep_untraced = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
+        let (online_report, fleet_registry) = run_with_faults_windowed_observed(
+            &fleet,
+            fleet_unpinned(),
+            ReportDetail::Summary,
+            &no_faults,
+            window,
+            1,
+            online_window_ns,
+        );
+        let rep_online = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
         let (traced_report, fleet_recorded) = run_with_faults_windowed_traced(
             &fleet,
             fleet_unpinned(),
@@ -247,15 +306,56 @@ fn main() {
             1,
         );
         let rep_traced = t0.elapsed().as_secs_f64();
-        pairs.push((rep_untraced, rep_traced));
+        triples.push((rep_untraced, rep_traced, rep_online));
         events = fleet_recorded.len();
-        drop((report, traced_report, fleet_recorded));
+        drop((
+            report,
+            traced_report,
+            fleet_recorded,
+            online_report,
+            fleet_registry,
+        ));
     }
-    pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
-    let (untraced_secs, traced_secs) = pairs[pairs.len() / 2];
+    triples.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (untraced_secs, traced_secs, _) = triples[triples.len() / 2];
     let overhead_pct = (traced_secs / untraced_secs - 1.0).max(0.0) * 100.0;
+    triples.sort_by(|a, b| (a.2 / a.0).total_cmp(&(b.2 / b.0)));
+    let (online_base_secs, _, online_secs) = triples[triples.len() / 2];
+    let online_overhead_pct = (online_secs / online_base_secs - 1.0).max(0.0) * 100.0;
     let events_per_sec_traced = events as f64 / traced_secs;
     let events_per_sec_untraced = events as f64 / untraced_secs;
+    let online_cheaper_than_trace = online_overhead_pct <= overhead_pct;
+
+    // Peak live-heap comparison, one dedicated run each so the watermark
+    // isolates a single run type: the online plane keeps O(1) state per
+    // (series, window) while the recorder retains every event, so its
+    // peak must sit strictly below trace retention's.
+    let live = reset_peak();
+    let keep = untraced(1);
+    let peak_untraced_bytes = peak_bytes() - live;
+    drop(keep);
+    let live = reset_peak();
+    let keep = traced(1);
+    let peak_traced_bytes = peak_bytes() - live;
+    drop(keep);
+    let live = reset_peak();
+    let keep = run_with_faults_windowed_observed(
+        &rack.cluster(true),
+        unpinned(),
+        ReportDetail::Full,
+        &plan,
+        SyncWindow::PerEvent,
+        1,
+        online_window_ns,
+    );
+    let peak_online_bytes = peak_bytes() - live;
+    drop(keep);
+    let online_peak_below_trace = peak_online_bytes < peak_traced_bytes;
+    assert!(
+        online_peak_below_trace,
+        "online plane must peak strictly below trace retention \
+         ({peak_online_bytes} vs {peak_traced_bytes} bytes)"
+    );
 
     // -- 5. Exact breakdown + conservation ---------------------------------
     let analysis = analyze(&trace1);
@@ -269,6 +369,66 @@ fn main() {
     }
     let conservation = check_conservation(&trace1).expect("flight-recorder conservation");
     let breakdown = rep1.cluster.breakdown();
+
+    // -- 6. Online plane ≡ trace oracle (invariant 13), threads {1, 4} -----
+    let lane_gpcs = rack.cluster(true).lane_gpcs();
+    let instrumented = |threads: usize| {
+        run_with_faults_windowed_instrumented(
+            &rack.cluster(true),
+            unpinned(),
+            ReportDetail::Full,
+            &plan,
+            SyncWindow::PerEvent,
+            threads,
+            online_window_ns,
+        )
+    };
+    let (irep1, itrace1, ireg1) = instrumented(1);
+    let (_, itrace4, ireg4) = instrumented(4);
+    let online_zero_observer = format!("{irep1:?}") == format!("{base1:?}");
+    assert!(
+        online_zero_observer,
+        "invariant 12 violated: instrumented report differs from untraced"
+    );
+    let oracle1 = MetricRegistry::from_trace(&itrace1, online_window_ns, &lane_gpcs);
+    let oracle4 = MetricRegistry::from_trace(&itrace4, online_window_ns, &lane_gpcs);
+    let online_matches_oracle = ireg1 == oracle1 && ireg4 == oracle4 && ireg1 == ireg4;
+    assert!(
+        online_matches_oracle,
+        "invariant 13 violated: online registry must equal MetricRegistry::from_trace \
+         byte-for-byte at 1 and 4 threads \
+         (t1 == oracle: {}, t4 == oracle: {}, t1 == t4: {})",
+        ireg1 == oracle1,
+        ireg4 == oracle4,
+        ireg1 == ireg4,
+    );
+
+    // -- 7. SLO burn-rate alerts + causal tail attribution -----------------
+    let slo_specs = [
+        SloSpec::new("premium-avail", 0, 0.95).with_windows(2, 6),
+        SloSpec::new("batch-avail", 1, 0.5).with_windows(2, 6),
+    ];
+    let alerts = evaluate_slos(&ireg1, &slo_specs);
+    let alerts4 = evaluate_slos(&ireg4, &slo_specs);
+    let alerts_deterministic = format!("{alerts:?}") == format!("{alerts4:?}");
+    assert!(
+        alerts_deterministic,
+        "alert log diverged between 1 and 4 threads"
+    );
+    assert!(
+        !alerts.is_empty(),
+        "the rack outage must fire at least one burn-rate alert"
+    );
+    let attributions = attribute_alerts(&itrace1, online_window_ns, &alerts);
+    assert!(
+        !attributions.is_empty(),
+        "fired alerts must have attributable windows"
+    );
+    let attribution_zero_residual = attributions.iter().all(|a| a.causes_sum() == a.excess_ns);
+    assert!(
+        attribution_zero_residual,
+        "cause shares must sum to the window p99 excess exactly"
+    );
 
     let rows: Vec<Vec<String>> = analysis
         .classes
@@ -300,14 +460,53 @@ fn main() {
         ],
         &rows,
     );
+    let attribution_rows: Vec<Vec<String>> = attributions
+        .iter()
+        .flat_map(|a| {
+            let mut first = true;
+            a.causes
+                .iter()
+                .filter(|c| c.share_ns != 0)
+                .map(move |c| {
+                    let head = if first {
+                        first = false;
+                        vec![
+                            format!("{}", a.group),
+                            format!("{}", a.bin),
+                            format!("{:.1}", a.p99_latency_ns as f64 / 1e6),
+                            format!("{}", a.excess_ns as f64 / 1e6),
+                        ]
+                    } else {
+                        vec![String::new(), String::new(), String::new(), String::new()]
+                    };
+                    let mut row = head;
+                    row.push(c.cause.to_string());
+                    row.push(format!("{:.2}", c.share_ns as f64 / 1e6));
+                    row
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    print_table(
+        "causal tail attribution (per fired alert's worst window)",
+        &["class", "bin", "p99 ms", "excess ms", "cause", "share ms"],
+        &attribution_rows,
+    );
     println!(
         "\nzero observer effect:      {zero_observer} (threads 1 & 4)\n\
          trace thread-invariant:    {thread_invariant} (threads 1, 2, 4)\n\
          disabled path alloc-free:  {alloc_free}\n\
          recorder overhead:         {overhead_pct:.2}% on the dense fleet \
          ({events_per_sec_untraced:.0} -> {events_per_sec_traced:.0} events/s, {events} events)\n\
+         online overhead:           {online_overhead_pct:.2}% — cheaper than trace retention: \
+         {online_cheaper_than_trace} (peak heap {peak_online_bytes} \
+         vs traced {peak_traced_bytes} bytes)\n\
+         online matches oracle:     {online_matches_oracle} (invariant 13, threads 1 & 4)\n\
+         alerts:                    {} fired, deterministic {alerts_deterministic}, \
+         attribution residual 0: {attribution_zero_residual}\n\
          conservation:              offered {} = routed {} + shed {}, \
          arrivals {} = completed {}",
+        alerts.len(),
         conservation.offered,
         conservation.routed,
         conservation.shed,
@@ -316,15 +515,87 @@ fn main() {
     );
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_obs/v1\",\n");
+    json.push_str("{\n  \"schema\": \"bench_obs/v2\",\n");
     json.push_str("  \"model\": \"mobilenet_v1\",\n");
     let _ = writeln!(json, "  \"duration_secs\": {duration_s},");
     let _ = writeln!(json, "  \"seed\": {},", opts.seed);
     let _ = writeln!(json, "  \"zero_observer_effect\": {zero_observer},");
     let _ = writeln!(json, "  \"trace_thread_invariant\": {thread_invariant},");
     let _ = writeln!(json, "  \"disabled_path_alloc_free\": {alloc_free},");
+    json.push_str("  \"online\": {\n");
+    let _ = writeln!(json, "    \"window_ns\": {online_window_ns},");
+    let _ = writeln!(
+        json,
+        "    \"online_matches_oracle\": {online_matches_oracle},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"online_zero_observer\": {online_zero_observer},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"online_overhead_pct\": {online_overhead_pct:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"online_cheaper_than_trace\": {online_cheaper_than_trace},"
+    );
+    let _ = writeln!(json, "    \"online_secs\": {online_secs:.6},");
+    let _ = writeln!(json, "    \"online_base_secs\": {online_base_secs:.6},");
+    let _ = writeln!(json, "    \"peak_bytes_untraced\": {peak_untraced_bytes},");
+    let _ = writeln!(json, "    \"peak_bytes_traced\": {peak_traced_bytes},");
+    let _ = writeln!(json, "    \"peak_bytes_online\": {peak_online_bytes},");
+    let _ = writeln!(
+        json,
+        "    \"online_peak_below_trace\": {online_peak_below_trace}"
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"slo\": {\n");
+    let _ = writeln!(json, "    \"alerts_fired\": {},", alerts.len());
+    let _ = writeln!(
+        json,
+        "    \"alerts_deterministic\": {alerts_deterministic},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"attribution_zero_residual\": {attribution_zero_residual},"
+    );
+    json.push_str("    \"alerts\": [\n");
+    for (i, (a, attr)) in alerts.iter().zip(&attributions).enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"slo\": {}, \"group\": {}, \"fired_bin\": {}, \"resolved_bin\": {}, \
+             \"worst_bin\": {}, \"burn_short\": {:.3}, \"p99_latency_ns\": {}, \
+             \"excess_ns\": {}, \"causes\": [",
+            a.slo,
+            a.group,
+            a.fired_bin,
+            a.resolved_bin.map_or(-1i64, |b| b as i64),
+            a.worst_bin,
+            a.burn_short,
+            attr.p99_latency_ns,
+            attr.excess_ns,
+        );
+        for (j, c) in attr.causes.iter().filter(|c| c.share_ns != 0).enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            let _ = write!(
+                json,
+                "{{\"cause\": \"{}\", \"share_ns\": {}}}",
+                c.cause, c.share_ns
+            );
+        }
+        json.push_str("]}");
+        json.push_str(if i + 1 < attributions.len().min(alerts.len()) {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n");
     json.push_str("  \"recorder\": {\n");
-    json.push_str("    \"workload\": \"8x4gpu-jsq-lookahead2ms\",\n");
+    json.push_str("    \"workload\": \"32x4gpu-jsq-lookahead2ms\",\n");
     let _ = writeln!(json, "    \"workload_secs\": {dense_duration_s},");
     let _ = writeln!(json, "    \"events\": {events},");
     let _ = writeln!(
@@ -341,7 +612,7 @@ fn main() {
     let _ = writeln!(
         json,
         "    \"overhead_within_target\": {}",
-        overhead_pct <= 15.0
+        overhead_pct <= 60.0
     );
     json.push_str("  },\n");
     json.push_str("  \"breakdown\": {\n");
@@ -397,7 +668,19 @@ fn main() {
     let _ = writeln!(json, "    \"completed\": {}", conservation.completed);
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
-    std::fs::write("BENCH_obs.trace.json", chrome_trace_json(&trace1))
-        .expect("write BENCH_obs.trace.json");
+    // Chrome trace: the annotated query trace (alert fire/resolve
+    // instants in the global event order) plus one slice per fired alert
+    // spanning fire → resolve.
+    let annotated = itrace1.annotated(alert_records(&alerts, online_window_ns).into_records());
+    let mut w = ChromeTraceWriter::new();
+    write_query_trace(&mut w, &annotated);
+    write_alert_rows(
+        &mut w,
+        &alerts,
+        &slo_specs,
+        online_window_ns,
+        annotated.horizon().as_nanos(),
+    );
+    std::fs::write("BENCH_obs.trace.json", w.finish()).expect("write BENCH_obs.trace.json");
     println!("\nwrote BENCH_obs.json and BENCH_obs.trace.json");
 }

@@ -14,20 +14,33 @@
 //! - the **admission ledger** (offered = routed + shed) and lifecycle
 //!   conservation check.
 //!
-//! Optional exports of the same trace:
+//! Optional sections and exports of the same trace:
 //!
+//! - `--slo` — evaluate the default burn-rate SLOs (premium 95 % /
+//!   batch 50 % availability) on the registry, print the deterministic
+//!   alert log plus each fired alert's causal tail attribution (ranked
+//!   causes summing to the worst window's p99 excess with zero
+//!   residual), and annotate the `--trace` export with alert rows;
+//! - `--metrics <path>` — dump every registry series: `.csv` extension
+//!   writes `series,bin,t_ns,value` rows, anything else one JSONL
+//!   object per series;
 //! - `--trace <path>` — Chrome `trace_event` JSON for
-//!   `chrome://tracing` / Perfetto;
+//!   `chrome://tracing` / Perfetto (with SLO alert rows under `--slo`);
 //! - `--jsonl <path>` — one JSON record per line in global
 //!   `(time, key, lane, seq)` order, for ad-hoc scripting.
 //!
 //! Usage: `cargo run --release --bin trace_report [--quick] [--smoke] \
-//!          [--seed N] [--trace out.trace.json] [--jsonl out.jsonl]`
+//!          [--seed N] [--slo] [--metrics out.jsonl|out.csv] \
+//!          [--trace out.trace.json] [--jsonl out.jsonl]`
 
 use paris_bench::scenarios::{mobilenet_table, RackScenario};
 use paris_bench::{arg_value, print_table};
 use paris_elsa::faults::run_with_faults_traced;
-use paris_elsa::obs::{analyze, check_conservation, chrome_trace_json, jsonl, MetricRegistry};
+use paris_elsa::obs::{
+    alert_records, analyze, attribute_alerts, check_conservation, chrome_trace_json, evaluate_slos,
+    jsonl, metrics_csv, metrics_jsonl, write_alert_rows, write_query_trace, ChromeTraceWriter,
+    MetricRegistry, SloSpec,
+};
 use paris_elsa::prelude::*;
 
 /// Grid width of the utilization timelines (matches the faults crate's
@@ -151,9 +164,108 @@ fn main() {
         report.goodput_qps()
     );
 
+    // -- SLO burn-rate alerts + causal tail attribution (--slo) ------------
+    let slo_on = std::env::args().any(|a| a == "--slo");
+    let mut alerts = Vec::new();
+    let specs = [
+        SloSpec::new("premium-avail", 0, 0.95).with_windows(2, 6),
+        SloSpec::new("batch-avail", 1, 0.5).with_windows(2, 6),
+    ];
+    if slo_on {
+        alerts = evaluate_slos(&registry, &specs);
+        let alert_rows: Vec<Vec<String>> = alerts
+            .iter()
+            .map(|a| {
+                vec![
+                    specs[a.slo].name.clone(),
+                    a.group.to_string(),
+                    a.fired_bin.to_string(),
+                    a.resolved_bin
+                        .map_or_else(|| "-".to_string(), |b| b.to_string()),
+                    a.worst_bin.to_string(),
+                    format!("{:.2}", a.burn_short),
+                    format!("{:.2}", a.burn_long),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "SLO burn-rate alert log ({} ms bins, deterministic)",
+                WINDOW_NS / 1_000_000
+            ),
+            &[
+                "slo",
+                "class",
+                "fired",
+                "resolved",
+                "worst",
+                "burn-short",
+                "burn-long",
+            ],
+            &alert_rows,
+        );
+        let attributions = attribute_alerts(&trace, WINDOW_NS, &alerts);
+        let attribution_rows: Vec<Vec<String>> = attributions
+            .iter()
+            .flat_map(|a| {
+                let mut first = true;
+                a.causes
+                    .iter()
+                    .filter(|c| c.share_ns != 0)
+                    .map(move |c| {
+                        let head = if first {
+                            first = false;
+                            vec![
+                                a.group.to_string(),
+                                a.bin.to_string(),
+                                format!("{:.1}", a.p99_latency_ns as f64 / 1e6),
+                                format!("{:.2}", a.excess_ns as f64 / 1e6),
+                            ]
+                        } else {
+                            vec![String::new(); 4]
+                        };
+                        let mut row = head;
+                        row.push(c.cause.to_string());
+                        row.push(format!("{:.2}", c.share_ns as f64 / 1e6));
+                        row
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        print_table(
+            "causal tail attribution (per fired alert's worst window, zero residual)",
+            &["class", "bin", "p99 ms", "excess ms", "cause", "share ms"],
+            &attribution_rows,
+        );
+    }
+
     // -- Optional exports --------------------------------------------------
+    if let Some(path) = arg_value::<String>("metrics") {
+        let dump = if path.ends_with(".csv") {
+            metrics_csv(&registry)
+        } else {
+            metrics_jsonl(&registry)
+        };
+        std::fs::write(&path, dump).expect("write metrics dump");
+        println!("wrote {path}");
+    }
     if let Some(path) = arg_value::<String>("trace") {
-        std::fs::write(&path, chrome_trace_json(&trace)).expect("write chrome trace");
+        let body = if slo_on {
+            let annotated = trace.annotated(alert_records(&alerts, WINDOW_NS).into_records());
+            let mut w = ChromeTraceWriter::new();
+            write_query_trace(&mut w, &annotated);
+            write_alert_rows(
+                &mut w,
+                &alerts,
+                &specs,
+                WINDOW_NS,
+                annotated.horizon().as_nanos(),
+            );
+            w.finish()
+        } else {
+            chrome_trace_json(&trace)
+        };
+        std::fs::write(&path, body).expect("write chrome trace");
         println!("wrote {path}");
     }
     if let Some(path) = arg_value::<String>("jsonl") {

@@ -4,7 +4,10 @@
 use std::collections::VecDeque;
 
 use des_engine::{pack_stamp, SimDuration, SimTime};
-use inference_obs::{FaultKind, FlightRecorder, QueryTrace, TraceEvent, TraceSink};
+use inference_obs::{
+    merge_online, FaultKind, FlightRecorder, MetricRegistry, ObsRequest, ObsSink, OnlineLane,
+    QueryTrace, TraceEvent, TraceSink,
+};
 use inference_server::{MultiModelServer, MultiRunReport, ReportDetail, ShardEngine};
 use inference_workload::{BatchDistribution, DriftDetector, TaggedQuerySpec};
 use mig_gpu::COMPUTE_SLICES;
@@ -273,7 +276,7 @@ impl Cluster {
             &FaultTimeline::empty(),
             SyncWindow::PerEvent,
             cluster_threads_from_env(),
-            false,
+            ObsRequest::OFF,
             hints.as_deref(),
         )
         .0
@@ -352,8 +355,16 @@ impl Cluster {
     where
         I: IntoIterator<Item = PinnedQuery>,
     {
-        self.run_windowed_inner(arrivals, detail, faults, window, threads, false, None)
-            .0
+        self.run_windowed_inner(
+            arrivals,
+            detail,
+            faults,
+            window,
+            threads,
+            ObsRequest::OFF,
+            None,
+        )
+        .0
     }
 
     /// [`run_windowed`](Self::run_windowed) with the flight recorder
@@ -377,9 +388,97 @@ impl Cluster {
     where
         I: IntoIterator<Item = PinnedQuery>,
     {
-        let (report, trace) =
-            self.run_windowed_inner(arrivals, detail, faults, window, threads, true, None);
+        let (report, trace, _) = self.run_windowed_inner(
+            arrivals,
+            detail,
+            faults,
+            window,
+            threads,
+            ObsRequest::traced(),
+            None,
+        );
         (report, trace.expect("tracing was requested"))
+    }
+
+    /// [`run_windowed`](Self::run_windowed) with the **online telemetry
+    /// plane** attached: each lane folds its own hook stream into private
+    /// windowed aggregates live on the DES clock (O(1) memory per series
+    /// and window — no trace is retained), merged deterministically in
+    /// lane order into one [`MetricRegistry`] on a `online_window_ns` grid.
+    ///
+    /// **Invariant 13:** the returned registry is byte-for-byte
+    /// [`MetricRegistry::from_trace`] of the same run's trace on the same
+    /// grid, at any thread count — `from_trace` is the oracle the property
+    /// suite and `bench_obs` hold this against. Invariant 12 still holds
+    /// too: the report is bit-for-bit the unobserved run's.
+    #[must_use]
+    pub fn run_windowed_observed<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+        window: SyncWindow,
+        threads: usize,
+        online_window_ns: u64,
+    ) -> (ClusterReport, MetricRegistry)
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
+        let (report, _, registry) = self.run_windowed_inner(
+            arrivals,
+            detail,
+            faults,
+            window,
+            threads,
+            ObsRequest::online(online_window_ns),
+            None,
+        );
+        (report, registry.expect("online telemetry was requested"))
+    }
+
+    /// Both observability planes at once: the retained [`QueryTrace`] and
+    /// the live [`MetricRegistry`] from one run — what the invariant-13
+    /// checks compare, and what `trace_report --slo` uses to pair alerts
+    /// with their causal attribution.
+    #[must_use]
+    pub fn run_windowed_instrumented<I>(
+        &self,
+        arrivals: I,
+        detail: ReportDetail,
+        faults: &FaultTimeline,
+        window: SyncWindow,
+        threads: usize,
+        online_window_ns: u64,
+    ) -> (ClusterReport, QueryTrace, MetricRegistry)
+    where
+        I: IntoIterator<Item = PinnedQuery>,
+    {
+        let (report, trace, registry) = self.run_windowed_inner(
+            arrivals,
+            detail,
+            faults,
+            window,
+            threads,
+            ObsRequest::instrumented(online_window_ns),
+            None,
+        );
+        (
+            report,
+            trace.expect("tracing was requested"),
+            registry.expect("online telemetry was requested"),
+        )
+    }
+
+    /// Per-lane GPC capacities (`lane_gpcs[s]` = shard `s`'s total GPC
+    /// budget) — the busy-fraction denominators
+    /// [`MetricRegistry::from_trace`] needs to reproduce an observed run's
+    /// registry from its trace.
+    #[must_use]
+    pub fn lane_gpcs(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .map(|s| s.budget().total_gpcs as u32)
+            .collect()
     }
 
     /// The event-queue capacity for lane `s`: an explicit hint when one
@@ -405,16 +504,17 @@ impl Cluster {
         faults: &FaultTimeline,
         window: SyncWindow,
         threads: usize,
-        traced: bool,
+        obs: ObsRequest,
         hints: Option<&[usize]>,
-    ) -> (ClusterReport, Option<QueryTrace>)
+    ) -> (ClusterReport, Option<QueryTrace>, Option<MetricRegistry>)
     where
         I: IntoIterator<Item = PinnedQuery>,
     {
         let mut gw = Gateway::new(self, arrivals.into_iter(), faults, window);
-        if traced {
-            // The gateway records on its own lane, one past the shards.
-            gw.trace = Some(FlightRecorder::new(self.shards.len() as u32));
+        if !obs.is_off() {
+            // The gateway records on its own lane, one past the shards
+            // (no service events, so its online half needs no capacity).
+            gw.trace = Some(ObsSink::for_request(obs, self.shards.len() as u32, 0));
         }
         let mut lanes: Vec<Lane<'_>> = self
             .shards
@@ -422,8 +522,12 @@ impl Cluster {
             .enumerate()
             .map(|(s, shard)| {
                 let mut engine = ShardEngine::new(shard, detail);
-                if traced {
-                    engine.set_trace(FlightRecorder::new(s as u32));
+                if !obs.is_off() {
+                    engine.set_sink(ObsSink::for_request(
+                        obs,
+                        s as u32,
+                        shard.budget().total_gpcs as u32,
+                    ));
                 }
                 let capacity = self.lane_capacity(s, hints);
                 // Commands only queue in lookahead mode; a window's worth
@@ -692,9 +796,10 @@ struct Gateway<'a, I> {
     in_flight_est: Vec<bool>,
     items_processed: u64,
     last_item_at: SimTime,
-    /// Gateway-lane flight recorder (invariant 12: `None` leaves every
+    /// Gateway-lane observability sink — the retained-trace half, the
+    /// online-telemetry half, or both (invariant 12: `None` leaves every
     /// decision path untouched — hooks are a discriminant test only).
-    trace: Option<FlightRecorder>,
+    trace: Option<ObsSink>,
 }
 
 impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
@@ -1573,9 +1678,12 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
         self.harvest(lanes);
     }
 
-    /// Assembles the report (and, when tracing, the merged trace) after
-    /// the final drain.
-    fn finish(mut self, lanes: Vec<Lane<'a>>) -> (ClusterReport, Option<QueryTrace>) {
+    /// Assembles the report (and, when observing, the merged trace and/or
+    /// online metric registry) after the final drain.
+    fn finish(
+        mut self,
+        lanes: Vec<Lane<'a>>,
+    ) -> (ClusterReport, Option<QueryTrace>, Option<MetricRegistry>) {
         let end = lanes
             .iter()
             .map(|l| l.sim.now())
@@ -1589,13 +1697,24 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
         let peak: usize = lanes.iter().map(|l| l.sim.peak_pending()).sum::<usize>() + 2;
         let events: u64 =
             lanes.iter().map(|l| l.sim.events_processed()).sum::<u64>() + self.items_processed;
-        let mut recorders: Vec<FlightRecorder> = self.trace.take().into_iter().collect();
+        // Split each lane's sink into its retained-trace and online
+        // halves: recorders merge into one global trace, online lanes
+        // merge (in lane order) into the metric registry.
+        let mut recorders: Vec<FlightRecorder> = Vec::new();
+        let mut online: Vec<OnlineLane> = Vec::new();
+        if let Some(sink) = self.trace.take() {
+            recorders.extend(sink.trace);
+            online.extend(sink.online);
+        }
         let traced = !recorders.is_empty();
         let per_shard: Vec<MultiRunReport> = lanes
             .into_iter()
             .map(|mut l| {
                 let lane_peak = l.sim.peak_pending();
-                recorders.extend(l.engine.take_trace());
+                if let Some(sink) = l.engine.take_sink() {
+                    recorders.extend(sink.trace);
+                    online.extend(sink.online);
+                }
                 l.engine.finish(lane_peak)
             })
             .collect();
@@ -1625,6 +1744,10 @@ impl<'a, I: Iterator<Item = PinnedQuery>> Gateway<'a, I> {
             per_shard,
         };
         let trace = traced.then(|| QueryTrace::merge(recorders));
-        (report, trace)
+        let registry = (!online.is_empty()).then(|| {
+            let window_ns = online[0].window_ns();
+            merge_online(window_ns, online, &self.cluster.lane_gpcs())
+        });
+        (report, trace, registry)
     }
 }

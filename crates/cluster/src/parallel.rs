@@ -18,7 +18,14 @@
 //!   by thread arrival.
 //!
 //! The worker pool therefore only changes *where* a lane advances, not
-//! *what* it computes.
+//! *what* it computes. Observability rides the same structure: each lane's
+//! `ObsSink` (flight recorder and/or online metric accumulator) is private
+//! lane state fed from the lane's own hooks in its own push order, so a
+//! traced or instrumented run parallelizes identically — the coordinator
+//! only merges the per-lane partials (trace records by `(time, key, lane,
+//! seq)`, online aggregates in lane order) after the run, which is how the
+//! trace, the online registry (invariant 13), and the report all stay
+//! thread-count invariant.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;

@@ -165,7 +165,7 @@ fn sift_down<E>(stamp: &mut [u128], slot: &mut [u32], slab: &[(u64, Option<E>)],
 /// instant pop in the order they were pushed (or, with
 /// [`push_keyed`](Self::push_keyed), in ascending key order). This
 /// determinism is what makes whole-server simulations reproducible
-/// bit-for-bit. See the [module docs](self) for the packed-stamp hybrid
+/// bit-for-bit. See the module docs for the packed-stamp hybrid
 /// layout behind the API.
 ///
 /// # Examples
@@ -493,7 +493,7 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` if empty.
     ///
     /// The cached front *is* the element to remove: when it sits in the far
-    /// heap it is the heap minimum (so [`far_pop`](Self::far_pop) retrieves
+    /// heap it is the heap minimum (so the far-heap pop retrieves
     /// exactly it), and when it sits in the active bucket it is the back of
     /// the descending-sorted vector.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {

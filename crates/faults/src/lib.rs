@@ -781,6 +781,77 @@ where
     (assemble_fault_report(cluster, report, detail, plan), trace)
 }
 
+/// [`run_with_faults_windowed`] with the **online telemetry plane**
+/// attached: the run also returns the live
+/// [`MetricRegistry`](inference_obs::MetricRegistry) streamed on a
+/// `online_window_ns` grid — no trace retention. Invariants 12 and 13
+/// both hold: the report is bit-for-bit the unobserved one, and the
+/// registry equals `MetricRegistry::from_trace` of the same run's trace.
+#[must_use]
+pub fn run_with_faults_windowed_observed<I>(
+    cluster: &Cluster,
+    arrivals: I,
+    detail: ReportDetail,
+    plan: &FaultPlan,
+    window: SyncWindow,
+    threads: usize,
+    online_window_ns: u64,
+) -> (FaultReport, inference_obs::MetricRegistry)
+where
+    I: IntoIterator<Item = PinnedQuery>,
+{
+    let timeline = plan.compile();
+    let (report, registry) = cluster.run_windowed_observed(
+        arrivals,
+        detail,
+        &timeline,
+        window,
+        threads,
+        online_window_ns,
+    );
+    (
+        assemble_fault_report(cluster, report, detail, plan),
+        registry,
+    )
+}
+
+/// [`run_with_faults_windowed`] with **both** observability planes
+/// attached — the entry point `trace_report --slo` and the invariant-13
+/// checks use to compare the live registry against the trace oracle and
+/// to pair fired alerts with causal attribution.
+#[must_use]
+pub fn run_with_faults_windowed_instrumented<I>(
+    cluster: &Cluster,
+    arrivals: I,
+    detail: ReportDetail,
+    plan: &FaultPlan,
+    window: SyncWindow,
+    threads: usize,
+    online_window_ns: u64,
+) -> (
+    FaultReport,
+    inference_obs::QueryTrace,
+    inference_obs::MetricRegistry,
+)
+where
+    I: IntoIterator<Item = PinnedQuery>,
+{
+    let timeline = plan.compile();
+    let (report, trace, registry) = cluster.run_windowed_instrumented(
+        arrivals,
+        detail,
+        &timeline,
+        window,
+        threads,
+        online_window_ns,
+    );
+    (
+        assemble_fault_report(cluster, report, detail, plan),
+        trace,
+        registry,
+    )
+}
+
 /// The availability / degraded-tail / per-class post-processing shared by
 /// every fault entry point: pure bookkeeping over an already-finished
 /// cluster run, so the sync mode that produced the run cannot affect it.

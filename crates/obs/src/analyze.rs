@@ -87,7 +87,7 @@ struct QueryState {
 }
 
 /// Unions possibly-overlapping `[start, end)` intervals in place.
-fn union_intervals(intervals: &mut Vec<(u64, u64)>) {
+pub(crate) fn union_intervals(intervals: &mut Vec<(u64, u64)>) {
     intervals.sort_unstable();
     let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
     for &(s, e) in intervals.iter() {
@@ -100,7 +100,7 @@ fn union_intervals(intervals: &mut Vec<(u64, u64)>) {
 }
 
 /// Length of `[s, e)` ∩ the unioned `intervals`.
-fn overlap_ns(intervals: &[(u64, u64)], s: u64, e: u64) -> u64 {
+pub(crate) fn overlap_ns(intervals: &[(u64, u64)], s: u64, e: u64) -> u64 {
     let mut total = 0;
     for &(is, ie) in intervals {
         if ie <= s {

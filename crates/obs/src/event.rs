@@ -104,6 +104,18 @@ pub enum TraceEvent {
     },
     /// A worker's service-time multiplier changed.
     Degrade { worker: usize, factor_milli: u32 },
+    /// An SLO burn-rate alert changed state (see [`crate::slo`]): `slo`
+    /// indexes the spec list the alert log was evaluated against, `fired`
+    /// distinguishes fire from resolve, and `burn_milli` is the short-window
+    /// burn rate in thousandths at the transition. Alerts are **post-run
+    /// annotations** stamped on [`crate::slo::ALERT_LANE`] — engines never
+    /// record them, so annotating a trace cannot change its registry.
+    Alert {
+        slo: usize,
+        group: usize,
+        fired: bool,
+        burn_milli: u64,
+    },
 }
 
 impl TraceEvent {
@@ -147,6 +159,7 @@ impl TraceEvent {
             TraceEvent::Loan { .. } => "loan",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Degrade { .. } => "degrade",
+            TraceEvent::Alert { .. } => "alert",
         }
     }
 }

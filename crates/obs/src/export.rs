@@ -8,6 +8,8 @@
 
 use crate::event::TraceEvent;
 use crate::recorder::{QueryTrace, TraceRecord};
+use crate::registry::MetricRegistry;
+use crate::slo::{Alert, SloSpec};
 use std::fmt::Write as _;
 
 /// Row id (`tid`) the reconfig-step slices render on, clear of worker rows.
@@ -16,6 +18,8 @@ pub const RECONFIG_TID: u32 = 900_000;
 pub const FAULT_TID: u32 = 900_001;
 /// Row id admission events (sheds) render on.
 pub const ADMISSION_TID: u32 = 900_002;
+/// Row id SLO alert slices and instants render on.
+pub const TELEMETRY_TID: u32 = 900_003;
 
 /// Escapes `s` into a JSON string body (no surrounding quotes).
 #[must_use]
@@ -184,8 +188,52 @@ pub fn write_query_trace(w: &mut ChromeTraceWriter, trace: &QueryTrace) {
                     ts,
                 );
             }
+            TraceEvent::Alert {
+                slo, group, fired, ..
+            } => {
+                let verb = if fired { "fire" } else { "resolve" };
+                w.instant(
+                    &format!("slo{slo} {verb}"),
+                    "slo",
+                    group as u32,
+                    TELEMETRY_TID,
+                    ts,
+                );
+            }
             _ => {}
         }
+    }
+}
+
+/// Appends one slice per fired alert to `w`: the slice runs from the firing
+/// bin's start to the resolving bin's start (or `horizon_ns` while still
+/// firing), on `(pid = query class, tid = TELEMETRY_TID)` rows so alert
+/// windows line up visually with the class's query slices.
+pub fn write_alert_rows(
+    w: &mut ChromeTraceWriter,
+    alerts: &[Alert],
+    specs: &[SloSpec],
+    window_ns: u64,
+    horizon_ns: u64,
+) {
+    for a in alerts {
+        let start_ns = a.fired_bin as u64 * window_ns;
+        let end_ns = match a.resolved_bin {
+            Some(bin) => bin as u64 * window_ns,
+            None => horizon_ns.max(start_ns),
+        };
+        let name = match specs.get(a.slo) {
+            Some(spec) => format!("ALERT {} burn {:.1}×", spec.name, a.burn_short),
+            None => format!("ALERT slo{} burn {:.1}×", a.slo, a.burn_short),
+        };
+        w.complete_slice(
+            &name,
+            "slo",
+            a.group as u32,
+            TELEMETRY_TID,
+            start_ns as f64 / 1_000.0,
+            (end_ns - start_ns) as f64 / 1_000.0,
+        );
     }
 }
 
@@ -289,6 +337,17 @@ fn jsonl_fields(out: &mut String, event: &TraceEvent) {
         } => {
             let _ = write!(out, "\"worker\":{worker},\"factor_milli\":{factor_milli}");
         }
+        TraceEvent::Alert {
+            slo,
+            group,
+            fired,
+            burn_milli,
+        } => {
+            let _ = write!(
+                out,
+                "\"slo\":{slo},\"group\":{group},\"fired\":{fired},\"burn_milli\":{burn_milli}"
+            );
+        }
     }
 }
 
@@ -317,6 +376,48 @@ pub fn jsonl(trace: &QueryTrace) -> String {
     for r in trace.records() {
         out.push_str(&jsonl_line(r));
         out.push('\n');
+    }
+    out
+}
+
+/// Dumps a registry as JSONL: one line per series, values in bin order.
+/// Floats render via Rust's shortest-round-trip `Display`, so the dump is
+/// deterministic and parses back to the exact same values.
+#[must_use]
+pub fn metrics_jsonl(registry: &MetricRegistry) -> String {
+    let mut out = String::new();
+    for s in registry.series() {
+        let _ = write!(
+            out,
+            "{{\"series\":\"{}\",\"window_ns\":{},\"values\":[",
+            escape_json(&s.name),
+            registry.window_ns(),
+        );
+        for (i, v) in s.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+/// Dumps a registry as long-format CSV: one `series,bin,t_ns,value` row per
+/// (series, bin), with a header line.
+#[must_use]
+pub fn metrics_csv(registry: &MetricRegistry) -> String {
+    let mut out = String::from("series,bin,t_ns,value\n");
+    for s in registry.series() {
+        for (bin, v) in s.values.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{bin},{},{v}",
+                s.name,
+                bin as u64 * registry.window_ns()
+            );
+        }
     }
     out
 }
@@ -366,5 +467,101 @@ mod tests {
     fn escape_handles_control_chars() {
         assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn alert_event_renders_in_jsonl_and_chrome() {
+        let mut r = FlightRecorder::new(crate::slo::ALERT_LANE);
+        r.record(
+            SimTime::from_nanos(2_000),
+            crate::recorder::ANNOTATION_KEY,
+            TraceEvent::Alert {
+                slo: 0,
+                group: 1,
+                fired: true,
+                burn_milli: 2_500,
+            },
+        );
+        let trace = QueryTrace::merge([r]);
+        let line = jsonl(&trace);
+        assert!(
+            line.contains(
+                "\"kind\":\"alert\",\"slo\":0,\"group\":1,\"fired\":true,\"burn_milli\":2500"
+            ),
+            "{line}"
+        );
+        let doc = chrome_trace_json(&trace);
+        assert!(doc.contains("slo0 fire"), "{doc}");
+        assert!(doc.contains(&format!("\"tid\":{TELEMETRY_TID}")), "{doc}");
+    }
+
+    #[test]
+    fn alert_rows_span_fire_to_resolve_or_horizon() {
+        let alerts = vec![
+            Alert {
+                slo: 0,
+                group: 0,
+                fired_bin: 2,
+                resolved_bin: Some(5),
+                worst_bin: 3,
+                burn_short: 2.5,
+                burn_long: 1.2,
+            },
+            Alert {
+                slo: 0,
+                group: 0,
+                fired_bin: 8,
+                resolved_bin: None,
+                worst_bin: 8,
+                burn_short: 4.0,
+                burn_long: 2.0,
+            },
+        ];
+        let specs = [crate::slo::SloSpec::new("premium-avail", 0, 0.9)];
+        let mut w = ChromeTraceWriter::new();
+        write_alert_rows(&mut w, &alerts, &specs, 1_000, 10_000);
+        assert_eq!(w.events(), 2);
+        let doc = w.finish();
+        // Bin width 1 µs: fired at bin 2 → ts 2 µs, resolved bin 5 → 3 µs.
+        assert!(
+            doc.contains("\"name\":\"ALERT premium-avail burn 2.5×\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"ts\":2,\"dur\":3"), "{doc}");
+        // Unresolved: runs to the 10 µs horizon.
+        assert!(doc.contains("\"ts\":8,\"dur\":2"), "{doc}");
+        assert!(doc.contains(&format!("\"tid\":{TELEMETRY_TID}")));
+    }
+
+    #[test]
+    fn metrics_dumps_are_deterministic_and_parse_shaped() {
+        let reg = MetricRegistry::from_parts(
+            1_000,
+            3,
+            vec![
+                crate::registry::MetricSeries {
+                    name: "shard0/outstanding".to_string(),
+                    values: vec![2.0, 0.5, 0.0],
+                },
+                crate::registry::MetricSeries {
+                    name: "model1/sla_violation_rate".to_string(),
+                    values: vec![0.25, 0.0, 1.0],
+                },
+            ],
+        );
+        let jl = metrics_jsonl(&reg);
+        assert_eq!(
+            jl,
+            "{\"series\":\"shard0/outstanding\",\"window_ns\":1000,\"values\":[2,0.5,0]}\n\
+             {\"series\":\"model1/sla_violation_rate\",\"window_ns\":1000,\"values\":[0.25,0,1]}\n"
+        );
+        let csv = metrics_csv(&reg);
+        assert!(csv.starts_with("series,bin,t_ns,value\n"));
+        assert!(csv.contains("shard0/outstanding,1,1000,0.5\n"), "{csv}");
+        assert!(
+            csv.contains("model1/sla_violation_rate,2,2000,1\n"),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().count(), 1 + 2 * 3);
     }
 }

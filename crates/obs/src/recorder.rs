@@ -216,6 +216,22 @@ impl QueryTrace {
             .max()
             .unwrap_or(SimTime::ZERO)
     }
+
+    /// A copy of this trace with `extra` records (e.g. SLO alert
+    /// annotations from [`crate::slo::alert_records`]) merged into the
+    /// global `(time, key, lane, seq)` order. The original is untouched.
+    #[must_use]
+    pub fn annotated(&self, extra: impl IntoIterator<Item = TraceRecord>) -> QueryTrace {
+        let mut records: Vec<TraceRecord> = self.records().to_vec();
+        records.extend(extra);
+        records.sort_by_key(|r| (r.at, r.key, r.lane, r.seq));
+        let sorted = OnceCell::new();
+        let _ = sorted.set(records);
+        QueryTrace {
+            parts: RefCell::new(Vec::new()),
+            sorted,
+        }
+    }
 }
 
 impl PartialEq for QueryTrace {
@@ -266,6 +282,22 @@ mod tests {
         let fwd = QueryTrace::merge([mk(0), mk(1), mk(2)]);
         let rev = QueryTrace::merge([mk(2), mk(1), mk(0)]);
         assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn annotated_merges_extra_records_in_global_order() {
+        let t = SimTime::from_nanos;
+        let mut r = FlightRecorder::new(0);
+        r.record(t(10), 1, ev(1));
+        r.record(t(30), 2, ev(2));
+        let trace = QueryTrace::merge([r]);
+        let mut extra = FlightRecorder::new(7);
+        extra.record(t(20), ANNOTATION_KEY, ev(99));
+        let annotated = trace.annotated(extra.into_records());
+        assert_eq!(annotated.len(), 3);
+        let keys: Vec<u64> = annotated.records().iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, ANNOTATION_KEY, 2]);
+        assert_eq!(trace.len(), 2, "original untouched");
     }
 
     #[test]

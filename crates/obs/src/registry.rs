@@ -1,17 +1,25 @@
-//! The metric registry: fixed-grid DES-clock time series derived from a
-//! merged trace.
+//! The metric registry: fixed-grid DES-clock time series.
 //!
-//! The registry is a **pure function** of a [`QueryTrace`] — it is built
-//! after the run from the recorded events, so it cannot perturb the engine
-//! (invariant 12 holds trivially) and it is exactly as deterministic as the
-//! trace. Every series shares one tumbling grid of `window_ns` bins, the
-//! same shape as [`server_metrics::WindowedTail`] windows, which the
-//! per-model SLA-violation series reuses directly.
+//! A registry comes from one of two producers that share one code path:
+//!
+//! - **post-hoc**: [`MetricRegistry::from_trace`] replays a merged
+//!   [`QueryTrace`] through per-lane [`OnlineLane`] accumulators — a pure
+//!   function of the trace, exactly as deterministic as the trace itself;
+//! - **online**: an instrumented run streams the same events into the same
+//!   accumulators live, no trace retention.
+//!
+//! Invariant 13 (ARCHITECTURE.md) says the two are byte-for-byte identical
+//! on the same run at any thread count; `from_trace` is the oracle the
+//! property suite and `bench_obs` compare the online plane against. Every
+//! series shares one tumbling grid of `window_ns` bins, the same shape as
+//! [`server_metrics::WindowedTail`] windows, which the per-model
+//! SLA-violation series reuses directly.
+//!
+//! [`OnlineLane`]: crate::online::OnlineLane
 
-use crate::event::TraceEvent;
-use crate::recorder::QueryTrace;
-use server_metrics::WindowedTail;
-use std::collections::{BTreeMap, HashMap};
+use crate::online::OnlineLane;
+use crate::recorder::{QueryTrace, TraceSink};
+use std::collections::BTreeMap;
 
 /// One named time series on the shared grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,25 +52,28 @@ impl MetricRegistry {
     #[must_use]
     pub fn from_trace(trace: &QueryTrace, window_ns: u64, lane_gpcs: &[u32]) -> Self {
         assert!(window_ns > 0, "window must be positive");
-        let horizon = trace.horizon().as_nanos();
-        let windows = (horizon / window_ns + 1) as usize;
-        let mut b = Builder {
+        // Replay through the SAME per-lane accumulators an instrumented run
+        // streams into (invariant 13 by construction): the merged global
+        // order visits each lane's records as a time-sorted subsequence,
+        // which is all OnlineLane requires.
+        let mut lanes: BTreeMap<u32, OnlineLane> = BTreeMap::new();
+        for r in trace.records() {
+            lanes
+                .entry(r.lane)
+                .or_insert_with(|| OnlineLane::new(r.lane, window_ns))
+                .record(r.at, r.key, r.event);
+        }
+        crate::online::merge_online(window_ns, lanes.into_values(), lane_gpcs)
+    }
+
+    /// Assembles a registry from already-built series (the back half of
+    /// [`merge_online`](crate::online::merge_online)).
+    pub(crate) fn from_parts(window_ns: u64, windows: usize, series: Vec<MetricSeries>) -> Self {
+        MetricRegistry {
             window_ns,
             windows,
-            outstanding: BTreeMap::new(),
-            busy: BTreeMap::new(),
-            spans: BTreeMap::new(),
-            loaned: vec![0.0; windows],
-            routed: vec![0.0; windows],
-            shed: vec![0.0; windows],
-            tails: BTreeMap::new(),
-            slas: BTreeMap::new(),
-            groups: HashMap::new(),
-        };
-        for r in trace.records() {
-            b.absorb(r.lane, r.at.as_nanos(), r.event);
+            series,
         }
-        b.finish(lane_gpcs)
     }
 
     /// The grid's bin width in nanoseconds.
@@ -90,207 +101,11 @@ impl MetricRegistry {
     }
 }
 
-struct Builder {
-    window_ns: u64,
-    windows: usize,
-    /// lane -> (running outstanding, per-bin sample at bin close).
-    outstanding: BTreeMap<u32, (i64, Vec<f64>)>,
-    /// lane -> per-bin busy GPC·ns.
-    busy: BTreeMap<u32, Vec<f64>>,
-    /// lane -> `(start, end, gpcs)` service spans (fallback capacity input).
-    spans: BTreeMap<u32, Vec<(u64, u64, u32)>>,
-    loaned: Vec<f64>,
-    routed: Vec<f64>,
-    shed: Vec<f64>,
-    /// model -> windowed latency histograms (reused metrics machinery).
-    tails: BTreeMap<usize, WindowedTail>,
-    /// model -> SLA from the first arrival that carried one.
-    slas: BTreeMap<usize, u64>,
-    /// (lane, query) -> model, so a complete can attribute its latency.
-    groups: HashMap<(u32, u64), usize>,
-}
-
-impl Builder {
-    fn bin(&self, at_ns: u64) -> usize {
-        ((at_ns / self.window_ns) as usize).min(self.windows - 1)
-    }
-
-    fn absorb(&mut self, lane: u32, at_ns: u64, event: TraceEvent) {
-        let bin = self.bin(at_ns);
-        match event {
-            TraceEvent::Arrival {
-                query,
-                group,
-                sla_ns: sla,
-                ..
-            } => {
-                let entry = self
-                    .outstanding
-                    .entry(lane)
-                    .or_insert_with(|| (0, vec![f64::NAN; self.windows]));
-                entry.0 += 1;
-                entry.1[bin] = entry.0 as f64;
-                if sla > 0 {
-                    self.slas.entry(group).or_insert(sla);
-                }
-                self.groups.insert((lane, query), group);
-            }
-            TraceEvent::Complete {
-                query, latency_ns, ..
-            } => {
-                let entry = self
-                    .outstanding
-                    .entry(lane)
-                    .or_insert_with(|| (0, vec![f64::NAN; self.windows]));
-                entry.0 -= 1;
-                entry.1[bin] = entry.0 as f64;
-                if let Some(&group) = self.groups.get(&(lane, query)) {
-                    self.tails
-                        .entry(group)
-                        .or_insert_with(|| WindowedTail::new(self.window_ns))
-                        .record(at_ns, latency_ns);
-                }
-            }
-            TraceEvent::ServiceStart {
-                gpcs, actual_ns, ..
-            } => {
-                let (window_ns, windows) = (self.window_ns, self.windows);
-                let busy = self.busy.entry(lane).or_insert_with(|| vec![0.0; windows]);
-                // Spread the execution's GPC·ns across the bins it covers.
-                let (mut s, e) = (at_ns, at_ns + actual_ns);
-                while s < e {
-                    let b = ((s / window_ns) as usize).min(windows - 1);
-                    let bin_end = ((b as u64) + 1) * window_ns;
-                    let seg = e.min(bin_end).max(s) - s;
-                    busy[b] += seg as f64 * f64::from(gpcs);
-                    if bin_end <= s {
-                        break;
-                    }
-                    s = bin_end;
-                }
-                self.spans.entry(lane).or_default().push((at_ns, e, gpcs));
-            }
-            TraceEvent::RouteDecision { .. } => self.routed[bin] += 1.0,
-            TraceEvent::Shed { .. } => self.shed[bin] += 1.0,
-            TraceEvent::Loan { gpus_delta, .. } => {
-                // Step series: record the delta; finish() integrates.
-                self.loaned[bin] += gpus_delta as f64;
-            }
-            _ => {}
-        }
-    }
-
-    fn finish(mut self, lane_gpcs: &[u32]) -> MetricRegistry {
-        let mut series = Vec::new();
-
-        // Carry outstanding snapshots forward through quiet bins (bins with
-        // no lifecycle events start as NaN sentinels).
-        for (&lane, (_, samples)) in &mut self.outstanding {
-            let mut last = 0.0;
-            for v in samples.iter_mut() {
-                if v.is_nan() {
-                    *v = last;
-                } else {
-                    last = *v;
-                }
-            }
-            series.push(MetricSeries {
-                name: format!("shard{lane}/outstanding"),
-                values: samples.clone(),
-            });
-        }
-
-        // Busy GPC fraction: busy GPC·ns / (window · capacity).
-        for (&lane, busy) in &self.busy {
-            let capacity = lane_gpcs
-                .get(lane as usize)
-                .copied()
-                .filter(|&c| c > 0)
-                .unwrap_or_else(|| peak_concurrent_gpcs(&self.spans[&lane]).max(1));
-            let denom = self.window_ns as f64 * f64::from(capacity);
-            series.push(MetricSeries {
-                name: format!("shard{lane}/busy_gpc_fraction"),
-                values: busy.iter().map(|&b| b / denom).collect(),
-            });
-        }
-
-        // Pool loans: integrate deltas into a level.
-        let mut level = 0.0;
-        let loaned: Vec<f64> = self
-            .loaned
-            .iter()
-            .map(|&d| {
-                level += d;
-                level
-            })
-            .collect();
-        if loaned.iter().any(|&v| v != 0.0) {
-            series.push(MetricSeries {
-                name: "pool/loaned_gpus".to_string(),
-                values: loaned,
-            });
-        }
-
-        // Shed rate per bin over offered load.
-        if self.routed.iter().chain(&self.shed).any(|&v| v > 0.0) {
-            let values = self
-                .routed
-                .iter()
-                .zip(&self.shed)
-                .map(|(&r, &s)| if r + s > 0.0 { s / (r + s) } else { 0.0 })
-                .collect();
-            series.push(MetricSeries {
-                name: "fleet/shed_rate".to_string(),
-                values,
-            });
-        }
-
-        // Per-model SLA violation rate, from the reused WindowedTail bins.
-        for (&model, tail) in &self.tails {
-            let Some(&sla) = self.slas.get(&model) else {
-                continue;
-            };
-            let values = (0..self.windows)
-                .map(|idx| match tail.histogram(idx) {
-                    Some(h) if !h.is_empty() => h.violation_rate(sla),
-                    _ => 0.0,
-                })
-                .collect();
-            series.push(MetricSeries {
-                name: format!("model{model}/sla_violation_rate"),
-                values,
-            });
-        }
-
-        series.sort_by(|a, b| a.name.cmp(&b.name));
-        MetricRegistry {
-            window_ns: self.window_ns,
-            windows: self.windows,
-            series,
-        }
-    }
-}
-
-/// Peak number of concurrently busy GPCs among `(start, end, gpcs)` spans.
-fn peak_concurrent_gpcs(spans: &[(u64, u64, u32)]) -> u32 {
-    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(spans.len() * 2);
-    for &(s, e, g) in spans {
-        edges.push((s, i64::from(g)));
-        edges.push((e, -i64::from(g)));
-    }
-    edges.sort_unstable();
-    let (mut level, mut peak) = (0i64, 0i64);
-    for (_, d) in edges {
-        level += d;
-        peak = peak.max(level);
-    }
-    peak.max(0) as u32
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::{FlightRecorder, TraceSink, ANNOTATION_KEY};
+    use crate::event::TraceEvent;
+    use crate::recorder::{FlightRecorder, ANNOTATION_KEY};
     use des_engine::SimTime;
 
     fn t(ns: u64) -> SimTime {
@@ -407,5 +222,70 @@ mod tests {
         assert_eq!(loans.values, vec![2.0, 2.0, 0.0]);
         let shed = reg.get("fleet/shed_rate").expect("shed");
         assert!((shed.values[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_well_formed_registry() {
+        let reg = MetricRegistry::from_trace(
+            &QueryTrace::merge(Vec::<FlightRecorder>::new()),
+            1_000,
+            &[],
+        );
+        assert_eq!(reg.windows(), 1, "the grid always has at least one bin");
+        assert_eq!(reg.window_ns(), 1_000);
+        assert!(reg.series().is_empty(), "no events, no series");
+        assert!(reg.get("shard0/outstanding").is_none());
+    }
+
+    #[test]
+    fn zero_lane_gpcs_falls_back_without_div_by_zero() {
+        let mut r = FlightRecorder::new(0);
+        arrive(&mut r, 0, 0, 0, 0);
+        r.record(
+            t(0),
+            0,
+            TraceEvent::ServiceStart {
+                query: 0,
+                worker: 0,
+                gpcs: 7,
+                clean_ns: 500,
+                base_ns: 500,
+                actual_ns: 500,
+            },
+        );
+        complete(&mut r, 500, 0, 500);
+        let trace = QueryTrace::merge([r]);
+        // Empty slice and an explicit zero entry both fall back to the
+        // observed peak concurrency (7 GPCs), never a zero denominator.
+        for lane_gpcs in [&[] as &[u32], &[0u32]] {
+            let reg = MetricRegistry::from_trace(&trace, 1_000, lane_gpcs);
+            let busy = reg.get("shard0/busy_gpc_fraction").expect("series");
+            assert!(
+                busy.values.iter().all(|v| v.is_finite()),
+                "{:?}",
+                busy.values
+            );
+            assert!((busy.values[0] - 0.5).abs() < 1e-9, "{:?}", busy.values);
+        }
+    }
+
+    #[test]
+    fn zero_length_service_span_still_creates_the_series() {
+        let mut r = FlightRecorder::new(0);
+        r.record(
+            t(100),
+            0,
+            TraceEvent::ServiceStart {
+                query: 0,
+                worker: 0,
+                gpcs: 7,
+                clean_ns: 0,
+                base_ns: 0,
+                actual_ns: 0,
+            },
+        );
+        let reg = MetricRegistry::from_trace(&QueryTrace::merge([r]), 1_000, &[]);
+        let busy = reg.get("shard0/busy_gpc_fraction").expect("series");
+        assert_eq!(busy.values, vec![0.0], "zero-length span, zero busy");
     }
 }

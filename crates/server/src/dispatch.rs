@@ -36,7 +36,7 @@
 use std::collections::VecDeque;
 
 use des_engine::{SimDuration, SimTime};
-use inference_obs::{FlightRecorder, TraceEvent, TraceSink, ANNOTATION_KEY};
+use inference_obs::{FlightRecorder, ObsSink, TraceEvent, TraceSink, ANNOTATION_KEY};
 use inference_workload::QuerySpec;
 use mig_gpu::ProfileSize;
 use paris_core::{
@@ -252,11 +252,12 @@ pub struct DispatchCore<'a> {
     /// Service-time decomposition (`completed − started`), same contract.
     service_hist: LatencyHistogram,
     per_group: Vec<GroupAccum>,
-    /// Attached flight recorder; `None` (the default) is the zero-cost
-    /// disabled path — every hook is a single `Option` discriminant test.
-    /// Recording never touches RNG streams, event keys, or report state
-    /// (invariant 12: zero observer effect).
-    trace: Option<Box<FlightRecorder>>,
+    /// Attached observability sink (flight recorder, online telemetry
+    /// lane, or both); `None` (the default) is the zero-cost disabled path
+    /// — every hook is a single `Option` discriminant test. Recording
+    /// never touches RNG streams, event keys, or report state (invariant
+    /// 12: zero observer effect).
+    trace: Option<Box<ObsSink>>,
     /// Instant of the most recent completion — the makespan endpoint. The
     /// DES clock itself can outlive it (a trailing `ReconfigReady` fires
     /// one reslice delay after the last drain), and charging that idle
@@ -442,12 +443,24 @@ impl<'a> DispatchCore<'a> {
     /// so the trace's conservation invariant (one arrival, one terminal)
     /// holds.
     pub fn set_trace(&mut self, recorder: FlightRecorder) {
-        self.trace = Some(Box::new(recorder));
+        self.set_sink(ObsSink::trace_only(recorder));
     }
 
     /// Detaches and returns the flight recorder, if one was attached.
     /// Call before [`finish`](DispatchCore::finish) (which drops it).
     pub fn take_trace(&mut self) -> Option<FlightRecorder> {
+        self.take_sink().and_then(|s| s.trace)
+    }
+
+    /// Attaches an observability sink — a flight recorder, an online
+    /// telemetry lane, or both halves at once. Empty sinks are dropped so
+    /// the hooks stay on the zero-cost disabled path.
+    pub fn set_sink(&mut self, sink: ObsSink) {
+        self.trace = (!sink.is_empty()).then(|| Box::new(sink));
+    }
+
+    /// Detaches and returns the observability sink, if one was attached.
+    pub fn take_sink(&mut self) -> Option<ObsSink> {
         self.trace.take().map(|b| *b)
     }
 

@@ -852,6 +852,18 @@ impl<'a> ShardEngine<'a> {
         self.core.take_trace()
     }
 
+    /// Attaches an observability sink (trace half, online half, or both)
+    /// to the dispatch core. Same invariant-12 contract as
+    /// [`set_trace`](ShardEngine::set_trace).
+    pub fn set_sink(&mut self, sink: inference_obs::ObsSink) {
+        self.core.set_sink(sink);
+    }
+
+    /// Detaches and returns the observability sink, if one was attached.
+    pub fn take_sink(&mut self) -> Option<inference_obs::ObsSink> {
+        self.core.take_sink()
+    }
+
     /// Offers one tagged arrival to the shard's serial frontend, scheduling
     /// its [`ShardEvent::Dispatch`] through `sched`. Arrivals must be
     /// offered in non-decreasing arrival order.

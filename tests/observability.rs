@@ -1,21 +1,27 @@
 //! Observability-layer integration tests: invariant 12 (zero observer
-//! effect), trace determinism across thread counts, and the flight
-//! recorder's conservation / exact-breakdown guarantees.
+//! effect), invariant 13 (online telemetry ≡ the `from_trace` oracle),
+//! trace determinism across thread counts, and the flight recorder's
+//! conservation / exact-breakdown guarantees.
 //!
-//! The property test is the contract the whole `obs` crate hangs off:
+//! The property tests are the contract the whole `obs` crate hangs off:
 //! attaching the recorder must leave the fault report **byte-identical**
-//! (full `Debug` rendering) to the untraced run, for any router policy,
-//! sampled fault plan, sync-window mode and lane thread count. The unit
-//! tests pin what the trace itself must satisfy: offered = routed + shed,
-//! arrivals = completed, and per-class latency components that sum to the
-//! measured end-to-end latency in integer nanoseconds with no residual.
+//! (full `Debug` rendering) to the untraced run, and the live metric
+//! registry must equal `MetricRegistry::from_trace` of the same run byte
+//! for byte, for any router policy, sampled fault plan, sync-window mode
+//! and lane thread count. The unit tests pin what the trace itself must
+//! satisfy: offered = routed + shed, arrivals = completed, and per-class
+//! latency components that sum to the measured end-to-end latency in
+//! integer nanoseconds with no residual.
 
 use paris_elsa::cluster::{Cluster, RouterPolicy, ShedPolicy, SyncWindow};
 use paris_elsa::dnn::ModelKind;
 use paris_elsa::faults::{
-    run_with_faults_windowed, run_with_faults_windowed_traced, FaultPlan, FaultTopology,
+    run_with_faults_windowed, run_with_faults_windowed_instrumented,
+    run_with_faults_windowed_traced, FaultPlan, FaultTopology,
 };
-use paris_elsa::obs::{analyze, check_conservation, MetricRegistry, QueryTrace};
+use paris_elsa::obs::{
+    alert_records, analyze, check_conservation, evaluate_slos, MetricRegistry, QueryTrace, SloSpec,
+};
 use paris_elsa::prelude::*;
 use proptest::prelude::*;
 
@@ -178,6 +184,30 @@ fn metric_registry_covers_the_run() {
     );
 }
 
+/// Alert annotations live on their own lane and hit no registry fold:
+/// stamping a fired alert log back onto the trace must reproduce the
+/// exact same registry (so `trace_report --slo` can annotate freely).
+#[test]
+fn alert_annotations_are_registry_neutral() {
+    let table = mobilenet_table();
+    let (_, trace) = traced_outage_run(&table, SyncWindow::PerEvent, 1);
+    let window_ns = 100_000_000;
+    let registry = MetricRegistry::from_trace(&trace, window_ns, &[14, 14]);
+    let specs = [
+        SloSpec::new("premium-avail", 0, 0.9).with_windows(2, 6),
+        SloSpec::new("batch-avail", 1, 0.5).with_windows(2, 6),
+    ];
+    let alerts = evaluate_slos(&registry, &specs);
+    assert!(
+        !alerts.is_empty(),
+        "a rack outage under overload must burn an error budget"
+    );
+    let annotated = trace.annotated(alert_records(&alerts, window_ns).into_records());
+    assert!(annotated.len() > trace.len(), "annotations were merged");
+    let replayed = MetricRegistry::from_trace(&annotated, window_ns, &[14, 14]);
+    assert_eq!(registry, replayed, "alert rows changed the registry");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -250,6 +280,126 @@ proptest! {
         prop_assert!(
             traces[0] == traces[1],
             "trace diverged between 1 and 4 threads ({:?})",
+            window
+        );
+    }
+
+    /// Invariant 13 (ARCHITECTURE.md): the online telemetry plane — per-lane
+    /// streaming aggregates merged in lane order, no trace retention — must
+    /// equal `MetricRegistry::from_trace` of the same run **byte for byte**,
+    /// for any router policy, fault plan, sync-window mode and thread count,
+    /// and the registry itself must be identical across thread counts.
+    #[test]
+    fn online_registry_matches_from_trace_oracle(
+        seed in 0u64..8,
+        router in 0u64..3,
+        fault_kind in 0u64..4,
+        mode in 0u64..2,
+    ) {
+        let table = mobilenet_table();
+        let policy = match router {
+            0 => RouterPolicy::StaticHash,
+            1 => RouterPolicy::JoinShortestQueue,
+            _ => RouterPolicy::WeightedByCapacity,
+        };
+        let cluster = small_cluster(&table, policy);
+        let trace_in = arrivals(&cluster, 0.4, 0.7, seed);
+        let plan = match fault_kind {
+            0 => FaultPlan::new(),
+            1 => FaultPlan::new().with_gpu_degrade(1, 0, 2.5, 0.1, 0.3),
+            2 => FaultPlan::new().with_domain_outage(
+                &FaultTopology::racks(&[2, 2], 2),
+                "rack0",
+                0.1,
+                0.3,
+            ),
+            _ => FaultPlan::sample_gpu_mttf(&[2, 2], 0.9, 0.2, 0.4, seed),
+        };
+        let window = if mode == 0 {
+            SyncWindow::PerEvent
+        } else {
+            SyncWindow::Lookahead(SimDuration::from_nanos(2_000_000))
+        };
+        let window_ns = 50_000_000u64;
+
+        let mut registries: Vec<MetricRegistry> = Vec::new();
+        for threads in [1usize, 4] {
+            let (_, trace, registry) = run_with_faults_windowed_instrumented(
+                &cluster,
+                trace_in.iter().copied().map(|tq| (None, tq)),
+                ReportDetail::Summary,
+                &plan,
+                window,
+                threads,
+                window_ns,
+            );
+            let oracle = MetricRegistry::from_trace(&trace, window_ns, &[14, 14]);
+            prop_assert_eq!(
+                &registry,
+                &oracle,
+                "online registry diverged from the trace oracle at {} threads ({:?})",
+                threads,
+                window
+            );
+            registries.push(registry);
+        }
+        prop_assert_eq!(
+            &registries[0],
+            &registries[1],
+            "online registry diverged between 1 and 4 threads ({:?})",
+            window
+        );
+    }
+
+    /// The SLO engine is a pure function of the registry, which is a pure
+    /// function of the run: the alert log (fire bins, resolve bins, burn
+    /// rates — full `Debug` rendering) must be identical across thread
+    /// counts for any scenario.
+    #[test]
+    fn alert_log_is_thread_count_invariant(
+        seed in 0u64..8,
+        fault_kind in 0u64..3,
+        mode in 0u64..2,
+    ) {
+        let table = mobilenet_table();
+        let cluster = small_cluster(&table, RouterPolicy::JoinShortestQueue);
+        let trace_in = arrivals(&cluster, 0.4, 0.8, seed);
+        let plan = match fault_kind {
+            0 => FaultPlan::new().with_domain_outage(
+                &FaultTopology::racks(&[2, 2], 2),
+                "rack0",
+                0.1,
+                0.3,
+            ),
+            1 => FaultPlan::new().with_gpu_degrade(0, 0, 3.0, 0.1, 0.3),
+            _ => FaultPlan::sample_gpu_mttf(&[2, 2], 0.9, 0.2, 0.4, seed),
+        };
+        let window = if mode == 0 {
+            SyncWindow::PerEvent
+        } else {
+            SyncWindow::Lookahead(SimDuration::from_nanos(2_000_000))
+        };
+        let specs = [
+            SloSpec::new("premium-avail", 0, 0.9).with_windows(2, 6),
+            SloSpec::new("batch-avail", 1, 0.5).with_windows(2, 6),
+        ];
+        let mut logs: Vec<String> = Vec::new();
+        for threads in [1usize, 4] {
+            let (_, registry) = paris_elsa::faults::run_with_faults_windowed_observed(
+                &cluster,
+                trace_in.iter().copied().map(|tq| (None, tq)),
+                ReportDetail::Summary,
+                &plan,
+                window,
+                threads,
+                50_000_000,
+            );
+            logs.push(format!("{:?}", evaluate_slos(&registry, &specs)));
+        }
+        prop_assert_eq!(
+            &logs[0],
+            &logs[1],
+            "alert log diverged between 1 and 4 threads ({:?})",
             window
         );
     }
